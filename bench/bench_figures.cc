@@ -1,0 +1,252 @@
+// Regenerates every worked example / figure of the paper:
+//   Figure 1  — binate covering table for (a,b), b>c, b = a OR c
+//   Section 5.1 example — cs/ps 2-CNF -> SOP (with erratum)
+//   Figure 3  — input encoding walkthrough
+//   Figure 4  — feasibility counterexample vs the local check of [9]
+//   Figure 8  — exact mixed input/output encoding
+//   Section 7 / Figure 9 — cost-function evaluation at 4 and 3 bits
+//   Section 8.1 example — encoding don't-cares change the minimum length
+//   Section 8.3 example — non-face constraints
+#include <cstdio>
+
+#include "core/binate_table.h"
+#include "core/bounded.h"
+#include "core/chains.h"
+#include "core/cost.h"
+#include "core/encoder.h"
+#include "core/extensions.h"
+#include "core/local_check.h"
+#include "core/primes.h"
+#include "core/verify.h"
+
+using namespace encodesat;
+
+namespace {
+
+void figure1() {
+  std::printf("=== Figure 1: satisfaction of constraints as binate covering ===\n");
+  const ConstraintSet cs = parse_constraints(R"(
+    face a b
+    dominance b c
+    disjunctive b a c
+  )");
+  const BinateTable table = build_binate_table(cs);
+  std::printf("columns (encoding columns over a,b,c):");
+  for (std::size_t c = 0; c < table.patterns.size(); ++c) {
+    std::printf("  c%zu=", c + 1);
+    for (std::uint32_t s = 0; s < 3; ++s)
+      std::printf("%llu",
+                  static_cast<unsigned long long>((table.patterns[c] >> s) & 1));
+  }
+  std::printf("\nrows: %zu unate (dichotomy coverage) + %zu negative "
+              "(output-violating columns)\n",
+              table.num_unate_rows, table.num_negative_rows);
+  const auto res = binate_table_encode(cs);
+  std::printf("minimum cover: %d columns -> %s\n", res.encoding.bits,
+              res.encoding.to_string(cs.symbols()).c_str());
+  std::printf("paper: minimum two encoding columns satisfy all constraints\n\n");
+}
+
+void section51() {
+  std::printf("=== Section 5.1: prime generation via cs/ps ===\n");
+  std::printf("incompatibilities: (a+b)(a+c)(b+c)(c+d)(d+e)\n");
+  std::vector<Bitset> inc(5, Bitset(5));
+  auto edge = [&](std::size_t i, std::size_t j) {
+    inc[i].set(j);
+    inc[j].set(i);
+  };
+  edge(0, 1); edge(0, 2); edge(1, 2); edge(2, 3); edge(3, 4);
+  bool trunc = false;
+  const auto sop = two_cnf_to_minimal_sop(inc, 1000, &trunc);
+  const char* names = "abcde";
+  std::printf("irredundant SOP terms (deletion sets): ");
+  for (const auto& t : sop) {
+    t.for_each([&](std::size_t v) { std::printf("%c", names[v]); });
+    std::printf(" ");
+  }
+  std::printf("\nmaximal compatibles: ");
+  for (const auto& t : sop) {
+    std::printf("{");
+    for (std::size_t v = 0; v < 5; ++v)
+      if (!t.test(v)) std::printf("%c", names[v]);
+    std::printf("} ");
+  }
+  std::printf("\npaper lists acd+ace+bcd+bce -> {b,e},{b,d},{a,e},{a,d}; the\n"
+              "term abd (compatible {c,e}) is missing there — see EXPERIMENTS.md"
+              " errata.\n\n");
+}
+
+void figure3() {
+  std::printf("=== Figure 3: input encoding example ===\n");
+  const ConstraintSet cs = parse_constraints(R"(
+    face s0 s2 s4
+    face s0 s1 s4
+    face s1 s2 s3
+    face s1 s3 s4
+  )");
+  const auto init = generate_initial_dichotomies(cs);
+  std::printf("initial encoding-dichotomies: %zu (paper, with s1 pinned "
+              "to the right block: 9)\n",
+              init.size());
+  std::vector<Dichotomy> ds;
+  for (const auto& i : init) ds.push_back(i.dichotomy);
+  dedupe_dichotomies(ds);
+  const auto pg = generate_prime_dichotomies(ds);
+  std::printf("prime encoding-dichotomies: %zu\n", pg.primes.size());
+  const auto res = exact_encode(cs);
+  std::printf("minimum cover: %d primes -> %s\n", res.encoding.bits,
+              res.encoding.to_string(cs.symbols()).c_str());
+  std::printf("paper: minimum cover uses 4 primes\n\n");
+}
+
+void figure4() {
+  std::printf("=== Figure 4: feasibility check with input+output constraints ===\n");
+  const ConstraintSet cs = parse_constraints(R"(
+    face s1 s5
+    face s2 s5
+    face s4 s5
+    symbol s0
+    symbol s3
+    dominance s0 s1
+    dominance s0 s2
+    dominance s0 s3
+    dominance s0 s5
+    dominance s1 s3
+    dominance s2 s3
+    dominance s4 s5
+    dominance s5 s2
+    dominance s5 s3
+    disjunctive s0 s1 s2
+  )");
+  const auto res = check_feasible(cs);
+  std::printf("initial encoding-dichotomies: %zu (paper: 26)\n",
+              res.initial.size());
+  std::printf("valid maximally raised dichotomies: %zu (paper: 6)\n",
+              res.raised.size());
+  std::printf("check_feasible: %s\n", res.feasible ? "FEASIBLE" : "INFEASIBLE");
+  std::printf("uncovered initial dichotomies:\n");
+  for (std::size_t i : res.uncovered)
+    std::printf("  %s\n",
+                res.initial[i].dichotomy.to_string(cs.symbols()).c_str());
+  std::printf("local-consistency check in the spirit of [9]: %s\n",
+              local_consistency_feasible(cs) ? "feasible (WRONG)"
+                                             : "infeasible");
+  std::printf("paper: the constraints are infeasible, yet [9]'s check "
+              "accepts them; uncovered dichotomies are (s0; s1 s5) and "
+              "(s1 s5; s0)\n\n");
+}
+
+void figure8() {
+  std::printf("=== Figure 8: exact encoding with input+output constraints ===\n");
+  const ConstraintSet cs = parse_constraints(R"(
+    face s0 s1
+    dominance s0 s1
+    dominance s1 s2
+    disjunctive s0 s1 s3
+  )");
+  const auto res = exact_encode(cs);
+  std::printf("initial: %zu, raised: %zu, valid primes: %zu\n",
+              res.num_initial, res.num_raised, res.num_valid_primes);
+  std::printf("encoding (%d bits): %s\n", res.encoding.bits,
+              res.encoding.to_string(cs.symbols()).c_str());
+  const auto v = verify_encoding(res.encoding, cs);
+  std::printf("verified: %s\n", v.empty() ? "yes" : v[0].detail.c_str());
+  std::printf("paper: s0=11 s1=10 s2=00 s3=01 (any satisfying 2-bit "
+              "assignment is equivalent)\n\n");
+}
+
+void section7() {
+  std::printf("=== Section 7 / Figure 9: cost functions at fixed length ===\n");
+  const ConstraintSet cs = parse_constraints(R"(
+    face e f c
+    face e d g
+    face a b d
+    face a g f d
+  )");
+  const auto exact = exact_encode(cs);
+  std::printf("satisfying all constraints needs %d bits (paper: 4)\n",
+              exact.encoding.bits);
+  for (int bits = 4; bits >= 3; --bits) {
+    BoundedEncodeOptions opts;
+    opts.cost = CostKind::kLiterals;
+    opts.max_selection_evals = 2000;
+    const auto res = bounded_encode(cs, bits, opts);
+    std::printf("%d-bit heuristic: %d/%zu faces violated, %d cubes, "
+                "%d literals\n",
+                bits, res.cost.violated_faces, cs.faces().size(),
+                res.cost.cubes, res.cost.literals);
+  }
+  std::printf("paper's sample 3-bit encoding: 3 faces violated, 7 cubes, "
+              "14 literals\n\n");
+}
+
+void section81() {
+  std::printf("=== Section 8.1: input encoding don't-cares ===\n");
+  struct Case {
+    const char* label;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"(a,b,[c,d],e) free",
+       "face a b\nface a c\nface a d\nface a b [c d] e\nsymbol f"},
+      {"don't-cares forced in",
+       "face a b\nface a c\nface a d\nface a b c d e\nsymbol f"},
+      {"don't-cares forced out",
+       "face a b\nface a c\nface a d\nface a b e\nsymbol f"},
+  };
+  for (const auto& c : cases) {
+    const auto res = exact_encode(parse_constraints(c.text));
+    std::printf("%-24s -> %d bits (%zu valid primes)\n", c.label,
+                res.encoding.bits, res.num_valid_primes);
+  }
+  std::printf("paper: 3 primes suffice with don't-cares, 4 otherwise\n\n");
+}
+
+void section83() {
+  std::printf("=== Section 8.3: non-face constraints ===\n");
+  const ConstraintSet cs = parse_constraints(R"(
+    face a b
+    face b c d
+    face a e
+    face d f
+    nonface a b e
+  )");
+  const auto res = encode_with_extensions(cs);
+  std::printf("encoding (%d bits): %s\n", res.encoding.bits,
+              res.encoding.to_string(cs.symbols()).c_str());
+  const auto v = verify_encoding(res.encoding, cs);
+  std::printf("verified (incl. intruder in the (a,b,e) face): %s\n",
+              v.empty() ? "yes" : v[0].detail.c_str());
+  std::printf("paper witness: a=011 b=001 c=101 d=100 e=111 f=110 (3 bits)\n\n");
+}
+
+void section84() {
+  std::printf("=== Section 8.4: chain constraints (the paper's open case) ===\n");
+  ConstraintSet cs = parse_constraints("face b c\nface a b\nsymbol d");
+  ChainConstraint chain;
+  for (const char* s : {"d", "b", "c", "a"})
+    chain.sequence.push_back(cs.symbols().at(s));
+  const auto res = encode_with_chains(cs, {chain}, 2);
+  std::printf("faces (b,c),(a,b) + chain (d-b-c-a), 2 bits: %s\n",
+              res.status == ChainEncodeResult::Status::kEncoded
+                  ? res.encoding.to_string(cs.symbols()).c_str()
+                  : "no solution");
+  std::printf("paper witness: a=00 b=10 c=11 d=01 (solved here by the "
+              "enumerative baseline the paper predicts; an efficient "
+              "dichotomy formulation remains open)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  figure1();
+  section51();
+  figure3();
+  figure4();
+  figure8();
+  section7();
+  section81();
+  section83();
+  section84();
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Microbenchmarks (google-benchmark) for the framework's hot operations:
+// dichotomy algebra, raising, prime generation scaling, covering, URP
+// operations, and cost evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/bounded.h"
+#include "core/cost.h"
+#include "core/encoder.h"
+#include "core/generate.h"
+#include "core/output_rules.h"
+#include "core/primes.h"
+#include "core/verify.h"
+#include "covering/unate.h"
+#include "logic/espresso.h"
+#include "logic/urp.h"
+#include "util/rng.h"
+
+using namespace encodesat;
+
+namespace {
+
+ConstraintSet random_faces(std::uint32_t n, int nfaces, std::uint64_t seed) {
+  Rng rng(seed);
+  ConstraintSet cs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("s" + std::to_string(i));
+  for (int f = 0; f < nfaces; ++f) {
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t s = 0; s < n; ++s)
+      if (rng.next_bool(0.25)) members.push_back(s);
+    if (members.size() >= 2 && members.size() < n)
+      cs.add_face_ids(std::move(members));
+  }
+  return cs;
+}
+
+void BM_DichotomyCompatible(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Dichotomy a(n), b(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (rng.next_bool(0.4)) a.left.set(s);
+    else if (rng.next_bool(0.5)) a.right.set(s);
+    if (rng.next_bool(0.4)) b.left.set(s);
+    else if (rng.next_bool(0.5)) b.right.set(s);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.compatible(b));
+}
+BENCHMARK(BM_DichotomyCompatible)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DichotomyCovers(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Dichotomy big(n), small(n);
+  for (std::uint32_t s = 0; s < n; ++s) (s % 2 ? big.left : big.right).set(s);
+  small.left.set(1);
+  small.right.set(0);
+  for (auto _ : state) benchmark::DoNotOptimize(big.covers(small));
+}
+BENCHMARK(BM_DichotomyCovers)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GenerateInitial(benchmark::State& state) {
+  const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 8,
+                               11);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generate_initial_dichotomies(cs));
+}
+BENCHMARK(BM_GenerateInitial)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RaiseDichotomy(benchmark::State& state) {
+  // A dominance chain makes raising iterate.
+  ConstraintSet cs;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) cs.symbols().intern("s" + std::to_string(i));
+  for (int i = 0; i + 1 < n; ++i)
+    cs.add_dominance_ids(static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(i + 1));
+  for (auto _ : state) {
+    Dichotomy d(static_cast<std::size_t>(n));
+    d.left.set(0);
+    d.right.set(static_cast<std::uint32_t>(n - 1));
+    benchmark::DoNotOptimize(raise_dichotomy(d, cs));
+  }
+}
+BENCHMARK(BM_RaiseDichotomy)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PrimeGeneration(benchmark::State& state) {
+  const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 6,
+                               23);
+  std::vector<Dichotomy> d;
+  for (const auto& i : generate_initial_dichotomies(cs))
+    d.push_back(i.dichotomy);
+  dedupe_dichotomies(d);
+  for (auto _ : state) {
+    PrimeGenOptions opts;
+    opts.max_terms = 100000;
+    benchmark::DoNotOptimize(generate_prime_dichotomies(d, opts));
+  }
+}
+BENCHMARK(BM_PrimeGeneration)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_ExactEncode(benchmark::State& state) {
+  const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 5,
+                               37);
+  for (auto _ : state) {
+    ExactEncodeOptions opts;
+    opts.cover_options.max_nodes = 50000;
+    benchmark::DoNotOptimize(exact_encode(cs, opts));
+  }
+}
+BENCHMARK(BM_ExactEncode)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_Tautology(benchmark::State& state) {
+  const int nv = static_cast<int>(state.range(0));
+  const Domain dom = Domain::binary(nv, 1);
+  Rng rng(5);
+  Cover f(dom);
+  for (int i = 0; i < 4 * nv; ++i) {
+    Cube c = full_cube(dom);
+    for (int v = 0; v < nv; ++v) {
+      const double r = rng.next_double();
+      if (r < 0.3)
+        c.bits.reset(static_cast<std::size_t>(dom.pos(v, 0)));
+      else if (r < 0.6)
+        c.bits.reset(static_cast<std::size_t>(dom.pos(v, 1)));
+    }
+    f.add(c);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(is_tautology(f));
+}
+BENCHMARK(BM_Tautology)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Espresso(benchmark::State& state) {
+  const int nv = static_cast<int>(state.range(0));
+  const Domain dom = Domain::binary(nv, 2);
+  Rng rng(17);
+  Cover on(dom);
+  for (int i = 0; i < 3 * nv; ++i) {
+    Cube c(dom);
+    for (int v = 0; v < nv; ++v) {
+      const int pick = static_cast<int>(rng.next_below(3));
+      if (pick != 0) c.bits.set(static_cast<std::size_t>(dom.pos(v, 1)));
+      if (pick != 1) c.bits.set(static_cast<std::size_t>(dom.pos(v, 0)));
+    }
+    c.bits.set(static_cast<std::size_t>(dom.out_pos(
+        static_cast<int>(rng.next_below(2)))));
+    on.add(c);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(espresso(on, Cover(dom)));
+}
+BENCHMARK(BM_Espresso)->Arg(6)->Arg(10);
+
+void BM_CostEvaluation(benchmark::State& state) {
+  const auto cs = random_faces(12, 6, 29);
+  Encoding enc;
+  enc.bits = 4;
+  enc.codes.resize(12);
+  for (std::uint32_t s = 0; s < 12; ++s) enc.codes[s] = s;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        evaluate_encoding_cost(enc, cs, state.range(0) == 1));
+}
+BENCHMARK(BM_CostEvaluation)->Arg(0)->Arg(1);
+
+void BM_BoundedEncode(benchmark::State& state) {
+  const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 6,
+                               41);
+  for (auto _ : state) {
+    BoundedEncodeOptions opts;
+    opts.cost = CostKind::kViolatedFaces;
+    benchmark::DoNotOptimize(
+        bounded_encode(cs, minimum_code_length(
+                               static_cast<std::uint32_t>(state.range(0))),
+                       opts));
+  }
+}
+BENCHMARK(BM_BoundedEncode)->Arg(8)->Arg(16)->Arg(32);
+
+
+void BM_Feasibility(benchmark::State& state) {
+  const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 6,
+                               51);
+  for (auto _ : state) benchmark::DoNotOptimize(check_feasible(cs));
+}
+BENCHMARK(BM_Feasibility)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_VerifyEncoding(benchmark::State& state) {
+  const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 8,
+                               53);
+  Encoding enc;
+  enc.bits = minimum_code_length(static_cast<std::uint32_t>(state.range(0)));
+  enc.codes.resize(static_cast<std::size_t>(state.range(0)));
+  for (std::uint32_t s = 0; s < enc.codes.size(); ++s) enc.codes[s] = s;
+  for (auto _ : state) benchmark::DoNotOptimize(verify_encoding(enc, cs));
+}
+BENCHMARK(BM_VerifyEncoding)->Arg(16)->Arg(64);
+
+void BM_UnateCovering(benchmark::State& state) {
+  Rng rng(77);
+  UnateCoverProblem p;
+  p.num_columns = static_cast<std::size_t>(state.range(0));
+  for (int r = 0; r < 30; ++r) {
+    Bitset row(p.num_columns);
+    for (std::size_t c = 0; c < p.num_columns; ++c)
+      if (rng.next_bool(0.3)) row.set(c);
+    if (row.empty()) row.set(rng.next_below(p.num_columns));
+    p.rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    UnateCoverOptions o;
+    o.max_nodes = 2000;
+    benchmark::DoNotOptimize(solve_unate_cover(p, o));
+  }
+}
+BENCHMARK(BM_UnateCovering)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Regenerates Table 2: two-level heuristic minimum-code-length input
+// encoding, our dichotomy-based heuristic (ENC) versus the NOVA-style
+// baseline. Face constraints come from ESPRESSO-MV-style multi-valued
+// minimization of each machine's symbolic cover; both encoders get the
+// minimum possible code length; we report the number of satisfied face
+// constraints and the number of cubes in a two-level implementation of the
+// encoded constraints (the paper's headline: ENC needs ~13% fewer cubes on
+// average).
+#include <cstdio>
+#include <string>
+
+#include "baseline/nova.h"
+#include "core/bounded.h"
+#include "core/cost.h"
+#include "core/verify.h"
+#include "fsm/constraints_gen.h"
+#include "fsm/mcnc_like.h"
+#include "util/timer.h"
+
+using namespace encodesat;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  // The 15 machines of the paper's Table 2.
+  const char* names[] = {"bbsse", "cse",   "dk16",    "dk512", "donfile",
+                         "ex1",   "kirkman", "master", "planet", "s1",
+                         "sand",  "styr",  "tbk",     "viterbi", "vmecont"};
+
+  std::printf("Table 2: two-level heuristic minimum code length input "
+              "encoding\n");
+  std::printf("%-9s %7s %7s | %9s %9s | %9s %9s\n", "Name", "#States",
+              "#Cons", "NOVA sat", "ENC sat", "NOVA cub", "ENC cub");
+  long total_nova_cubes = 0, total_enc_cubes = 0;
+  int nova_sat_total = 0, enc_sat_total = 0;
+  for (const char* name : names) {
+    const Fsm fsm = make_mcnc_like(benchmark_spec(name));
+    const ConstraintSet cs = generate_input_constraints(fsm);
+    const int bits = minimum_code_length(fsm.num_states());
+
+    const Encoding nova = nova_encode(cs, bits);
+    const EncodingCost nova_cost = evaluate_encoding_cost(nova, cs);
+
+    BoundedEncodeOptions opts;
+    opts.cost = CostKind::kCubes;
+    opts.max_selection_evals = quick ? 60 : 240;
+    const auto enc = bounded_encode(cs, bits, opts);
+
+    const int nfaces = static_cast<int>(cs.faces().size());
+    const int nova_sat = nfaces - nova_cost.violated_faces;
+    const int enc_sat = nfaces - enc.cost.violated_faces;
+    std::printf("%-9s %7u %7d | %9d %9d | %9d %9d\n", name, fsm.num_states(),
+                nfaces, nova_sat, enc_sat, nova_cost.cubes, enc.cost.cubes);
+    total_nova_cubes += nova_cost.cubes;
+    total_enc_cubes += enc.cost.cubes;
+    nova_sat_total += nova_sat;
+    enc_sat_total += enc_sat;
+  }
+  std::printf("---\n");
+  std::printf("total satisfied: NOVA %d, ENC %d\n", nova_sat_total,
+              enc_sat_total);
+  std::printf("total cubes:     NOVA %ld, ENC %ld (%.1f%% %s)\n",
+              total_nova_cubes, total_enc_cubes,
+              100.0 * static_cast<double>(total_nova_cubes - total_enc_cubes) /
+                  static_cast<double>(total_nova_cubes),
+              total_enc_cubes <= total_nova_cubes ? "fewer with ENC"
+                                                  : "MORE with ENC");
+  std::printf("paper: comparable satisfied counts; ENC ~13%% fewer cubes on "
+              "average.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates Table 3: multi-level heuristic minimum-code-length input
+// encoding with encoding don't-cares — our heuristic (ENC) versus the
+// simulated-annealing baseline (the MIS-MV approach), literal count as the
+// cost function. The paper's shape: comparable literal counts (ENC within a
+// few percent either way, better on the large machines the annealer cannot
+// afford to explore) at one to two orders of magnitude less time.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "baseline/annealing.h"
+#include "core/bounded.h"
+#include "core/cost.h"
+#include "fsm/constraints_gen.h"
+#include "fsm/mcnc_like.h"
+#include "util/timer.h"
+
+using namespace encodesat;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  // The 12 machines of the paper's Table 3 ('†' rows are its larger ones).
+  const char* names[] = {"bbsse", "cse",  "dk16",    "dk512",
+                         "donfile", "kirkman", "master", "s1",
+                         "sand",  "tbk",  "viterbi", "vmecont"};
+  const char* big[] = {"sand", "tbk", "viterbi", "vmecont"};
+
+  std::printf("Table 3: multi-level heuristic minimum code length input "
+              "encoding (don't-care faces, literal cost)\n");
+  std::printf("%-9s %7s | %8s %8s | %9s %9s %7s\n", "Name", "#States",
+              "SA lit", "ENC lit", "SA t(s)", "ENC t(s)", "t-ratio");
+  double total_ratio = 0;
+  int rows = 0;
+  for (const char* name : names) {
+    const Fsm fsm = make_mcnc_like(benchmark_spec(name));
+    ConstraintGenOptions gopts;
+    gopts.face_dontcares = true;
+    const ConstraintSet cs = generate_input_constraints(fsm, gopts);
+    const int bits = minimum_code_length(fsm.num_states());
+
+    bool is_big = false;
+    for (const char* b : big)
+      if (std::string(b) == name) is_big = true;
+
+    AnnealOptions aopts;
+    aopts.cost = CostKind::kLiterals;
+    // The paper runs 10 swaps per temperature point, but must fall back to
+    // 4 on the large machines; we mirror that. The schedule length grows
+    // with the machine so the annealer gets a realistic (slow) run.
+    aopts.moves_per_temperature = is_big ? 4 : 10;
+    // Full mode gives the annealer a convergent (slow) schedule — the
+    // paper's comparison point; quick mode keeps it snappy.
+    aopts.temperature_points =
+        quick ? 12
+              : std::min(60 + 12 * static_cast<int>(fsm.num_states()), 150);
+    Timer t;
+    const auto sa = anneal_encode(cs, bits, aopts);
+    const double sa_time = t.elapsed_seconds();
+
+    BoundedEncodeOptions bopts;
+    bopts.cost = CostKind::kLiterals;
+    bopts.max_selection_evals = quick ? 40 : 120;
+    t.reset();
+    const auto enc = bounded_encode(cs, bits, bopts);
+    const double enc_time = t.elapsed_seconds();
+
+    const double ratio = sa_time / (enc_time > 1e-9 ? enc_time : 1e-9);
+    total_ratio += ratio;
+    ++rows;
+    std::printf("%-9s %7u | %8d %8d | %9.2f %9.2f %6.1fx%s\n", name,
+                fsm.num_states(), sa.cost.literals, enc.cost.literals,
+                sa_time, enc_time, ratio, is_big ? "  (SA limited)" : "");
+  }
+  std::printf("---\nmean SA/ENC time ratio: %.1fx\n", total_ratio / rows);
+  std::printf("paper: ENC within ~5%% of SA on literals (ahead on the large "
+              "machines) at >=10x less time.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// encodesat_cli — the one-stop command-line driver for the full flow.
+//
+//   encodesat_cli analyze     <machine.kiss2>
+//       determinism/completeness/reachability report
+//   encodesat_cli constraints <machine.kiss2>
+//       symbolic minimization -> constraint text on stdout
+//   encodesat_cli encode      <machine.kiss2> [--bits K] [--cost C] [--exact]
+//       state assignment: heuristic at K bits (default: minimum length,
+//       cost C in {violated, cubes, literals}; default cubes) or --exact
+//       minimum-length satisfaction of all constraints; prints codes and
+//       the minimized encoded PLA to stdout (espresso format)
+//
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/bounded.h"
+#include "core/encoder.h"
+#include "core/normalize.h"
+#include "core/verify.h"
+#include "fsm/analyze.h"
+#include "fsm/constraints_gen.h"
+#include "fsm/encode_fsm.h"
+#include "fsm/reachability.h"
+#include "fsm/simulate.h"
+#include "logic/espresso.h"
+#include "util/timer.h"
+
+using namespace encodesat;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s analyze|constraints|encode <machine.kiss2> "
+               "[--bits K] [--cost violated|cubes|literals] [--exact]\n",
+               argv0);
+  return 2;
+}
+
+Fsm load(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  Fsm fsm = parse_kiss2(in);
+  fsm.name = path;
+  return fsm;
+}
+
+int cmd_analyze(const Fsm& fsm) {
+  const FsmAnalysis a = analyze_fsm(fsm);
+  std::printf("machine: %u states, %d inputs, %d outputs, %zu transitions\n",
+              fsm.num_states(), fsm.num_inputs, fsm.num_outputs,
+              a.transitions);
+  std::printf("deterministic: %s, complete: %s, max fanout: %d, "
+              "dc output bits: %zu\n",
+              a.deterministic ? "yes" : "NO", a.complete ? "yes" : "no",
+              a.max_fanout, a.dont_care_outputs);
+  for (const auto& issue : a.issues)
+    std::printf("  state %s: %s\n", fsm.states.name(issue.state).c_str(),
+                issue.detail.c_str());
+  const auto pruned = prune_unreachable(fsm);
+  std::printf("unreachable states: %u\n", pruned.removed);
+  return a.deterministic ? 0 : 1;
+}
+
+int cmd_constraints(const Fsm& fsm) {
+  ConstraintSet cs = generate_mixed_constraints(fsm);
+  normalize_constraints(cs);
+  std::printf("# constraints for %s (%u states)\n", fsm.name.c_str(),
+              fsm.num_states());
+  std::fputs(cs.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_encode(const Fsm& fsm, int bits, CostKind cost, bool exact) {
+  ConstraintSet cs = generate_mixed_constraints(fsm);
+  normalize_constraints(cs);
+  std::fprintf(stderr, "constraints: %zu face, %zu dominance, %zu disjunctive\n",
+               cs.faces().size(), cs.dominances().size(),
+               cs.disjunctives().size());
+  Timer t;
+  Encoding enc;
+  if (exact) {
+    ExactEncodeOptions opts;
+    opts.cover_options.max_nodes = 200000;
+    const auto res = exact_encode(cs, opts);
+    if (res.status != ExactEncodeResult::Status::kEncoded) {
+      std::fprintf(stderr, "exact encoding failed (infeasible or budget)\n");
+      return 1;
+    }
+    enc = res.encoding;
+    std::fprintf(stderr, "exact: %d bits (%s) in %.2fs\n", enc.bits,
+                 res.minimal ? "minimal" : "upper bound", t.elapsed_seconds());
+  } else {
+    if (bits <= 0) bits = minimum_code_length(fsm.num_states());
+    BoundedEncodeOptions opts;
+    opts.cost = cost;
+    const auto res = bounded_encode(cs, bits, opts);
+    enc = res.encoding;
+    std::fprintf(stderr,
+                 "heuristic: %d bits, %d faces violated, %d cubes, "
+                 "%d literals in %.2fs\n",
+                 enc.bits, res.cost.violated_faces, res.cost.cubes,
+                 res.cost.literals, t.elapsed_seconds());
+  }
+  for (std::uint32_t s = 0; s < fsm.num_states(); ++s)
+    std::fprintf(stderr, "  %-12s %s\n", fsm.states.name(s).c_str(),
+                 enc.code_string(s).c_str());
+
+  // Build, minimize, behaviourally check, and emit the encoded PLA.
+  Pla pla = encode_fsm(fsm, enc);
+  const Cover minimized = espresso(pla.on, pla.dc);
+  const auto eq = check_encoded_equivalence(fsm, enc, minimized, 500);
+  std::fprintf(stderr, "encoded PLA: %zu cubes, %d literals; equivalence "
+               "walk: %s\n",
+               minimized.size(), minimized.input_literals(),
+               eq.equivalent ? "ok" : eq.first_mismatch.c_str());
+  if (!eq.equivalent) return 1;
+  Pla out = pla;
+  out.on = minimized;
+  out.dc = Cover(pla.domain);
+  write_pla(std::cout, out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  int bits = 0;
+  CostKind cost = CostKind::kCubes;
+  bool exact = false;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--bits") && i + 1 < argc)
+      bits = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--exact"))
+      exact = true;
+    else if (!std::strcmp(argv[i], "--cost") && i + 1 < argc) {
+      const std::string c = argv[++i];
+      if (c == "violated") cost = CostKind::kViolatedFaces;
+      else if (c == "cubes") cost = CostKind::kCubes;
+      else if (c == "literals") cost = CostKind::kLiterals;
+      else return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  try {
+    const Fsm fsm = load(argv[2]);
+    if (cmd == "analyze") return cmd_analyze(fsm);
+    if (cmd == "constraints") return cmd_constraints(fsm);
+    if (cmd == "encode") return cmd_encode(fsm, bits, cost, exact);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  return usage(argv[0]);
+}

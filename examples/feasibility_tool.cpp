@@ -1,0 +1,101 @@
+// Command-line constraint-satisfaction tool: reads a constraint file in the
+// text grammar of core/constraints.h, answers P-1 (feasibility), and — when
+// satisfiable — solves P-2 (minimum-length codes) or P-3 (bounded length,
+// chosen cost function).
+//
+//   $ ./feasibility_tool constraints.txt            # P-1 + P-2
+//   $ ./feasibility_tool constraints.txt 4 cubes    # P-3 at 4 bits
+//
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/bounded.h"
+#include "core/encoder.h"
+#include "core/normalize.h"
+#include "core/verify.h"
+
+using namespace encodesat;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <constraints.txt> [code_length "
+                 "[violated|cubes|literals]]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ConstraintSet cs;
+  try {
+    cs = parse_constraints(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const NormalizeStats norm = normalize_constraints(cs);
+  std::printf("%u symbols, %zu face, %zu dominance, %zu disjunctive, "
+              "%zu extended\n",
+              cs.num_symbols(), cs.faces().size(), cs.dominances().size(),
+              cs.disjunctives().size(), cs.extended_disjunctives().size());
+  const std::size_t removed = norm.duplicate_faces + norm.trivial_faces +
+                              norm.duplicate_dominances +
+                              norm.transitive_dominances +
+                              norm.duplicate_disjunctives;
+  if (removed > 0)
+    std::printf("(normalization removed %zu redundant constraints)\n",
+                removed);
+
+  const FeasibilityResult feas = check_feasible(cs);
+  if (!feas.feasible) {
+    std::printf("INFEASIBLE — uncovered initial encoding-dichotomies:\n");
+    for (std::size_t i : feas.uncovered)
+      std::printf("  %s\n",
+                  feas.initial[i].dichotomy.to_string(cs.symbols()).c_str());
+    return 1;
+  }
+  std::printf("feasible\n");
+
+  if (argc >= 3) {
+    const int bits = std::atoi(argv[2]);
+    BoundedEncodeOptions opts;
+    if (argc >= 4) {
+      if (!std::strcmp(argv[3], "violated")) opts.cost = CostKind::kViolatedFaces;
+      else if (!std::strcmp(argv[3], "cubes")) opts.cost = CostKind::kCubes;
+      else if (!std::strcmp(argv[3], "literals")) opts.cost = CostKind::kLiterals;
+      else {
+        std::fprintf(stderr, "unknown cost function %s\n", argv[3]);
+        return 2;
+      }
+    }
+    const auto res = bounded_encode(cs, bits, opts);
+    std::printf("bounded %d-bit encoding: %s\n", bits,
+                res.encoding.to_string(cs.symbols()).c_str());
+    std::printf("cost: %d violated faces, %d cubes, %d literals\n",
+                res.cost.violated_faces, res.cost.cubes, res.cost.literals);
+    return 0;
+  }
+
+  const auto res = exact_encode(cs);
+  if (res.status == ExactEncodeResult::Status::kPrimeLimit) {
+    std::printf("prime generation exceeded its budget; retry bounded mode\n");
+    return 1;
+  }
+  std::printf("minimum code length: %d bits%s\n", res.encoding.bits,
+              res.minimal ? "" : " (upper bound; search budget exhausted)");
+  std::printf("codes: %s\n", res.encoding.to_string(cs.symbols()).c_str());
+  const auto v = verify_encoding(res.encoding, cs);
+  if (!v.empty()) {
+    std::printf("INTERNAL ERROR: verification failed: %s\n",
+                v[0].detail.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Espresso-format PLA minimizer — a thin front-end over the logic
+// substrate, interoperable with the Berkeley .pla format (type fd / fr).
+//
+//   $ ./pla_minimize in.pla > out.pla
+//   $ ./pla_minimize < in.pla
+//
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "logic/espresso.h"
+#include "logic/pla.h"
+#include "logic/urp.h"
+#include "util/timer.h"
+
+using namespace encodesat;
+
+int main(int argc, char** argv) {
+  Pla pla;
+  try {
+    if (argc > 1) {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        return 2;
+      }
+      pla = read_pla(in);
+    } else {
+      pla = read_pla(std::cin);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+
+  Timer t;
+  EspressoStats stats;
+  const Cover minimized = espresso(pla.on, pla.dc, {}, &stats);
+
+  // Sanity: the result must be equivalent modulo the DC-set.
+  if (!covers_equivalent(minimized, pla.on, pla.dc)) {
+    std::fprintf(stderr, "INTERNAL ERROR: minimized cover not equivalent\n");
+    return 1;
+  }
+  std::fprintf(stderr, "# %zu -> %zu cubes, %d literals, %d iterations, %.3fs\n",
+               stats.initial_cubes, stats.final_cubes,
+               minimized.input_literals(), stats.iterations,
+               t.elapsed_seconds());
+
+  Pla out = pla;
+  out.on = minimized;
+  out.dc = Cover(pla.domain);
+  out.type = "fd";
+  write_pla(std::cout, out);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "baseline/consensus_primes.h"
+
+#include <unordered_set>
+
+namespace encodesat {
+
+ConsensusPrimesResult consensus_prime_dichotomies(
+    const std::vector<Dichotomy>& ds, const ConsensusPrimesOptions& opts) {
+  ConsensusPrimesResult res;
+  std::vector<Dichotomy> work = ds;
+  dedupe_dichotomies(work);
+  std::unordered_set<Dichotomy, DichotomyHash> seen(work.begin(), work.end());
+
+  // Closure under union of compatible pairs.
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      ++res.merge_attempts;
+      if (!work[i].compatible(work[j])) continue;
+      Dichotomy u = work[i].union_with(work[j]);
+      if (seen.insert(u).second) {
+        work.push_back(std::move(u));
+        if (work.size() > opts.max_dichotomies) {
+          res.truncated = true;
+          return res;
+        }
+      }
+    }
+  }
+
+  // Keep the maximal elements: those covered (same orientation) by no other.
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    bool maximal = true;
+    for (std::size_t j = 0; j < work.size() && maximal; ++j) {
+      if (i == j) continue;
+      const bool strictly_larger =
+          work[i].left.is_subset_of(work[j].left) &&
+          work[i].right.is_subset_of(work[j].right) &&
+          !(work[i] == work[j]);
+      if (strictly_larger) maximal = false;
+    }
+    if (maximal) res.primes.push_back(work[i]);
+  }
+  dedupe_dichotomies(res.primes);
+  return res;
+}
+
+}  // namespace encodesat

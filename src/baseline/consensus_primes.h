@@ -1,0 +1,31 @@
+// Prime encoding-dichotomy generation by iterated pairwise merging — the
+// approach of Yang & Ciesielski [TCAD Jan 1991] / Tracey [1966] that
+// Section 5.1 replaces. Repeatedly unions compatible dichotomies until
+// closure, then keeps the maximal elements. Many different merge orders
+// produce the same prime, so the same prime is rediscovered over and over;
+// the ablation bench quantifies the waste against the cs/ps algorithm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dichotomy.h"
+
+namespace encodesat {
+
+struct ConsensusPrimesOptions {
+  /// Hard cap on the working set; generation reports truncation beyond it.
+  std::size_t max_dichotomies = 100000;
+};
+
+struct ConsensusPrimesResult {
+  std::vector<Dichotomy> primes;
+  bool truncated = false;
+  /// Pairwise merge attempts performed (the wasted-work metric).
+  std::size_t merge_attempts = 0;
+};
+
+ConsensusPrimesResult consensus_prime_dichotomies(
+    const std::vector<Dichotomy>& ds, const ConsensusPrimesOptions& opts = {});
+
+}  // namespace encodesat

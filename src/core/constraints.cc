@@ -1,0 +1,207 @@
+#include "core/constraints.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace encodesat {
+
+Bitset index_bitset(std::size_t n, const std::vector<std::uint32_t>& ids) {
+  Bitset b(n);
+  for (std::uint32_t id : ids) b.set(id);
+  return b;
+}
+
+std::vector<std::uint32_t> ConstraintSet::intern_all(
+    const std::vector<std::string>& names) {
+  std::vector<std::uint32_t> out;
+  out.reserve(names.size());
+  for (const auto& s : names) out.push_back(symbols_.intern(s));
+  return out;
+}
+
+void ConstraintSet::add_face(const std::vector<std::string>& members,
+                             const std::vector<std::string>& dontcares) {
+  faces_.push_back(FaceConstraint{intern_all(members), intern_all(dontcares)});
+}
+
+void ConstraintSet::add_dominance(const std::string& dominator,
+                                  const std::string& dominated) {
+  dominances_.push_back(
+      DominanceConstraint{symbols_.intern(dominator), symbols_.intern(dominated)});
+}
+
+void ConstraintSet::add_disjunctive(const std::string& parent,
+                                    const std::vector<std::string>& children) {
+  disjunctives_.push_back(
+      DisjunctiveConstraint{symbols_.intern(parent), intern_all(children)});
+}
+
+void ConstraintSet::add_extended_disjunctive(
+    const std::string& parent,
+    const std::vector<std::vector<std::string>>& conjunctions) {
+  ExtendedDisjunctiveConstraint c;
+  c.parent = symbols_.intern(parent);
+  for (const auto& conj : conjunctions) c.conjunctions.push_back(intern_all(conj));
+  extended_.push_back(std::move(c));
+}
+
+void ConstraintSet::add_distance2(const std::string& a, const std::string& b) {
+  distance2s_.push_back(
+      Distance2Constraint{symbols_.intern(a), symbols_.intern(b)});
+}
+
+void ConstraintSet::add_nonface(const std::vector<std::string>& members) {
+  nonfaces_.push_back(NonFaceConstraint{intern_all(members)});
+}
+
+void ConstraintSet::add_face_ids(std::vector<std::uint32_t> members,
+                                 std::vector<std::uint32_t> dontcares) {
+  faces_.push_back(FaceConstraint{std::move(members), std::move(dontcares)});
+}
+
+void ConstraintSet::add_dominance_ids(std::uint32_t dominator,
+                                      std::uint32_t dominated) {
+  dominances_.push_back(DominanceConstraint{dominator, dominated});
+}
+
+void ConstraintSet::add_disjunctive_ids(std::uint32_t parent,
+                                        std::vector<std::uint32_t> children) {
+  disjunctives_.push_back(DisjunctiveConstraint{parent, std::move(children)});
+}
+
+std::string ConstraintSet::to_string() const {
+  std::ostringstream out;
+  auto emit_names = [&](const std::vector<std::uint32_t>& ids) {
+    for (std::uint32_t id : ids) out << ' ' << symbols_.name(id);
+  };
+  for (const auto& f : faces_) {
+    out << "face";
+    emit_names(f.members);
+    if (!f.dontcares.empty()) {
+      out << " [";
+      for (std::size_t i = 0; i < f.dontcares.size(); ++i)
+        out << (i ? " " : "") << symbols_.name(f.dontcares[i]);
+      out << " ]";
+    }
+    out << '\n';
+  }
+  for (const auto& d : dominances_)
+    out << "dominance " << symbols_.name(d.dominator) << ' '
+        << symbols_.name(d.dominated) << '\n';
+  for (const auto& d : disjunctives_) {
+    out << "disjunctive " << symbols_.name(d.parent);
+    emit_names(d.children);
+    out << '\n';
+  }
+  for (const auto& e : extended_) {
+    out << "extdisjunctive " << symbols_.name(e.parent) << " :";
+    for (std::size_t i = 0; i < e.conjunctions.size(); ++i) {
+      if (i) out << " |";
+      emit_names(e.conjunctions[i]);
+    }
+    out << '\n';
+  }
+  for (const auto& d : distance2s_)
+    out << "distance2 " << symbols_.name(d.a) << ' ' << symbols_.name(d.b)
+        << '\n';
+  for (const auto& nf : nonfaces_) {
+    out << "nonface";
+    emit_names(nf.members);
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_error(int line_no, const std::string& msg) {
+  throw std::runtime_error("constraint parse error at line " +
+                           std::to_string(line_no) + ": " + msg);
+}
+
+}  // namespace
+
+ConstraintSet parse_constraints(const std::string& text) {
+  ConstraintSet cs;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line{trim(raw)};
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = std::string{trim(line.substr(0, hash))};
+    if (line.empty()) continue;
+
+    auto tok = split_ws(line);
+    const std::string kind = tok[0];
+    const std::vector<std::string> args(tok.begin() + 1, tok.end());
+
+    if (kind == "symbol") {
+      if (args.size() != 1) parse_error(line_no, "symbol takes one name");
+      cs.symbols().intern(args[0]);
+    } else if (kind == "face") {
+      std::vector<std::string> members, dontcares;
+      bool in_dc = false;
+      for (std::string a : args) {
+        // Brackets may be glued to names: "[c" or "d]".
+        bool open = false, close = false;
+        if (!a.empty() && a.front() == '[') {
+          open = true;
+          a.erase(a.begin());
+        }
+        if (!a.empty() && a.back() == ']') {
+          close = true;
+          a.pop_back();
+        }
+        if (open) {
+          if (in_dc) parse_error(line_no, "nested '['");
+          in_dc = true;
+        }
+        if (!a.empty()) (in_dc ? dontcares : members).push_back(a);
+        if (close) {
+          if (!in_dc) parse_error(line_no, "']' without '['");
+          in_dc = false;
+        }
+      }
+      if (in_dc) parse_error(line_no, "unterminated '['");
+      if (members.size() < 2)
+        parse_error(line_no, "face needs at least two (non-don't-care) members");
+      cs.add_face(members, dontcares);
+    } else if (kind == "dominance") {
+      if (args.size() != 2) parse_error(line_no, "dominance takes two names");
+      if (args[0] == args[1]) parse_error(line_no, "dominance of a symbol over itself");
+      cs.add_dominance(args[0], args[1]);
+    } else if (kind == "disjunctive") {
+      if (args.size() < 3)
+        parse_error(line_no, "disjunctive takes a parent and >= 2 children");
+      cs.add_disjunctive(args[0], {args.begin() + 1, args.end()});
+    } else if (kind == "extdisjunctive") {
+      if (args.size() < 3 || args[1] != ":")
+        parse_error(line_no, "expected: extdisjunctive parent : c1 c2 | c3 c4");
+      std::vector<std::vector<std::string>> conjs(1);
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "|")
+          conjs.emplace_back();
+        else
+          conjs.back().push_back(args[i]);
+      }
+      for (const auto& c : conjs)
+        if (c.empty()) parse_error(line_no, "empty conjunction");
+      cs.add_extended_disjunctive(args[0], conjs);
+    } else if (kind == "distance2") {
+      if (args.size() != 2) parse_error(line_no, "distance2 takes two names");
+      cs.add_distance2(args[0], args[1]);
+    } else if (kind == "nonface") {
+      if (args.size() < 2) parse_error(line_no, "nonface needs >= 2 members");
+      cs.add_nonface(args);
+    } else {
+      parse_error(line_no, "unknown constraint kind '" + kind + "'");
+    }
+  }
+  return cs;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,50 @@
+#include "core/dichotomy.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace encodesat {
+
+Dichotomy Dichotomy::make(std::size_t n, const std::vector<std::uint32_t>& l,
+                          const std::vector<std::uint32_t>& r) {
+  Dichotomy d(n);
+  for (auto s : l) d.left.set(s);
+  for (auto s : r) d.right.set(s);
+  assert(d.well_formed());
+  return d;
+}
+
+Dichotomy Dichotomy::union_with(const Dichotomy& o) const {
+  assert(compatible(o));
+  return Dichotomy{left | o.left, right | o.right};
+}
+
+std::string Dichotomy::to_string(const SymbolTable& symbols) const {
+  std::string s = "(";
+  bool first = true;
+  left.for_each([&](std::size_t i) {
+    if (!first) s += ' ';
+    s += symbols.name(static_cast<std::uint32_t>(i));
+    first = false;
+  });
+  s += ';';
+  first = true;
+  right.for_each([&](std::size_t i) {
+    s += first ? " " : " ";
+    s += symbols.name(static_cast<std::uint32_t>(i));
+    first = false;
+  });
+  s += ')';
+  return s;
+}
+
+void dedupe_dichotomies(std::vector<Dichotomy>& ds) {
+  std::unordered_set<Dichotomy, DichotomyHash> seen;
+  std::vector<Dichotomy> kept;
+  kept.reserve(ds.size());
+  for (auto& d : ds)
+    if (seen.insert(d).second) kept.push_back(std::move(d));
+  ds = std::move(kept);
+}
+
+}  // namespace encodesat

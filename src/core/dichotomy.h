@@ -1,0 +1,85 @@
+// Encoding-dichotomies (Definitions 3.1-3.6 of the paper).
+//
+// An encoding-dichotomy is an ordered 2-block partial partition of the
+// symbols: symbols in the left block get bit 0 in the generated encoding
+// column, symbols in the right block get bit 1. Unlike Tracey's unordered
+// dichotomies, the orientation matters — that is what lets output
+// (dominance/disjunctive) constraints be expressed as validity conditions
+// on dichotomies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/symbols.h"
+#include "util/bitset.h"
+
+namespace encodesat {
+
+struct Dichotomy {
+  Bitset left;
+  Bitset right;
+
+  Dichotomy() = default;
+  explicit Dichotomy(std::size_t n) : left(n), right(n) {}
+
+  static Dichotomy make(std::size_t n, const std::vector<std::uint32_t>& l,
+                        const std::vector<std::uint32_t>& r);
+
+  std::size_t universe() const { return left.size(); }
+
+  /// A well-formed dichotomy has disjoint blocks.
+  bool well_formed() const { return !left.intersects(right); }
+
+  /// Symbols placed in either block.
+  Bitset placed() const { return left | right; }
+
+  bool in_left(std::uint32_t s) const { return left.test(s); }
+  bool in_right(std::uint32_t s) const { return right.test(s); }
+  bool places(std::uint32_t s) const { return in_left(s) || in_right(s); }
+
+  /// Definition 3.2: compatible iff left/right blocks do not clash
+  /// (orientation-sensitive).
+  bool compatible(const Dichotomy& o) const {
+    return !left.intersects(o.right) && !right.intersects(o.left);
+  }
+
+  /// Definition 3.3: union of compatible dichotomies (caller must ensure
+  /// compatibility; asserted in debug builds).
+  Dichotomy union_with(const Dichotomy& o) const;
+
+  /// Definition 3.4: d covers o if o's blocks are subsets of d's blocks in
+  /// either the same or the swapped orientation.
+  bool covers(const Dichotomy& o) const {
+    return (o.left.is_subset_of(left) && o.right.is_subset_of(right)) ||
+           (o.left.is_subset_of(right) && o.right.is_subset_of(left));
+  }
+
+  /// The same bipartition with the opposite bit orientation.
+  Dichotomy flipped() const { return Dichotomy{right, left}; }
+
+  bool operator==(const Dichotomy& o) const {
+    return left == o.left && right == o.right;
+  }
+  bool operator<(const Dichotomy& o) const {
+    return left != o.left ? left < o.left : right < o.right;
+  }
+
+  /// "(s0 s2; s1)" rendering using symbol names.
+  std::string to_string(const SymbolTable& symbols) const;
+
+ private:
+  Dichotomy(Bitset l, Bitset r) : left(std::move(l)), right(std::move(r)) {}
+};
+
+struct DichotomyHash {
+  std::size_t operator()(const Dichotomy& d) const {
+    return d.left.hash() * 1000003u ^ d.right.hash();
+  }
+};
+
+/// Removes duplicate dichotomies, preserving first occurrences.
+void dedupe_dichotomies(std::vector<Dichotomy>& ds);
+
+}  // namespace encodesat

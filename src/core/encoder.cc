@@ -1,0 +1,138 @@
+#include "core/encoder.h"
+
+#include <algorithm>
+
+#include "core/output_rules.h"
+#include "core/verify.h"
+
+namespace encodesat {
+
+namespace {
+
+// Builds D from I: delete invalid dichotomies, raise the survivors to their
+// maximal form, delete any that became invalid, and deduplicate.
+std::vector<Dichotomy> valid_raised_set(
+    const std::vector<InitialDichotomy>& initial, const ConstraintSet& cs) {
+  std::vector<Dichotomy> d;
+  d.reserve(initial.size());
+  for (const auto& i : initial) {
+    if (!dichotomy_valid(i.dichotomy, cs)) continue;
+    Dichotomy raised = i.dichotomy;
+    if (!raise_dichotomy(raised, cs)) continue;
+    if (!dichotomy_valid(raised, cs)) continue;
+    d.push_back(std::move(raised));
+  }
+  dedupe_dichotomies(d);
+  return d;
+}
+
+std::vector<std::size_t> uncovered_initials(
+    const std::vector<InitialDichotomy>& initial,
+    const std::vector<Dichotomy>& d) {
+  std::vector<std::size_t> uncovered;
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    bool covered = false;
+    for (const auto& raised : d) {
+      if (raised.covers(initial[i].dichotomy)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) uncovered.push_back(i);
+  }
+  return uncovered;
+}
+
+}  // namespace
+
+FeasibilityResult check_feasible(const ConstraintSet& cs) {
+  FeasibilityResult res;
+  res.initial = generate_initial_dichotomies(cs);
+  res.raised = valid_raised_set(res.initial, cs);
+  res.uncovered = uncovered_initials(res.initial, res.raised);
+  res.feasible = res.uncovered.empty();
+  return res;
+}
+
+ExactEncodeResult exact_encode(const ConstraintSet& cs,
+                               const ExactEncodeOptions& opts) {
+  ExactEncodeResult res;
+  const std::uint32_t n = cs.num_symbols();
+
+  const auto initial = generate_initial_dichotomies(cs);
+  res.num_initial = initial.size();
+
+  std::vector<Dichotomy> d = valid_raised_set(initial, cs);
+  res.num_raised = d.size();
+
+  res.uncovered = uncovered_initials(initial, d);
+  if (!res.uncovered.empty()) {
+    res.status = ExactEncodeResult::Status::kInfeasible;
+    return res;
+  }
+
+  // Trivial but legal corner: one symbol, no constraints to separate.
+  if (n <= 1) {
+    res.status = ExactEncodeResult::Status::kEncoded;
+    res.encoding.bits = n == 0 ? 0 : 1;
+    res.encoding.codes.assign(n, 0);
+    return res;
+  }
+
+  PrimeGenResult pg = generate_prime_dichotomies(d, opts.prime_options);
+  if (pg.truncated) {
+    res.status = ExactEncodeResult::Status::kPrimeLimit;
+    return res;
+  }
+  res.num_primes = pg.primes.size();
+
+  // Keep only primes that still satisfy the output constraints. A union of
+  // valid dichotomies can trip an implication none of its constituents did
+  // (e.g. scatter all children of a right-block disjunctive parent into the
+  // left block), so each prime is also re-raised to its maximal form —
+  // required for the default-to-right code derivation of Theorem 6.1.
+  std::vector<Dichotomy> candidates;
+  candidates.reserve(pg.primes.size() + d.size());
+  for (Dichotomy& p : pg.primes) {
+    if (!dichotomy_valid(p, cs)) continue;
+    if (!raise_dichotomy(p, cs)) continue;
+    if (!dichotomy_valid(p, cs)) continue;
+    candidates.push_back(std::move(p));
+  }
+  res.num_valid_primes = candidates.size();
+  // Safety net: the valid maximally raised dichotomies themselves remain
+  // legal columns (Theorem 6.1 proves they suffice for feasibility), so a
+  // prime lost to post-union validity filtering never costs us a solution.
+  for (const Dichotomy& raised : d) candidates.push_back(raised);
+  dedupe_dichotomies(candidates);
+
+  // Exact unate covering: rows = initial dichotomies, columns = candidates.
+  UnateCoverProblem problem;
+  problem.num_columns = candidates.size();
+  problem.rows.reserve(initial.size());
+  for (const auto& i : initial) {
+    Bitset row(problem.num_columns);
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+      if (candidates[c].covers(i.dichotomy)) row.set(c);
+    problem.rows.push_back(std::move(row));
+  }
+  const UnateCoverSolution cover =
+      solve_unate_cover(problem, opts.cover_options);
+  if (!cover.feasible) {
+    // Cannot happen when the feasibility check passed (Theorem 6.1), but
+    // report honestly rather than asserting in release builds.
+    res.status = ExactEncodeResult::Status::kInfeasible;
+    return res;
+  }
+
+  std::vector<Dichotomy> columns;
+  columns.reserve(cover.columns.size());
+  for (std::size_t c : cover.columns) columns.push_back(candidates[c]);
+
+  res.status = ExactEncodeResult::Status::kEncoded;
+  res.minimal = cover.optimal;
+  res.encoding = derive_codes(n, columns);
+  return res;
+}
+
+}  // namespace encodesat

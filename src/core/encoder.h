@@ -1,0 +1,65 @@
+// The paper's core algorithms: feasibility of mixed input/output
+// constraints (Figure 6, Theorem 6.1 — problem P-1) and exact
+// minimum-length encoding (Figure 7, Theorem 6.2 — problem P-2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/dichotomy.h"
+#include "core/encoding.h"
+#include "core/generate.h"
+#include "core/primes.h"
+#include "covering/unate.h"
+
+namespace encodesat {
+
+struct FeasibilityResult {
+  bool feasible = false;
+  /// Indices (into the initial dichotomy list) left uncovered by every
+  /// valid maximally raised dichotomy; empty iff feasible.
+  std::vector<std::size_t> uncovered;
+  /// The initial dichotomies (I) and the valid maximally raised set (D),
+  /// exposed for diagnostics and for the worked-example benches.
+  std::vector<InitialDichotomy> initial;
+  std::vector<Dichotomy> raised;
+};
+
+/// P-1 in time polynomial in symbols × constraints: generate I, delete
+/// invalid dichotomies, raise the survivors maximally, delete any that
+/// became invalid, and check that every i ∈ I is covered by some d ∈ D.
+FeasibilityResult check_feasible(const ConstraintSet& cs);
+
+struct ExactEncodeOptions {
+  PrimeGenOptions prime_options;
+  UnateCoverOptions cover_options;
+};
+
+struct ExactEncodeResult {
+  enum class Status {
+    kEncoded,       ///< feasible; `encoding` holds a minimum-length solution
+    kInfeasible,    ///< the constraints cannot all be satisfied
+    kPrimeLimit,    ///< prime generation exceeded the term budget
+  };
+  Status status = Status::kInfeasible;
+  Encoding encoding;
+  /// Covering-solver proof of minimality (false if the node budget ran out,
+  /// in which case `encoding` is still valid but possibly not minimum).
+  bool minimal = true;
+
+  // Statistics mirroring Table 1's columns.
+  std::size_t num_initial = 0;
+  std::size_t num_raised = 0;
+  std::size_t num_primes = 0;
+  std::size_t num_valid_primes = 0;
+  std::vector<std::size_t> uncovered;  ///< set when infeasible
+};
+
+/// P-2: exact minimum-length encoding satisfying all input and output
+/// constraints (distance-2 and non-face constraints are handled by
+/// solve_with_extensions in extensions.h; this routine ignores them).
+ExactEncodeResult exact_encode(const ConstraintSet& cs,
+                               const ExactEncodeOptions& opts = {});
+
+}  // namespace encodesat

@@ -1,0 +1,36 @@
+#include "core/encoding.h"
+
+namespace encodesat {
+
+std::string Encoding::code_string(std::uint32_t symbol) const {
+  std::string s;
+  for (int b = bits - 1; b >= 0; --b)
+    s += ((codes[symbol] >> b) & 1u) ? '1' : '0';
+  return s;
+}
+
+std::string Encoding::to_string(const SymbolTable& symbols) const {
+  std::string s;
+  for (std::uint32_t i = 0; i < num_symbols(); ++i) {
+    if (i) s += ", ";
+    s += symbols.name(i);
+    s += " = ";
+    s += code_string(i);
+  }
+  return s;
+}
+
+Encoding derive_codes(std::uint32_t num_symbols,
+                      const std::vector<Dichotomy>& columns) {
+  Encoding enc;
+  enc.bits = static_cast<int>(columns.size());
+  enc.codes.assign(num_symbols, 0);
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const Dichotomy& d = columns[j];
+    for (std::uint32_t s = 0; s < num_symbols; ++s)
+      if (!d.in_left(s)) enc.codes[s] |= std::uint64_t{1} << j;
+  }
+  return enc;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,37 @@
+// The result of an encoding run: one binary code per symbol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dichotomy.h"
+#include "core/symbols.h"
+
+namespace encodesat {
+
+struct Encoding {
+  /// Code length in bits (codes are stored in the low `bits` of each word,
+  /// bit 0 = the first encoding column).
+  int bits = 0;
+  std::vector<std::uint64_t> codes;  ///< codes[symbol]
+
+  std::uint32_t num_symbols() const {
+    return static_cast<std::uint32_t>(codes.size());
+  }
+
+  /// MSB-first bit string of a symbol's code, e.g. "101".
+  std::string code_string(std::uint32_t symbol) const;
+
+  /// "a = 11, b = 01, ..." rendering.
+  std::string to_string(const SymbolTable& symbols) const;
+};
+
+/// Derives an encoding from selected dichotomy columns: column j gives bit
+/// j, left block = 0, right block = 1. Symbols unplaced by a column default
+/// to the right block — valid for maximally raised columns by the argument
+/// in the proof of Theorem 6.1.
+Encoding derive_codes(std::uint32_t num_symbols,
+                      const std::vector<Dichotomy>& columns);
+
+}  // namespace encodesat

@@ -1,0 +1,72 @@
+#include "core/local_check.h"
+
+#include <vector>
+
+#include "core/generate.h"
+#include "core/output_rules.h"
+
+namespace encodesat {
+
+namespace {
+
+// Detects a directed cycle (of length >= 2) in the dominance digraph.
+bool has_strict_dominance_cycle(std::size_t n,
+                                const std::vector<std::pair<std::uint32_t,
+                                                            std::uint32_t>>&
+                                    edges) {
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (const auto& [a, b] : edges)
+    if (a != b) adj[a].push_back(b);
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<int> color(n, 0);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[u].size()) {
+        const std::uint32_t v = adj[u][next++];
+        if (color[v] == 1) return true;
+        if (color[v] == 0) {
+          color[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool local_consistency_feasible(const ConstraintSet& cs) {
+  // Dominance edges, plus parent-over-child edges implied by disjunctives.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const auto& d : cs.dominances())
+    edges.emplace_back(d.dominator, d.dominated);
+  for (const auto& d : cs.disjunctives())
+    for (auto c : d.children) edges.emplace_back(d.parent, c);
+  if (has_strict_dominance_cycle(cs.num_symbols(), edges)) return false;
+
+  // Mutual dominance between distinct symbols forces equal codes.
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    for (std::size_t j = i + 1; j < edges.size(); ++j)
+      if (edges[i].first == edges[j].second &&
+          edges[i].second == edges[j].first)
+        return false;
+
+  // Every initial dichotomy must have some locally valid orientation.
+  for (const auto& i : generate_initial_dichotomies(cs)) {
+    if (dichotomy_valid(i.dichotomy, cs)) continue;
+    if (dichotomy_valid(i.dichotomy.flipped(), cs)) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,26 @@
+// A local-consistency feasibility check in the spirit of the algorithm of
+// Devadas & Newton ("Exact algorithms for output encoding, state assignment
+// and four-level Boolean minimization", IEEE TCAD Jan 1991), which the
+// paper's Section 6.2 proves incomplete by the counterexample of Figure 4.
+//
+// The check verifies only pairwise/local conditions:
+//  - the dominance relation (including the dominances implied by
+//    disjunctive parents over their children) contains no cycle between
+//    distinct symbols;
+//  - no two symbols dominate each other (which would force equal codes);
+//  - every initial encoding-dichotomy has at least one orientation that
+//    does not itself violate an output constraint.
+// These conditions are necessary but not sufficient: they miss conflicts
+// that only appear after transitively raising dichotomies, so the routine
+// answers "feasible" on Figure 4's constraint set while check_feasible
+// correctly answers "infeasible". It exists as the comparison baseline for
+// the Figure 4 bench/tests.
+#pragma once
+
+#include "core/constraints.h"
+
+namespace encodesat {
+
+bool local_consistency_feasible(const ConstraintSet& cs);
+
+}  // namespace encodesat

@@ -1,0 +1,110 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace encodesat {
+
+namespace {
+
+std::vector<std::uint32_t> sorted(std::vector<std::uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+NormalizeStats normalize_constraints(ConstraintSet& cs) {
+  NormalizeStats stats;
+  const std::size_t n = cs.num_symbols();
+
+  // --- Faces: dedupe + drop trivial --------------------------------------
+  {
+    std::set<std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>>
+        seen;
+    std::vector<FaceConstraint> kept;
+    for (FaceConstraint& f : cs.faces()) {
+      f.members = sorted(std::move(f.members));
+      f.dontcares = sorted(std::move(f.dontcares));
+      if (f.members.size() < 2 ||
+          f.members.size() + f.dontcares.size() >= n) {
+        ++stats.trivial_faces;
+        continue;
+      }
+      if (!seen.insert({f.members, f.dontcares}).second) {
+        ++stats.duplicate_faces;
+        continue;
+      }
+      kept.push_back(std::move(f));
+    }
+    cs.faces() = std::move(kept);
+  }
+
+  // --- Dominances: dedupe + transitive reduction -------------------------
+  {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (const auto& d : cs.dominances()) {
+      if (!edges.insert({d.dominator, d.dominated}).second)
+        ++stats.duplicate_dominances;
+    }
+    // Reachability via at least two edges: a > b is redundant if a reaches
+    // b through an intermediate node (the relation is transitive on codes).
+    // Checking every edge against the ORIGINAL set is the classical DAG
+    // transitive reduction, sound for acyclic dominance graphs; two edges
+    // can only justify each other's removal through a dominance cycle, and
+    // a cycle of distinct symbols is infeasible regardless (equal codes),
+    // which the reduction preserves (the pure cycle edges are never
+    // removed — each is its vertex's only exit).
+    auto reaches_via = [&](std::uint32_t a, std::uint32_t b) {
+      // DFS from a over the edge set minus the direct edge (a, b).
+      std::vector<std::uint32_t> stack;
+      std::vector<bool> seen(n, false);
+      stack.push_back(a);
+      seen[a] = true;
+      while (!stack.empty()) {
+        const std::uint32_t u = stack.back();
+        stack.pop_back();
+        for (const auto& [x, y] : edges) {
+          if (x != u || (x == a && y == b)) continue;
+          if (y == b) return true;
+          if (!seen[y]) {
+            seen[y] = true;
+            stack.push_back(y);
+          }
+        }
+      }
+      return false;
+    };
+    std::vector<DominanceConstraint> kept;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> emitted;
+    for (const auto& [a, b] : edges) {
+      if (reaches_via(a, b)) {
+        ++stats.transitive_dominances;
+        continue;
+      }
+      kept.push_back(DominanceConstraint{a, b});
+    }
+    cs.dominances() = std::move(kept);
+  }
+
+  // --- Disjunctives: dedupe ----------------------------------------------
+  {
+    std::set<std::pair<std::uint32_t, std::vector<std::uint32_t>>> seen;
+    std::vector<DisjunctiveConstraint> kept;
+    for (DisjunctiveConstraint& d : cs.disjunctives()) {
+      d.children = sorted(std::move(d.children));
+      if (!seen.insert({d.parent, d.children}).second) {
+        ++stats.duplicate_disjunctives;
+        continue;
+      }
+      kept.push_back(std::move(d));
+    }
+    cs.disjunctives() = std::move(kept);
+  }
+  return stats;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,30 @@
+// Constraint-set normalization: removes redundancy a symbolic minimizer's
+// output typically carries, without changing the set of satisfying
+// encodings. Useful before feeding large generated sets to the encoders
+// (fewer constraints = fewer initial dichotomies = smaller prime spaces).
+#pragma once
+
+#include "core/constraints.h"
+
+namespace encodesat {
+
+struct NormalizeStats {
+  std::size_t duplicate_faces = 0;
+  std::size_t trivial_faces = 0;       ///< < 2 members, or members+dc = all
+  std::size_t duplicate_dominances = 0;
+  std::size_t transitive_dominances = 0;  ///< implied by a chain of others
+  std::size_t duplicate_disjunctives = 0;
+};
+
+/// Normalizes in place:
+///  - deduplicates face constraints (same member and don't-care sets) and
+///    drops trivial ones (fewer than two members, or covering every symbol
+///    so no dichotomy is ever generated);
+///  - deduplicates dominance constraints and removes those implied by
+///    transitivity through other dominances (a>b, b>c make a>c redundant);
+///  - deduplicates disjunctive constraints (same parent and child set).
+/// Extended disjunctive, distance-2 and non-face constraints are left
+/// untouched. Returns what was removed.
+NormalizeStats normalize_constraints(ConstraintSet& cs);
+
+}  // namespace encodesat

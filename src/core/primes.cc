@@ -1,0 +1,186 @@
+#include "core/primes.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace encodesat {
+
+namespace {
+
+// Keeps only the minimal terms (no kept term is a superset of another):
+// absorption x + xy = x for a unate SOP, i.e. single-cube containment.
+// Duplicates are removed by hashing first; the quadratic subset scan then
+// only runs on distinct terms, smallest first.
+void keep_minimal_terms(std::vector<Bitset>& terms) {
+  {
+    std::unordered_set<Bitset, BitsetHash> seen;
+    std::vector<Bitset> unique;
+    unique.reserve(terms.size());
+    for (Bitset& t : terms)
+      if (seen.insert(t).second) unique.push_back(std::move(t));
+    terms = std::move(unique);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const Bitset& a, const Bitset& b) {
+              return a.count() < b.count();
+            });
+  std::vector<Bitset> kept;
+  kept.reserve(terms.size());
+  for (const Bitset& t : terms) {
+    bool absorbed = false;
+    for (const Bitset& k : kept) {
+      if (k.is_subset_of(t)) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) kept.push_back(t);
+  }
+  terms = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
+                                           std::size_t max_terms,
+                                           bool* truncated,
+                                           std::uint64_t max_work) {
+  const std::size_t m = incompat.size();
+  if (truncated) *truncated = false;
+
+  // Peel variables one at a time (the cs recursion, iteratively): at each
+  // step remove the remaining variable x of maximum residual degree
+  // together with its incident sums, remembering (x, neighbours(x)).
+  std::vector<Bitset> residual = incompat;
+  std::vector<std::pair<std::size_t, Bitset>> splits;
+  std::vector<std::size_t> degree(m, 0);
+  for (std::size_t i = 0; i < m; ++i) degree[i] = residual[i].count();
+
+  while (true) {
+    std::size_t x = m;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (degree[i] > best) {
+        best = degree[i];
+        x = i;
+      }
+    if (x == m) break;  // no edges left
+    splits.emplace_back(x, residual[x]);
+    // Remove every sum containing x.
+    residual[x].for_each([&](std::size_t j) {
+      residual[j].reset(x);
+      degree[j] = residual[j].count();
+    });
+    residual[x] = Bitset(m);
+    degree[x] = 0;
+  }
+
+  // Fold back: SOP := ps(x_expr, SOP) from the innermost split outwards.
+  // x_expr = x + Π neighbours(x), so each term either gains {x} or gains
+  // the neighbour set; single-cube containment keeps the result minimal.
+  std::vector<Bitset> sop;
+  {
+    Bitset empty(m);
+    sop.push_back(empty);  // cs of the empty expression is the constant 1
+  }
+  std::uint64_t work = 0;
+  const std::uint64_t words = (m + 63) / 64;
+  for (auto it = splits.rbegin(); it != splits.rend(); ++it) {
+    const std::size_t x = it->first;
+    const Bitset& nbrs = it->second;
+    // Work accounting (in bitset word operations, upper bound): the
+    // absorption scans below cost about |B|^2/2 + |A|*|B| pairwise subset
+    // checks of `words` words each for this fold.
+    work += (static_cast<std::uint64_t>(sop.size()) * sop.size() * 3 / 2) *
+            words;
+    if (work > max_work) {
+      if (truncated) *truncated = true;
+      return {};
+    }
+    // Bail out before paying the absorption scan on a hopeless blow-up:
+    // absorption at most halves the set, so 2x over budget cannot recover.
+    if (sop.size() > max_terms) {
+      if (truncated) *truncated = true;
+      return {};
+    }
+    // next = {t ∪ {x}} ∪ {t ∪ N}. Structure exploited for absorption:
+    // terms never contain x before this fold (x was peeled first), so the
+    // {t ∪ {x}} half inherits the SOP's pairwise incomparability verbatim
+    // and no term of it can absorb a {t ∪ N} term (those lack x). Only the
+    // {t ∪ N} half needs internal minimization, after which its terms are
+    // checked against the {t ∪ {x}} half.
+    std::vector<Bitset> with_nbrs;
+    with_nbrs.reserve(sop.size());
+    for (const Bitset& t : sop) {
+      Bitset b = t;
+      b |= nbrs;
+      with_nbrs.push_back(std::move(b));
+    }
+    keep_minimal_terms(with_nbrs);
+
+    std::vector<Bitset> next;
+    next.reserve(sop.size() + with_nbrs.size());
+    for (const Bitset& t : sop) {
+      Bitset a = t;
+      a.set(x);
+      bool absorbed = false;
+      for (const Bitset& b : with_nbrs) {
+        if (b.is_subset_of(a)) {
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) next.push_back(std::move(a));
+    }
+    for (Bitset& b : with_nbrs) next.push_back(std::move(b));
+    if (next.size() > max_terms) {
+      if (truncated) *truncated = true;
+      return {};
+    }
+    sop = std::move(next);
+  }
+  return sop;
+}
+
+PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
+                                          const PrimeGenOptions& opts) {
+  PrimeGenResult result;
+  if (ds.empty()) return result;
+  const std::size_t m = ds.size();
+
+  std::vector<Bitset> incompat(m, Bitset(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (!ds[i].compatible(ds[j])) {
+        incompat[i].set(j);
+        incompat[j].set(i);
+      }
+    }
+  }
+
+  bool truncated = false;
+  std::vector<Bitset> sop = two_cnf_to_minimal_sop(
+      incompat, opts.max_terms, &truncated, opts.max_work);
+  if (truncated) {
+    result.truncated = true;
+    return result;
+  }
+  result.num_terms = sop.size();
+
+  // Each SOP term is a minimal deletion set; the variables missing from it
+  // form a maximal compatible whose union is a prime encoding-dichotomy.
+  result.primes.reserve(sop.size());
+  for (const Bitset& term : sop) {
+    Dichotomy prime(ds[0].universe());
+    for (std::size_t i = 0; i < m; ++i) {
+      if (term.test(i)) continue;
+      prime.left |= ds[i].left;
+      prime.right |= ds[i].right;
+    }
+    result.primes.push_back(std::move(prime));
+  }
+  dedupe_dichotomies(result.primes);
+  return result;
+}
+
+}  // namespace encodesat

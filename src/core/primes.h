@@ -1,0 +1,54 @@
+// Prime encoding-dichotomy generation (Section 5.1, Figure 2).
+//
+// Each prime encoding-dichotomy is a maximal compatible of the given
+// dichotomies. Following Marcus (1964), the pairwise incompatibilities form
+// a product of two-literal sums (a 2-CNF); rewriting it as an irredundant
+// sum-of-products yields the minimal "deletion sets", whose complements are
+// the maximal compatibles. The paper's contribution is the `cs`/`ps`
+// recursion that performs the rewrite with a linear number of splits: the
+// product of all sums containing the splitting variable x simplifies to
+// (x + Π neighbours(x)); that two-term expression is multiplied into the
+// recursive result for the remaining sums and minimized by single-cube
+// containment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dichotomy.h"
+#include "util/bitset.h"
+
+namespace encodesat {
+
+struct PrimeGenOptions {
+  /// Abort when the intermediate SOP exceeds this many terms (the paper's
+  /// Table 1 cuts off at 50000 primes for `planet` and `vmecont`).
+  std::size_t max_terms = 200000;
+  /// Work budget in bitset word operations (upper bound) across all folds; an SOP
+  /// that hovers just below max_terms for thousands of folds is as hopeless
+  /// as one that exceeds it, and this bound catches that deterministically.
+  std::uint64_t max_work = 500'000'000'000;
+};
+
+struct PrimeGenResult {
+  /// Maximal-compatible unions, deduplicated; empty if truncated.
+  std::vector<Dichotomy> primes;
+  bool truncated = false;
+  /// Number of terms in the final SOP (= number of maximal compatibles).
+  std::size_t num_terms = 0;
+};
+
+/// Generates all prime encoding-dichotomies of `ds` (which must all share
+/// one universe and be well formed). Exact duplicates in `ds` are tolerated.
+PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
+                                          const PrimeGenOptions& opts = {});
+
+/// Exposed for tests and the Figure 3 bench: converts a 2-CNF given as
+/// adjacency sets (edge {i,j} iff incompat[i].test(j)) into the minimal SOP
+/// term list via the cs/ps recursion. Terms are Bitsets over num_vars.
+std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
+                                           std::size_t max_terms,
+                                           bool* truncated,
+                                           std::uint64_t max_work = ~0ull);
+
+}  // namespace encodesat

@@ -1,0 +1,23 @@
+#include "core/symbols.h"
+
+#include <stdexcept>
+
+namespace encodesat {
+
+std::uint32_t SymbolTable::intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+std::uint32_t SymbolTable::at(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end())
+    throw std::out_of_range("unknown symbol: " + name);
+  return it->second;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,36 @@
+// Symbol table: maps the names of symbols to be encoded (states, symbolic
+// input/output values) to dense indices used by every core algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace encodesat {
+
+class SymbolTable {
+ public:
+  /// Returns the index of name, inserting it if new.
+  std::uint32_t intern(const std::string& name);
+
+  /// Returns the index of name or throws std::out_of_range.
+  std::uint32_t at(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return index_.count(name) != 0;
+  }
+
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace encodesat

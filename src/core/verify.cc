@@ -1,0 +1,157 @@
+#include "core/verify.h"
+
+#include <bit>
+
+namespace encodesat {
+
+namespace {
+
+// The minimal face spanned by a set of codes is described by the bit
+// positions where all codes agree (fixed) and their common value there.
+struct Face {
+  std::uint64_t fixed_mask = 0;  ///< positions identical across all codes
+  std::uint64_t fixed_value = 0;
+};
+
+Face span_face(const Encoding& enc, const std::vector<std::uint32_t>& ids) {
+  const std::uint64_t width_mask =
+      enc.bits >= 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << enc.bits) - 1);
+  Face f;
+  f.fixed_mask = width_mask;
+  bool first = true;
+  std::uint64_t ref = 0;
+  for (auto id : ids) {
+    const std::uint64_t c = enc.codes[id];
+    if (first) {
+      ref = c;
+      first = false;
+      continue;
+    }
+    f.fixed_mask &= ~(c ^ ref);
+  }
+  f.fixed_value = ref & f.fixed_mask;
+  return f;
+}
+
+bool in_face(const Face& f, std::uint64_t code) {
+  return (code & f.fixed_mask) == f.fixed_value;
+}
+
+}  // namespace
+
+bool face_satisfied(const Encoding& enc, const ConstraintSet& cs,
+                    const FaceConstraint& f) {
+  const Face face = span_face(enc, f.members);
+  const std::size_t n = cs.num_symbols();
+  const Bitset inside =
+      index_bitset(n, f.members) | index_bitset(n, f.dontcares);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (inside.test(s)) continue;
+    if (in_face(face, enc.codes[s])) return false;
+  }
+  return true;
+}
+
+int count_satisfied_faces(const Encoding& enc, const ConstraintSet& cs) {
+  int k = 0;
+  for (const auto& f : cs.faces())
+    if (face_satisfied(enc, cs, f)) ++k;
+  return k;
+}
+
+std::vector<Violation> verify_encoding(const Encoding& enc,
+                                       const ConstraintSet& cs,
+                                       bool require_unique_codes) {
+  std::vector<Violation> out;
+  const std::size_t n = cs.num_symbols();
+  const auto& names = cs.symbols();
+
+  if (require_unique_codes) {
+    for (std::uint32_t a = 0; a + 1 < n; ++a)
+      for (std::uint32_t b = a + 1; b < n; ++b)
+        if (enc.codes[a] == enc.codes[b])
+          out.push_back(Violation{
+              Violation::Kind::kDuplicateCode, a * n + b,
+              names.name(a) + " and " + names.name(b) + " share code " +
+                  enc.code_string(a)});
+  }
+
+  for (std::size_t i = 0; i < cs.faces().size(); ++i)
+    if (!face_satisfied(enc, cs, cs.faces()[i]))
+      out.push_back(Violation{Violation::Kind::kFace, i,
+                              "face constraint " + std::to_string(i) +
+                                  " has an intruder in its spanned face"});
+
+  for (std::size_t i = 0; i < cs.dominances().size(); ++i) {
+    const auto& d = cs.dominances()[i];
+    const std::uint64_t a = enc.codes[d.dominator];
+    const std::uint64_t b = enc.codes[d.dominated];
+    if ((a & b) != b)
+      out.push_back(Violation{Violation::Kind::kDominance, i,
+                              names.name(d.dominator) + " > " +
+                                  names.name(d.dominated) + " violated"});
+  }
+
+  for (std::size_t i = 0; i < cs.disjunctives().size(); ++i) {
+    const auto& d = cs.disjunctives()[i];
+    std::uint64_t orv = 0;
+    for (auto c : d.children) orv |= enc.codes[c];
+    if (orv != enc.codes[d.parent])
+      out.push_back(Violation{Violation::Kind::kDisjunctive, i,
+                              names.name(d.parent) +
+                                  " != OR of its children"});
+  }
+
+  for (std::size_t i = 0; i < cs.extended_disjunctives().size(); ++i) {
+    const auto& e = cs.extended_disjunctives()[i];
+    // For every bit at 1 in the parent code, some conjunction must have all
+    // children at 1 in that bit.
+    bool ok = true;
+    for (int b = 0; b < enc.bits && ok; ++b) {
+      if (((enc.codes[e.parent] >> b) & 1u) == 0) continue;
+      bool some = false;
+      for (const auto& conj : e.conjunctions) {
+        bool all = true;
+        for (auto c : conj)
+          if (((enc.codes[c] >> b) & 1u) == 0) {
+            all = false;
+            break;
+          }
+        if (all) {
+          some = true;
+          break;
+        }
+      }
+      ok = some;
+    }
+    if (!ok)
+      out.push_back(Violation{Violation::Kind::kExtendedDisjunctive, i,
+                              "extended disjunctive for " +
+                                  names.name(e.parent) + " violated"});
+  }
+
+  for (std::size_t i = 0; i < cs.distance2s().size(); ++i) {
+    const auto& d = cs.distance2s()[i];
+    if (std::popcount(enc.codes[d.a] ^ enc.codes[d.b]) < 2)
+      out.push_back(Violation{Violation::Kind::kDistance2, i,
+                              names.name(d.a) + " / " + names.name(d.b) +
+                                  " closer than distance 2"});
+  }
+
+  for (std::size_t i = 0; i < cs.nonfaces().size(); ++i) {
+    const auto& nf = cs.nonfaces()[i];
+    const Face face = span_face(enc, nf.members);
+    const Bitset inside = index_bitset(n, nf.members);
+    bool intruder = false;
+    for (std::uint32_t s = 0; s < n && !intruder; ++s)
+      if (!inside.test(s) && in_face(face, enc.codes[s])) intruder = true;
+    if (!intruder)
+      out.push_back(Violation{Violation::Kind::kNonFace, i,
+                              "non-face constraint " + std::to_string(i) +
+                                  " spans an exclusive face"});
+  }
+  return out;
+}
+
+}  // namespace encodesat

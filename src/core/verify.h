@@ -1,0 +1,50 @@
+// Independent verification of an encoding against every constraint class.
+//
+// Deliberately implemented from the constraint *semantics* (hypercube faces
+// and bitwise relations on codes), not from the dichotomy framework, so it
+// can serve as an oracle for the encoders in tests and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/encoding.h"
+
+namespace encodesat {
+
+struct Violation {
+  enum class Kind {
+    kDuplicateCode,
+    kFace,
+    kDominance,
+    kDisjunctive,
+    kExtendedDisjunctive,
+    kDistance2,
+    kNonFace,
+  };
+  Kind kind;
+  /// Index into the corresponding constraint vector (or the symbol pair for
+  /// duplicate codes, encoded as index = a * n + b).
+  std::size_t index;
+  std::string detail;
+};
+
+/// Returns all violations (empty means the encoding satisfies everything).
+/// `require_unique_codes` adds the all-pairs distinctness check, which is
+/// part of every encoding problem in the paper.
+std::vector<Violation> verify_encoding(const Encoding& enc,
+                                       const ConstraintSet& cs,
+                                       bool require_unique_codes = true);
+
+/// True iff a face constraint (alone) is satisfied by the encoding: the
+/// minimal face spanned by the member codes contains no code of a symbol
+/// outside members ∪ dontcares.
+bool face_satisfied(const Encoding& enc, const ConstraintSet& cs,
+                    const FaceConstraint& f);
+
+/// Number of face constraints satisfied — the first cost function of
+/// Section 7.
+int count_satisfied_faces(const Encoding& enc, const ConstraintSet& cs);
+
+}  // namespace encodesat

@@ -1,0 +1,184 @@
+#include "covering/binate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace encodesat {
+
+void BinateCoverProblem::add_row(const std::vector<std::size_t>& pos_cols,
+                                 const std::vector<std::size_t>& neg_cols) {
+  BinateRow row{Bitset(num_columns), Bitset(num_columns)};
+  for (std::size_t c : pos_cols) row.pos.set(c);
+  for (std::size_t c : neg_cols) row.neg.set(c);
+  rows.push_back(std::move(row));
+}
+
+namespace {
+
+int column_weight(const BinateCoverProblem& p, std::size_t c) {
+  return p.weights.empty() ? 1 : p.weights[c];
+}
+
+struct Search {
+  const BinateCoverProblem& p;
+  const BinateCoverOptions& opts;
+  std::uint64_t nodes = 0;
+  bool budget_exhausted = false;
+  int best_cost = std::numeric_limits<int>::max();
+  bool found = false;
+  std::vector<std::size_t> best_columns;
+
+  Search(const BinateCoverProblem& problem, const BinateCoverOptions& options)
+      : p(problem), opts(options) {}
+
+  bool row_satisfied(const BinateRow& r, const Bitset& assigned,
+                     const Bitset& value) const {
+    // Positive literal true: assigned and selected.
+    Bitset t = r.pos;
+    t &= assigned;
+    t &= value;
+    if (t.any()) return true;
+    // Negative literal true: assigned and not selected.
+    Bitset f = r.neg;
+    f &= assigned;
+    f.subtract(value);
+    return f.any();
+  }
+
+  // Lower bound: pairwise variable-disjoint unsatisfied rows whose free
+  // literals are all positive each force at least their cheapest column.
+  int lower_bound(const Bitset& assigned, const Bitset& value) const {
+    Bitset used(p.num_columns);
+    int bound = 0;
+    for (const BinateRow& r : p.rows) {
+      if (row_satisfied(r, assigned, value)) continue;
+      Bitset free_neg = r.neg;
+      free_neg.subtract(assigned);
+      if (free_neg.any()) continue;  // can be satisfied for free
+      Bitset free_pos = r.pos;
+      free_pos.subtract(assigned);
+      if (free_pos.empty() || free_pos.intersects(used)) continue;
+      used |= free_pos;
+      int cheapest = std::numeric_limits<int>::max();
+      free_pos.for_each([&](std::size_t c) {
+        cheapest = std::min(cheapest, column_weight(p, c));
+      });
+      bound += cheapest;
+    }
+    return bound;
+  }
+
+  void solve(Bitset assigned, Bitset value, int cost) {
+    if (budget_exhausted) return;
+    if (++nodes > opts.max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+    if (cost >= best_cost) return;
+
+    // Unit propagation to fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const BinateRow& r : p.rows) {
+        if (row_satisfied(r, assigned, value)) continue;
+        Bitset free_pos = r.pos;
+        free_pos.subtract(assigned);
+        Bitset free_neg = r.neg;
+        free_neg.subtract(assigned);
+        const std::size_t nfree = free_pos.count() + free_neg.count();
+        if (nfree == 0) return;  // conflict
+        if (nfree == 1) {
+          if (free_pos.any()) {
+            const std::size_t c = free_pos.first();
+            assigned.set(c);
+            value.set(c);
+            cost += column_weight(p, c);
+            if (cost >= best_cost) return;
+          } else {
+            const std::size_t c = free_neg.first();
+            assigned.set(c);
+          }
+          changed = true;
+        }
+      }
+    }
+
+    // Find the unsatisfied row with the fewest free literals.
+    const BinateRow* pivot = nullptr;
+    std::size_t pivot_free = std::numeric_limits<std::size_t>::max();
+    for (const BinateRow& r : p.rows) {
+      if (row_satisfied(r, assigned, value)) continue;
+      Bitset free_pos = r.pos;
+      free_pos.subtract(assigned);
+      Bitset free_neg = r.neg;
+      free_neg.subtract(assigned);
+      const std::size_t nfree = free_pos.count() + free_neg.count();
+      if (nfree < pivot_free) {
+        pivot_free = nfree;
+        pivot = &r;
+      }
+    }
+    if (pivot == nullptr) {
+      // All rows satisfied; unassigned columns default to unselected.
+      found = true;
+      best_cost = cost;
+      best_columns.clear();
+      Bitset sel = value;
+      sel &= assigned;
+      sel.for_each([&](std::size_t c) { best_columns.push_back(c); });
+      return;
+    }
+
+    if (cost + lower_bound(assigned, value) >= best_cost) return;
+
+    // Branch on a free literal of the pivot row: prefer the cost-free
+    // direction (negative literal, i.e. leave the column unselected) first.
+    Bitset free_neg = pivot->neg;
+    free_neg.subtract(assigned);
+    std::size_t var;
+    if (free_neg.any())
+      var = free_neg.first();
+    else {
+      Bitset free_pos = pivot->pos;
+      free_pos.subtract(assigned);
+      assert(free_pos.any());
+      var = free_pos.first();
+    }
+
+    // Branch A: var = 0 (unselected).
+    {
+      Bitset a = assigned, v = value;
+      a.set(var);
+      v.reset(var);
+      solve(std::move(a), std::move(v), cost);
+    }
+    // Branch B: var = 1 (selected).
+    {
+      Bitset a = assigned, v = value;
+      a.set(var);
+      v.set(var);
+      solve(std::move(a), std::move(v), cost + column_weight(p, var));
+    }
+  }
+};
+
+}  // namespace
+
+BinateCoverSolution solve_binate_cover(const BinateCoverProblem& p,
+                                       const BinateCoverOptions& options) {
+  Search search(p, options);
+  search.solve(Bitset(p.num_columns), Bitset(p.num_columns), 0);
+  BinateCoverSolution sol;
+  sol.feasible = search.found;
+  sol.optimal = search.found && !search.budget_exhausted;
+  sol.columns = search.best_columns;
+  sol.cost = search.best_cost == std::numeric_limits<int>::max()
+                 ? 0
+                 : search.best_cost;
+  sol.nodes_explored = search.nodes;
+  return sol;
+}
+
+}  // namespace encodesat

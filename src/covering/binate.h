@@ -1,0 +1,50 @@
+// Binate covering: minimum-cost satisfaction of a product-of-sums with
+// positive and negative literals (Section 4 of the paper abstracts all
+// encoding-constraint satisfaction as this problem; we also use it for the
+// distance-2 and non-face constraint extensions of Section 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace encodesat {
+
+/// One clause: satisfied if some variable in `pos` is selected or some
+/// variable in `neg` is unselected.
+struct BinateRow {
+  Bitset pos;
+  Bitset neg;
+};
+
+struct BinateCoverProblem {
+  std::size_t num_columns = 0;
+  /// Per-column selection weights; empty means unit weights.
+  std::vector<int> weights;
+  std::vector<BinateRow> rows;
+
+  /// Appends a clause given explicit literal lists.
+  void add_row(const std::vector<std::size_t>& pos_cols,
+               const std::vector<std::size_t>& neg_cols);
+};
+
+struct BinateCoverOptions {
+  std::uint64_t max_nodes = 5'000'000;
+};
+
+struct BinateCoverSolution {
+  bool feasible = false;
+  bool optimal = false;
+  /// Selected columns (variables assigned 1).
+  std::vector<std::size_t> columns;
+  int cost = 0;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Branch-and-bound DPLL-style search with unit propagation and an
+/// independent-row lower bound over the purely-positive residual rows.
+BinateCoverSolution solve_binate_cover(const BinateCoverProblem& problem,
+                                       const BinateCoverOptions& options = {});
+
+}  // namespace encodesat

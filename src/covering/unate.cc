@@ -1,0 +1,314 @@
+#include "covering/unate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace encodesat {
+
+namespace {
+
+int column_weight(const UnateCoverProblem& p, std::size_t c) {
+  return p.weights.empty() ? 1 : p.weights[c];
+}
+
+// Search state shared across the branch-and-bound recursion. Rows are
+// immutable; a node is characterized by the set of excluded columns and the
+// set of still-uncovered rows.
+struct Search {
+  const UnateCoverProblem& p;
+  const UnateCoverOptions& opts;
+  std::uint64_t nodes = 0;
+  bool budget_exhausted = false;
+  int best_cost = std::numeric_limits<int>::max();
+  std::vector<std::size_t> best_columns;
+
+  explicit Search(const UnateCoverProblem& problem,
+                  const UnateCoverOptions& options)
+      : p(problem), opts(options) {}
+
+  // Columns of row r still available under the exclusion set.
+  Bitset available(std::size_t r, const Bitset& excluded) const {
+    Bitset b = p.rows[r];
+    b.subtract(excluded);
+    return b;
+  }
+
+  void record(const std::vector<std::size_t>& selected, int cost) {
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_columns = selected;
+    }
+  }
+
+  // Greedy maximal-independent-set lower bound: a set of pairwise
+  // column-disjoint uncovered rows; any cover pays at least the cheapest
+  // column of each row in the set.
+  int lower_bound(const std::vector<std::size_t>& active,
+                  const std::vector<Bitset>& avail) const {
+    // Consider short rows first: they are more likely to be independent and
+    // carry tighter bounds.
+    std::vector<std::size_t> order(active.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return avail[a].count() < avail[b].count();
+    });
+    Bitset used(p.num_columns);
+    int bound = 0;
+    for (std::size_t i : order) {
+      if (avail[i].intersects(used)) continue;
+      used |= avail[i];
+      int cheapest = std::numeric_limits<int>::max();
+      avail[i].for_each([&](std::size_t c) {
+        cheapest = std::min(cheapest, column_weight(p, c));
+      });
+      bound += cheapest;
+    }
+    return bound;
+  }
+
+  void solve(Bitset excluded, Bitset covered_rows,
+             std::vector<std::size_t> selected, int cost) {
+    if (budget_exhausted) return;
+    if (++nodes > opts.max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+
+    // --- Reductions to fixpoint -----------------------------------------
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t r = 0; r < p.rows.size(); ++r) {
+        if (covered_rows.test(r)) continue;
+        Bitset avail = available(r, excluded);
+        const std::size_t n = avail.count();
+        if (n == 0) return;  // row uncoverable: dead branch
+        if (n == 1) {
+          // Essential column.
+          const std::size_t c = avail.first();
+          selected.push_back(c);
+          cost += column_weight(p, c);
+          if (cost >= best_cost) return;
+          for (std::size_t q = 0; q < p.rows.size(); ++q)
+            if (!covered_rows.test(q) && p.rows[q].test(c))
+              covered_rows.set(q);
+          changed = true;
+        }
+      }
+    }
+
+    // Collect active rows and their available column sets.
+    std::vector<std::size_t> active;
+    std::vector<Bitset> avail;
+    for (std::size_t r = 0; r < p.rows.size(); ++r) {
+      if (!covered_rows.test(r)) {
+        active.push_back(r);
+        avail.push_back(available(r, excluded));
+      }
+    }
+    if (active.empty()) {
+      record(selected, cost);
+      return;
+    }
+
+    // Row dominance: if avail[i] ⊆ avail[j], covering row i covers row j,
+    // so row j can be dropped. Quadratic — only worth it on smallish sets.
+    if (active.size() <= 512) {
+      std::vector<bool> drop(active.size(), false);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (drop[i]) continue;
+        for (std::size_t j = 0; j < active.size(); ++j) {
+          if (i == j || drop[j]) continue;
+          if (avail[i].is_subset_of(avail[j]) &&
+              !(avail[i] == avail[j] && i > j))
+            drop[j] = true;
+        }
+      }
+      std::vector<std::size_t> a2;
+      std::vector<Bitset> v2;
+      for (std::size_t i = 0; i < active.size(); ++i)
+        if (!drop[i]) {
+          a2.push_back(active[i]);
+          v2.push_back(avail[i]);
+        }
+      active = std::move(a2);
+      avail = std::move(v2);
+    }
+
+    if (cost + lower_bound(active, avail) >= best_cost) return;
+
+    // Branch on the most-covering column of the shortest row.
+    std::size_t pivot_row = 0;
+    for (std::size_t i = 1; i < avail.size(); ++i)
+      if (avail[i].count() < avail[pivot_row].count()) pivot_row = i;
+
+    std::size_t branch_col = p.num_columns;
+    std::size_t best_score = 0;
+    avail[pivot_row].for_each([&](std::size_t c) {
+      std::size_t score = 0;
+      for (std::size_t i = 0; i < active.size(); ++i)
+        if (avail[i].test(c)) ++score;
+      if (branch_col == p.num_columns || score > best_score ||
+          (score == best_score && c < branch_col)) {
+        best_score = score;
+        branch_col = c;
+      }
+    });
+    assert(branch_col < p.num_columns);
+
+    // Branch 1: select the column.
+    {
+      Bitset cov = covered_rows;
+      for (std::size_t q = 0; q < p.rows.size(); ++q)
+        if (!cov.test(q) && p.rows[q].test(branch_col)) cov.set(q);
+      auto sel = selected;
+      sel.push_back(branch_col);
+      solve(excluded, std::move(cov), std::move(sel),
+            cost + column_weight(p, branch_col));
+    }
+    // Branch 2: exclude the column.
+    {
+      Bitset exc = excluded;
+      exc.set(branch_col);
+      solve(std::move(exc), std::move(covered_rows), std::move(selected),
+            cost);
+    }
+  }
+};
+
+}  // namespace
+
+UnateCoverSolution greedy_unate_cover(const UnateCoverProblem& p) {
+  UnateCoverSolution sol;
+  Bitset covered(p.rows.size());
+  std::size_t remaining = p.rows.size();
+  for (const Bitset& r : p.rows)
+    if (r.empty()) return sol;  // infeasible
+
+  while (remaining > 0) {
+    // Pick the column covering the most uncovered rows per unit weight.
+    std::vector<std::size_t> cover_count(p.num_columns, 0);
+    for (std::size_t r = 0; r < p.rows.size(); ++r)
+      if (!covered.test(r))
+        p.rows[r].for_each([&](std::size_t c) { ++cover_count[c]; });
+    std::size_t best = p.num_columns;
+    double best_ratio = -1.0;
+    for (std::size_t c = 0; c < p.num_columns; ++c) {
+      if (cover_count[c] == 0) continue;
+      const double ratio =
+          static_cast<double>(cover_count[c]) / column_weight(p, c);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = c;
+      }
+    }
+    if (best == p.num_columns) return sol;  // cannot make progress
+    sol.columns.push_back(best);
+    sol.cost += column_weight(p, best);
+    for (std::size_t r = 0; r < p.rows.size(); ++r)
+      if (!covered.test(r) && p.rows[r].test(best)) {
+        covered.set(r);
+        --remaining;
+      }
+  }
+  sol.feasible = true;
+  std::sort(sol.columns.begin(), sol.columns.end());
+  return sol;
+}
+
+namespace {
+
+// Root-level column reduction: a column is dominated when another column
+// covers a superset of its rows at no greater weight; dominated columns can
+// never be needed in an optimal cover. This typically collapses thousands
+// of prime-dichotomy columns to a few hundred distinct useful ones.
+struct ReducedProblem {
+  UnateCoverProblem problem;
+  std::vector<std::size_t> column_map;  // reduced column -> original column
+};
+
+ReducedProblem reduce_columns(const UnateCoverProblem& p) {
+  const std::size_t rows = p.rows.size();
+  // Coverage set per column.
+  std::vector<Bitset> coverage(p.num_columns, Bitset(rows));
+  for (std::size_t r = 0; r < rows; ++r)
+    p.rows[r].for_each([&](std::size_t c) { coverage[c].set(r); });
+
+  auto weight = [&](std::size_t c) { return column_weight(p, c); };
+
+  // Sort candidates by (coverage size desc, weight asc) so a dominating
+  // column precedes the columns it dominates; then a forward keep-scan.
+  std::vector<std::size_t> order;
+  order.reserve(p.num_columns);
+  for (std::size_t c = 0; c < p.num_columns; ++c)
+    if (coverage[c].any()) order.push_back(c);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t ca = coverage[a].count(), cb = coverage[b].count();
+    if (ca != cb) return ca > cb;
+    if (weight(a) != weight(b)) return weight(a) < weight(b);
+    return a < b;
+  });
+  std::vector<std::size_t> kept;
+  for (std::size_t c : order) {
+    bool dominated = false;
+    for (std::size_t k : kept) {
+      if (weight(k) <= weight(c) && coverage[c].is_subset_of(coverage[k])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(c);
+  }
+
+  ReducedProblem out;
+  out.column_map = kept;
+  out.problem.num_columns = kept.size();
+  if (!p.weights.empty()) {
+    out.problem.weights.reserve(kept.size());
+    for (std::size_t c : kept) out.problem.weights.push_back(p.weights[c]);
+  }
+  out.problem.rows.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Bitset row(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i)
+      if (p.rows[r].test(kept[i])) row.set(i);
+    out.problem.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
+                                     const UnateCoverOptions& options) {
+  for (const Bitset& r : p.rows)
+    if (r.empty()) return UnateCoverSolution{};  // infeasible
+
+  const ReducedProblem reduced = reduce_columns(p);
+  const UnateCoverProblem& q = reduced.problem;
+
+  UnateCoverSolution greedy = greedy_unate_cover(q);
+  if (!greedy.feasible) return greedy;
+
+  UnateCoverSolution sol;
+  sol.feasible = true;
+  sol.cost = greedy.cost;
+  sol.columns = greedy.columns;
+  sol.columns_after_reduction = q.num_columns;
+  if (options.max_nodes > 0) {
+    Search search(q, options);
+    search.best_cost = greedy.cost;
+    search.best_columns = greedy.columns;
+    search.solve(Bitset(q.num_columns), Bitset(q.rows.size()), {}, 0);
+    sol.optimal = !search.budget_exhausted;
+    sol.columns = search.best_columns;
+    sol.cost = search.best_cost;
+    sol.nodes_explored = search.nodes;
+  }
+  for (auto& c : sol.columns) c = reduced.column_map[c];
+  std::sort(sol.columns.begin(), sol.columns.end());
+  return sol;
+}
+
+}  // namespace encodesat

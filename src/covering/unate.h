@@ -1,0 +1,54 @@
+// Exact and heuristic unate covering.
+//
+// The final step of the paper's exact encoder (Fig. 7) selects a minimum
+// set of prime encoding-dichotomies covering every initial
+// encoding-dichotomy — a classical unate covering problem. The solver uses
+// the standard reductions (essential columns, row dominance, column
+// dominance) plus a maximal-independent-set lower bound inside
+// branch-and-bound, with a node budget so callers can fall back to the
+// greedy solution on pathological instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace encodesat {
+
+struct UnateCoverProblem {
+  /// Number of selectable columns.
+  std::size_t num_columns = 0;
+  /// Per-column weights; empty means unit weights.
+  std::vector<int> weights;
+  /// rows[i] = the set of columns that cover row i (universe num_columns).
+  std::vector<Bitset> rows;
+};
+
+struct UnateCoverOptions {
+  /// Branch-and-bound node budget; 0 means greedy only.
+  std::uint64_t max_nodes = 2'000'000;
+};
+
+struct UnateCoverSolution {
+  bool feasible = false;
+  /// True when branch-and-bound proved optimality within the node budget.
+  bool optimal = false;
+  std::vector<std::size_t> columns;
+  int cost = 0;
+  std::uint64_t nodes_explored = 0;
+  /// Columns surviving the root coverage-dominance reduction (the search
+  /// ran over these; see the ablation bench).
+  std::size_t columns_after_reduction = 0;
+};
+
+/// Solves min-cost column selection such that every row contains a selected
+/// column. Infeasible iff some row is empty.
+UnateCoverSolution solve_unate_cover(const UnateCoverProblem& problem,
+                                     const UnateCoverOptions& options = {});
+
+/// Greedy (largest cover-count / weight first) — used as the upper bound
+/// seed and as the standalone heuristic solver.
+UnateCoverSolution greedy_unate_cover(const UnateCoverProblem& problem);
+
+}  // namespace encodesat

@@ -1,0 +1,93 @@
+#include "fsm/analyze.h"
+
+#include <set>
+#include <sstream>
+
+namespace encodesat {
+
+namespace {
+
+bool cubes_intersect_text(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return false;
+  return true;
+}
+
+// Number of minterms of an input cube over `ni` inputs, as a double to
+// avoid overflow concerns for wide inputs (exact for ni <= 52).
+double cube_minterms(const std::string& cube) {
+  double n = 1;
+  for (char ch : cube)
+    if (ch == '-') n *= 2;
+  return n;
+}
+
+bool outputs_conflict(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char x = a[i], y = b[i];
+    if (x != '-' && y != '-' && x != y) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FsmAnalysis analyze_fsm(const Fsm& fsm) {
+  FsmAnalysis res;
+  res.transitions = fsm.transitions.size();
+  for (const auto& t : fsm.transitions)
+    for (char ch : t.output)
+      if (ch == '-' || ch == '~') ++res.dont_care_outputs;
+
+  std::vector<std::vector<const FsmTransition*>> by_state(fsm.num_states());
+  for (const auto& t : fsm.transitions) by_state[t.from].push_back(&t);
+
+  for (std::uint32_t s = 0; s < fsm.num_states(); ++s) {
+    const auto& list = by_state[s];
+    std::set<std::uint32_t> targets;
+    double covered = 0;
+    for (const auto* t : list) {
+      targets.insert(t->to);
+      covered += cube_minterms(t->input);  // over-counts on overlap
+    }
+    res.max_fanout =
+        std::max(res.max_fanout, static_cast<int>(targets.size()));
+
+    // Pairwise overlap / conflict detection.
+    bool overlapping = false;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (!cubes_intersect_text(list[i]->input, list[j]->input)) continue;
+        overlapping = true;
+        const bool conflict = list[i]->to != list[j]->to ||
+                              outputs_conflict(list[i]->output,
+                                               list[j]->output);
+        std::ostringstream msg;
+        msg << "inputs " << list[i]->input << " and " << list[j]->input
+            << " overlap" << (conflict ? " and disagree" : "");
+        res.issues.push_back(FsmIssue{conflict ? FsmIssue::Kind::kConflict
+                                               : FsmIssue::Kind::kOverlap,
+                                      s, msg.str()});
+        if (conflict) res.deterministic = false;
+      }
+    }
+
+    // Completeness: the input space must be covered. Without overlaps the
+    // minterm sum is exact; with overlaps it is an upper bound, so only
+    // trust a "complete" verdict when there was no overlap.
+    const double space = cube_minterms(std::string(
+        static_cast<std::size_t>(fsm.num_inputs), '-'));
+    if (covered < space || (overlapping && covered == space)) {
+      if (covered < space) {
+        res.complete = false;
+        std::ostringstream msg;
+        msg << "covers " << covered << " of " << space << " input minterms";
+        res.issues.push_back(
+            FsmIssue{FsmIssue::Kind::kIncomplete, s, msg.str()});
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace encodesat

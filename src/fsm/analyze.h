@@ -1,0 +1,40 @@
+// Static analysis of symbolic FSM specifications: determinism,
+// completeness, and summary statistics — the sanity layer in front of
+// constraint generation and simulation (both assume a deterministic spec).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace encodesat {
+
+struct FsmIssue {
+  enum class Kind {
+    kOverlap,        ///< two transitions of one state intersect on inputs
+    kConflict,       ///< ... and disagree on next state or specified output
+    kIncomplete,     ///< some state leaves part of the input space undefined
+  };
+  Kind kind;
+  std::uint32_t state = 0;
+  std::string detail;
+};
+
+struct FsmAnalysis {
+  bool deterministic = true;  ///< no kConflict issues
+  bool complete = true;       ///< no kIncomplete issues
+  std::vector<FsmIssue> issues;
+
+  // Statistics.
+  std::size_t transitions = 0;
+  std::size_t dont_care_outputs = 0;  ///< '-' bits across all transitions
+  int max_fanout = 0;                 ///< distinct next states of one state
+};
+
+/// Analyzes the machine. Overlapping transitions that agree on next state
+/// and all specified outputs are reported as kOverlap but keep the machine
+/// deterministic; disagreement is a kConflict.
+FsmAnalysis analyze_fsm(const Fsm& fsm);
+
+}  // namespace encodesat

@@ -1,0 +1,69 @@
+#include "fsm/encode_fsm.h"
+
+#include <stdexcept>
+
+#include "logic/espresso.h"
+
+namespace encodesat {
+
+Pla encode_fsm(const Fsm& fsm, const Encoding& state_codes) {
+  if (state_codes.num_symbols() != fsm.num_states())
+    throw std::invalid_argument("encoding does not cover all states");
+  const int b = state_codes.bits;
+  Pla pla;
+  pla.domain = Domain::binary(fsm.num_inputs + b, b + fsm.num_outputs);
+  pla.on = Cover(pla.domain);
+  pla.dc = Cover(pla.domain);
+  const Domain& dom = pla.domain;
+
+  for (const auto& t : fsm.transitions) {
+    Cube base(dom);
+    for (int v = 0; v < fsm.num_inputs; ++v) {
+      const char ch = t.input[static_cast<std::size_t>(v)];
+      if (ch == '0' || ch == '-')
+        base.bits.set(static_cast<std::size_t>(dom.pos(v, 0)));
+      if (ch == '1' || ch == '-')
+        base.bits.set(static_cast<std::size_t>(dom.pos(v, 1)));
+    }
+    const std::uint64_t from = state_codes.codes[t.from];
+    for (int j = 0; j < b; ++j) {
+      const int bit = static_cast<int>((from >> j) & 1u);
+      base.bits.set(
+          static_cast<std::size_t>(dom.pos(fsm.num_inputs + j, bit)));
+    }
+
+    Cube on = base, dc = base;
+    bool has_on = false, has_dc = false;
+    const std::uint64_t to = state_codes.codes[t.to];
+    for (int j = 0; j < b; ++j)
+      if ((to >> j) & 1u) {
+        on.bits.set(static_cast<std::size_t>(dom.out_pos(j)));
+        has_on = true;
+      }
+    for (int o = 0; o < fsm.num_outputs; ++o) {
+      const char ch = t.output[static_cast<std::size_t>(o)];
+      if (ch == '1') {
+        on.bits.set(static_cast<std::size_t>(dom.out_pos(b + o)));
+        has_on = true;
+      } else if (ch == '-' || ch == '~') {
+        dc.bits.set(static_cast<std::size_t>(dom.out_pos(b + o)));
+        has_dc = true;
+      }
+    }
+    if (has_on) pla.on.add(on);
+    if (has_dc) pla.dc.add(dc);
+  }
+  return pla;
+}
+
+EncodedFsmStats minimized_fsm_stats(const Fsm& fsm,
+                                    const Encoding& state_codes) {
+  const Pla pla = encode_fsm(fsm, state_codes);
+  const Cover minimized = espresso(pla.on, pla.dc);
+  EncodedFsmStats stats;
+  stats.cubes = static_cast<int>(minimized.size());
+  stats.literals = minimized.input_literals();
+  return stats;
+}
+
+}  // namespace encodesat

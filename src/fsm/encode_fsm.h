@@ -1,0 +1,26 @@
+// Applying an encoding to an FSM: builds the encoded binary PLA (inputs =
+// primary inputs + state bits, outputs = state bits + primary outputs) and
+// reports its minimized two-level size — the figure of merit behind the
+// paper's Tables 2/3 style comparisons.
+#pragma once
+
+#include "core/encoding.h"
+#include "fsm/fsm.h"
+#include "logic/pla.h"
+
+namespace encodesat {
+
+/// Encoded transition PLA. Output '-' bits of the KISS description go to
+/// the DC cover; next-state code bits are fully specified.
+Pla encode_fsm(const Fsm& fsm, const Encoding& state_codes);
+
+struct EncodedFsmStats {
+  int cubes = 0;
+  int literals = 0;
+};
+
+/// ESPRESSO-minimized size of the encoded PLA.
+EncodedFsmStats minimized_fsm_stats(const Fsm& fsm,
+                                    const Encoding& state_codes);
+
+}  // namespace encodesat

@@ -1,0 +1,45 @@
+// Finite-state-machine model with KISS2 text I/O.
+//
+// KISS2 is the MCNC/SIS interchange format for symbolic FSMs: a header of
+// .i/.o/.s/.p/.r directives followed by one transition per line,
+//   <input-cube> <current-state> <next-state> <output-bits>
+// where input cubes are over {0,1,-} and outputs over {0,1,-}.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/symbols.h"
+
+namespace encodesat {
+
+struct FsmTransition {
+  std::string input;   ///< length = num_inputs, chars in {0,1,-}
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::string output;  ///< length = num_outputs, chars in {0,1,-}
+};
+
+struct Fsm {
+  std::string name;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  SymbolTable states;
+  std::vector<FsmTransition> transitions;
+  /// Reset state index, or -1 if unspecified.
+  int reset_state = -1;
+
+  std::uint32_t num_states() const { return states.size(); }
+};
+
+/// Parses a KISS2 description; throws std::runtime_error on malformed text.
+Fsm parse_kiss2(std::istream& in);
+Fsm parse_kiss2_string(const std::string& text);
+
+/// Writes KISS2 text (round-trips through parse_kiss2).
+void write_kiss2(std::ostream& out, const Fsm& fsm);
+std::string write_kiss2_string(const Fsm& fsm);
+
+}  // namespace encodesat

@@ -1,0 +1,137 @@
+#include "fsm/mcnc_like.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace encodesat {
+
+const std::vector<BenchmarkSpec>& mcnc_like_suite() {
+  // Sizes follow the MCNC originals the paper reports on (states from the
+  // paper's tables; input/output counts from the standard KISS2 headers).
+  static const std::vector<BenchmarkSpec> kSuite = {
+      {"bbsse", 16, 7, 7, 0xb5e001, 3},
+      {"cse", 16, 7, 7, 0xc5e002, 3},
+      {"dk16", 27, 2, 3, 0xd16003, 3},
+      {"dk16x", 27, 2, 3, 0xd16004, 4},
+      {"dk512", 15, 1, 3, 0xd51205, 3},
+      {"donfile", 24, 2, 1, 0xd0f006, 3},
+      {"ex1", 20, 9, 19, 0xe10007, 3},
+      {"exlinp", 20, 4, 3, 0xe11008, 3},
+      {"keyb", 19, 7, 2, 0x4eb009, 3},
+      {"kirkman", 16, 12, 6, 0x41600a, 2},
+      {"master", 15, 6, 6, 0x3a500b, 4},
+      {"planet", 48, 7, 19, 0x91a00c, 2},
+      {"s1", 20, 8, 6, 0x51000d, 3},
+      {"s1a", 20, 8, 6, 0x51a00e, 4},
+      {"sand", 32, 11, 9, 0x5a2d0f, 3},
+      {"styr", 30, 9, 10, 0x517010, 3},
+      {"tbk", 32, 6, 3, 0x7bc011, 2},
+      {"viterbi", 68, 4, 4, 0x617012, 5},
+      {"vmecont", 32, 8, 8, 0x3ec013, 4},
+  };
+  return kSuite;
+}
+
+const BenchmarkSpec& benchmark_spec(const std::string& name) {
+  for (const auto& spec : mcnc_like_suite())
+    if (spec.name == name) return spec;
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+namespace {
+
+// Input cube for event e of m: the first ceil(log2 m) inputs spell e in
+// binary, the rest are don't-cares — the events partition the input space.
+std::string event_cube(int e, int m, int num_inputs) {
+  int sel_bits = 0;
+  while ((1 << sel_bits) < m) ++sel_bits;
+  std::string cube(static_cast<std::size_t>(num_inputs), '-');
+  for (int b = 0; b < sel_bits; ++b)
+    cube[static_cast<std::size_t>(b)] = ((e >> b) & 1) ? '1' : '0';
+  return cube;
+}
+
+std::string random_output(Rng& rng, int num_outputs) {
+  std::string out(static_cast<std::size_t>(num_outputs), '0');
+  for (auto& ch : out) {
+    const double r = rng.next_double();
+    ch = r < 0.35 ? '1' : (r < 0.45 ? '-' : '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+Fsm make_mcnc_like(const BenchmarkSpec& spec) {
+  Fsm fsm;
+  fsm.name = spec.name;
+  fsm.num_inputs = spec.inputs;
+  fsm.num_outputs = spec.outputs;
+  for (int s = 0; s < spec.states; ++s)
+    fsm.states.intern("s" + std::to_string(s));
+  fsm.reset_state = 0;
+
+  Rng rng(spec.seed);
+  const int n = spec.states;
+
+  // Number of disjoint input events: enough to create several face-
+  // constraint opportunities without exploding the transition count.
+  // Rounded down to a power of two so the events exactly partition the
+  // input space and every machine is completely specified.
+  int events = std::min(1 << std::min(spec.inputs, 6),
+                        std::max(2, 2 + n / 8));
+  events = std::max(events, 2);
+  while (events & (events - 1)) --events;
+
+  // A few "hub" states that many groups target — shared targets are what
+  // create dominance / disjunctive opportunities downstream.
+  std::vector<std::uint32_t> hubs;
+  for (int h = 0; h < std::max(2, n / 8); ++h)
+    hubs.push_back(static_cast<std::uint32_t>(rng.next_below(
+        static_cast<std::uint64_t>(n))));
+
+  for (int e = 0; e < events; ++e) {
+    const std::string cube = event_cube(e, events, spec.inputs);
+
+    // Random grouping of the states for this event.
+    std::vector<std::uint32_t> order(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) order[static_cast<std::size_t>(s)] =
+        static_cast<std::uint32_t>(s);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      const std::size_t gsz = std::min<std::size_t>(
+          order.size() - pos,
+          1 + rng.next_below(static_cast<std::uint64_t>(
+                  std::max(2, spec.group_size * 2 - 1))));
+      // Group target: hubs with some probability, chain successor of the
+      // first member otherwise, occasionally uniform random.
+      std::uint32_t target;
+      const double r = rng.next_double();
+      if (r < 0.35)
+        target = hubs[rng.next_below(hubs.size())];
+      else if (r < 0.75)
+        target = (order[pos] + 1) % static_cast<std::uint32_t>(n);
+      else
+        target = static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+      const std::string output = random_output(rng, spec.outputs);
+      for (std::size_t i = 0; i < gsz; ++i) {
+        FsmTransition t;
+        t.input = cube;
+        t.from = order[pos + i];
+        t.to = target;
+        t.output = output;
+        fsm.transitions.push_back(std::move(t));
+      }
+      pos += gsz;
+    }
+  }
+  return fsm;
+}
+
+}  // namespace encodesat

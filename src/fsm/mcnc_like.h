@@ -1,0 +1,41 @@
+// Synthetic MCNC-like FSM benchmark suite.
+//
+// The paper evaluates on the MCNC'89/91 FSM benchmarks (bbsse, cse, dk16,
+// ...), which are not redistributable here; this generator produces
+// deterministic machines with the same state/input/output counts and a
+// transition structure designed to exercise the same phenomena: groups of
+// states sharing behaviour under common input events (which MV minimization
+// merges into face constraints), chain/hub transition patterns (which give
+// dominance and disjunctive opportunities), and output don't-cares. See
+// DESIGN.md "Substitutions" for the fidelity argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace encodesat {
+
+struct BenchmarkSpec {
+  std::string name;
+  int states = 0;
+  int inputs = 0;
+  int outputs = 0;
+  std::uint64_t seed = 0;
+  /// Rough density of shared-behaviour groups; higher = fewer, larger
+  /// groups = fewer but bigger face constraints.
+  int group_size = 3;
+};
+
+/// The suite mirroring the paper's Tables 1-3 benchmark names and sizes.
+const std::vector<BenchmarkSpec>& mcnc_like_suite();
+
+/// Deterministically generates the machine for a spec.
+Fsm make_mcnc_like(const BenchmarkSpec& spec);
+
+/// Lookup by name in the suite; throws std::out_of_range if unknown.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+}  // namespace encodesat

@@ -1,0 +1,58 @@
+#include "fsm/reachability.h"
+
+#include <vector>
+
+namespace encodesat {
+
+std::vector<bool> reachable_states(const Fsm& fsm) {
+  const std::uint32_t n = fsm.num_states();
+  std::vector<bool> seen(n, false);
+  if (n == 0) return seen;
+  std::vector<std::uint32_t> stack;
+  const std::uint32_t root =
+      fsm.reset_state >= 0 ? static_cast<std::uint32_t>(fsm.reset_state) : 0;
+  seen[root] = true;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const std::uint32_t s = stack.back();
+    stack.pop_back();
+    for (const auto& t : fsm.transitions) {
+      if (t.from != s || seen[t.to]) continue;
+      seen[t.to] = true;
+      stack.push_back(t.to);
+    }
+  }
+  return seen;
+}
+
+PruneResult prune_unreachable(const Fsm& fsm) {
+  const auto seen = reachable_states(fsm);
+  PruneResult res;
+  res.fsm.name = fsm.name;
+  res.fsm.num_inputs = fsm.num_inputs;
+  res.fsm.num_outputs = fsm.num_outputs;
+
+  std::vector<std::uint32_t> new_of_old(fsm.num_states(),
+                                        fsm.num_states());
+  for (std::uint32_t s = 0; s < fsm.num_states(); ++s) {
+    if (!seen[s]) {
+      ++res.removed;
+      continue;
+    }
+    new_of_old[s] = res.fsm.states.intern(fsm.states.name(s));
+    res.old_of_new.push_back(s);
+  }
+  for (const auto& t : fsm.transitions) {
+    if (!seen[t.from]) continue;
+    FsmTransition nt = t;
+    nt.from = new_of_old[t.from];
+    nt.to = new_of_old[t.to];
+    res.fsm.transitions.push_back(std::move(nt));
+  }
+  if (fsm.reset_state >= 0)
+    res.fsm.reset_state = static_cast<int>(
+        new_of_old[static_cast<std::uint32_t>(fsm.reset_state)]);
+  return res;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,28 @@
+// Reachability analysis over the symbolic FSM: which states can be reached
+// from the reset state, and pruning of unreachable states before encoding
+// (fewer symbols means shorter codes and fewer constraints).
+#pragma once
+
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace encodesat {
+
+/// Set of states reachable from the reset state (or state 0 when no reset
+/// is declared) following transitions regardless of input values.
+std::vector<bool> reachable_states(const Fsm& fsm);
+
+struct PruneResult {
+  Fsm fsm;                               ///< machine over reachable states
+  std::vector<std::uint32_t> old_of_new; ///< new index -> old index
+  std::uint32_t removed = 0;
+};
+
+/// Removes unreachable states and their transitions; state names and the
+/// reset state are preserved. Transitions *from* removed states disappear;
+/// transitions *to* removed states cannot exist (unreachable targets of
+/// reachable states would be reachable).
+PruneResult prune_unreachable(const Fsm& fsm);
+
+}  // namespace encodesat

@@ -1,0 +1,107 @@
+#include "fsm/simulate.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace encodesat {
+
+Bitset eval_cover(const Cover& cover, const std::vector<bool>& inputs) {
+  const Domain& dom = cover.domain();
+  Bitset out(static_cast<std::size_t>(dom.num_outputs()));
+  for (const Cube& c : cover) {
+    bool contains = true;
+    for (int v = 0; v < dom.num_inputs() && contains; ++v) {
+      const int bit = inputs[static_cast<std::size_t>(v)] ? 1 : 0;
+      if (!c.bits.test(static_cast<std::size_t>(dom.pos(v, bit))))
+        contains = false;
+    }
+    if (!contains) continue;
+    for (int o = 0; o < dom.num_outputs(); ++o)
+      if (c.bits.test(static_cast<std::size_t>(dom.out_pos(o))))
+        out.set(static_cast<std::size_t>(o));
+  }
+  return out;
+}
+
+bool symbolic_step(const Fsm& fsm, const std::vector<bool>& inputs,
+                   std::uint32_t state, SymbolicStep* step) {
+  for (const auto& t : fsm.transitions) {
+    if (t.from != state) continue;
+    bool match = true;
+    for (int v = 0; v < fsm.num_inputs && match; ++v) {
+      const char ch = t.input[static_cast<std::size_t>(v)];
+      if (ch == '-') continue;
+      if ((ch == '1') != inputs[static_cast<std::size_t>(v)]) match = false;
+    }
+    if (!match) continue;
+    step->next_state = t.to;
+    step->output = t.output;
+    return true;
+  }
+  return false;
+}
+
+EquivalenceReport check_encoded_equivalence(const Fsm& fsm,
+                                            const Encoding& codes,
+                                            const Cover& encoded,
+                                            std::uint64_t steps,
+                                            std::uint64_t seed) {
+  EquivalenceReport report;
+  Rng rng(seed);
+  const int b = codes.bits;
+  const std::uint32_t reset =
+      fsm.reset_state >= 0 ? static_cast<std::uint32_t>(fsm.reset_state) : 0;
+  std::uint32_t state = reset;
+
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    std::vector<bool> primary(static_cast<std::size_t>(fsm.num_inputs));
+    for (auto&& bit : primary) bit = rng.next_bool();
+
+    SymbolicStep want;
+    if (!symbolic_step(fsm, primary, state, &want)) {
+      // Unspecified input for this state: restart the walk.
+      state = reset;
+      continue;
+    }
+
+    // Drive the encoded cover with (primary inputs, current state code).
+    std::vector<bool> full = primary;
+    const std::uint64_t code = codes.codes[state];
+    for (int j = 0; j < b; ++j) full.push_back((code >> j) & 1u);
+    const Bitset got = eval_cover(encoded, full);
+
+    // Next-state code bits must match exactly.
+    const std::uint64_t want_code = codes.codes[want.next_state];
+    for (int j = 0; j < b; ++j) {
+      const bool bit = got.test(static_cast<std::size_t>(j));
+      if (bit != (((want_code >> j) & 1u) != 0)) {
+        std::ostringstream msg;
+        msg << "step " << i << ": next-state bit " << j << " is " << bit
+            << ", expected code of " << fsm.states.name(want.next_state);
+        report.equivalent = false;
+        report.first_mismatch = msg.str();
+        return report;
+      }
+    }
+    // Specified primary outputs must match; '-' bits are free.
+    for (int o = 0; o < fsm.num_outputs; ++o) {
+      const char ch = want.output[static_cast<std::size_t>(o)];
+      if (ch == '-' || ch == '~') continue;
+      const bool bit = got.test(static_cast<std::size_t>(b + o));
+      if (bit != (ch == '1')) {
+        std::ostringstream msg;
+        msg << "step " << i << ": output " << o << " is " << bit
+            << ", expected " << ch;
+        report.equivalent = false;
+        report.first_mismatch = msg.str();
+        return report;
+      }
+    }
+    ++report.steps_checked;
+    state = want.next_state;
+  }
+  return report;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,50 @@
+// Behavioural simulation: runs the symbolic FSM and an encoded
+// (two-level-minimized) implementation side by side and checks that every
+// specified output bit and the next-state code agree — the end-to-end
+// correctness oracle for the encode → minimize pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/encoding.h"
+#include "fsm/fsm.h"
+#include "logic/cover.h"
+
+namespace encodesat {
+
+/// Evaluates a binary-input cover at the given input assignment: returns
+/// the OR of the output parts of all cubes containing the minterm.
+Bitset eval_cover(const Cover& cover, const std::vector<bool>& inputs);
+
+/// One symbolic step: finds the transition matching (inputs, state).
+/// Returns false if no transition matches (unspecified behaviour).
+struct SymbolicStep {
+  std::uint32_t next_state = 0;
+  std::string output;  ///< the KISS output field, '-' = unspecified
+};
+bool symbolic_step(const Fsm& fsm, const std::vector<bool>& inputs,
+                   std::uint32_t state, SymbolicStep* step);
+
+struct EquivalenceReport {
+  bool equivalent = true;
+  std::uint64_t steps_checked = 0;
+  std::string first_mismatch;  ///< empty when equivalent
+};
+
+/// Random-walk equivalence check between the symbolic machine and an
+/// encoded next-state/output cover (as produced by encode_fsm + espresso):
+/// from the reset state (or state 0), drive `steps` random input vectors,
+/// checking the specified output bits and the next-state code each step.
+/// Unspecified symbolic steps reset the walk. The machine must be
+/// deterministic (non-overlapping input cubes per state); with an
+/// ambiguous spec the first matching transition is taken and spurious
+/// mismatches may be reported.
+EquivalenceReport check_encoded_equivalence(const Fsm& fsm,
+                                            const Encoding& codes,
+                                            const Cover& encoded,
+                                            std::uint64_t steps,
+                                            std::uint64_t seed = 1);
+
+}  // namespace encodesat

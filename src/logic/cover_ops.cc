@@ -1,0 +1,52 @@
+#include "logic/cover_ops.h"
+
+#include "logic/urp.h"
+
+namespace encodesat {
+
+Cover cover_intersect(const Cover& a, const Cover& b) {
+  Cover out(a.domain());
+  for (const Cube& x : a)
+    for (const Cube& y : b)
+      if (auto meet = cube_intersect(a.domain(), x, y))
+        out.add(std::move(*meet));
+  out.make_scc_minimal();
+  return out;
+}
+
+Cover cover_sharp(const Cover& a, const Cover& b) {
+  Cover out = cover_intersect(a, complement(b));
+  out.make_scc_minimal();
+  return out;
+}
+
+Cover cover_union(const Cover& a, const Cover& b) {
+  Cover out = a;
+  out.add_all(b);
+  out.make_scc_minimal();
+  return out;
+}
+
+Cube cover_supercube(const Cover& f) {
+  Cube sc(f.domain());
+  for (const Cube& c : f) sc = cube_supercube(sc, c);
+  return sc;
+}
+
+Cover cover_cofactor_var(const Cover& f, int var, int value) {
+  const Domain& dom = f.domain();
+  Cube lit = full_cube(dom);
+  for (int j = 0; j < dom.input_size(var); ++j)
+    if (j != value) lit.bits.reset(static_cast<std::size_t>(dom.pos(var, j)));
+  return cover_cofactor(f, lit);
+}
+
+bool covers_equal(const Cover& a, const Cover& b) {
+  return cover_contains(a, b) && cover_contains(b, a);
+}
+
+bool cover_subset(const Cover& a, const Cover& b) {
+  return cover_contains(b, a);
+}
+
+}  // namespace encodesat

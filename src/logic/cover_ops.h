@@ -1,0 +1,35 @@
+// Cover-level set algebra: intersection, sharp (difference), supercube,
+// variable cofactors and containment helpers — the operations a downstream
+// user of the two-level substrate reaches for first.
+#pragma once
+
+#include "logic/cover.h"
+
+namespace encodesat {
+
+/// Pairwise intersection of the two covers (the AND of the functions over
+/// the characteristic (minterm, output) space), SCC-minimized.
+Cover cover_intersect(const Cover& a, const Cover& b);
+
+/// Sharp / difference: the set of (minterm, output) pairs in a but not in
+/// b, as a cover (a ∩ complement(b)), SCC-minimized.
+Cover cover_sharp(const Cover& a, const Cover& b);
+
+/// Union, SCC-minimized (convenience over add_all + make_scc_minimal).
+Cover cover_union(const Cover& a, const Cover& b);
+
+/// Smallest single cube containing every cube of f; the empty cube (of the
+/// right width) when f is empty.
+Cube cover_supercube(const Cover& f);
+
+/// Cofactor with respect to input variable `var` = `value` (a cover over
+/// the same domain whose var-part is full in every cube).
+Cover cover_cofactor_var(const Cover& f, int var, int value);
+
+/// True iff the two covers denote the same function (no don't-cares).
+bool covers_equal(const Cover& a, const Cover& b);
+
+/// True iff a's function is a subset of b's.
+bool cover_subset(const Cover& a, const Cover& b);
+
+}  // namespace encodesat

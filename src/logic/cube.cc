@@ -1,0 +1,161 @@
+#include "logic/cube.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace encodesat {
+
+namespace {
+
+bool part_empty(const Cube& c, int off, int len) {
+  for (int i = 0; i < len; ++i)
+    if (c.bits.test(static_cast<std::size_t>(off + i))) return false;
+  return true;
+}
+
+bool part_full(const Cube& c, int off, int len) {
+  for (int i = 0; i < len; ++i)
+    if (!c.bits.test(static_cast<std::size_t>(off + i))) return false;
+  return true;
+}
+
+}  // namespace
+
+Cube full_cube(const Domain& dom) {
+  Cube c(dom);
+  c.bits.set_all();
+  return c;
+}
+
+bool cube_is_empty(const Domain& dom, const Cube& c) {
+  for (int v = 0; v < dom.num_inputs(); ++v)
+    if (part_empty(c, dom.input_offset(v), dom.input_size(v))) return true;
+  return part_empty(c, dom.output_offset(), dom.num_outputs());
+}
+
+bool cube_contains(const Cube& outer, const Cube& inner) {
+  return inner.bits.is_subset_of(outer.bits);
+}
+
+std::optional<Cube> cube_intersect(const Domain& dom, const Cube& a,
+                                   const Cube& b) {
+  Cube r = a;
+  r.bits &= b.bits;
+  if (cube_is_empty(dom, r)) return std::nullopt;
+  return r;
+}
+
+bool cubes_intersect(const Domain& dom, const Cube& a, const Cube& b) {
+  Cube r = a;
+  r.bits &= b.bits;
+  return !cube_is_empty(dom, r);
+}
+
+int cube_distance(const Domain& dom, const Cube& a, const Cube& b) {
+  Cube r = a;
+  r.bits &= b.bits;
+  int d = 0;
+  for (int v = 0; v < dom.num_inputs(); ++v)
+    if (part_empty(r, dom.input_offset(v), dom.input_size(v))) ++d;
+  if (part_empty(r, dom.output_offset(), dom.num_outputs())) ++d;
+  return d;
+}
+
+std::optional<Cube> cube_cofactor(const Domain& dom, const Cube& c,
+                                  const Cube& p) {
+  if (!cubes_intersect(dom, c, p)) return std::nullopt;
+  // r = c | ~p, computed part-free since the layout is uniform.
+  Cube r(dom);
+  Bitset notp(static_cast<std::size_t>(dom.total_parts()));
+  notp.set_all();
+  notp.subtract(p.bits);
+  r.bits = c.bits | notp;
+  return r;
+}
+
+std::vector<Cube> cube_complement(const Domain& dom, const Cube& c) {
+  std::vector<Cube> out;
+  auto emit_part = [&](int off, int len) {
+    if (part_full(c, off, len)) return;
+    Cube r = full_cube(dom);
+    for (int i = 0; i < len; ++i)
+      r.bits.assign(static_cast<std::size_t>(off + i),
+                    !c.bits.test(static_cast<std::size_t>(off + i)));
+    out.push_back(std::move(r));
+  };
+  for (int v = 0; v < dom.num_inputs(); ++v)
+    emit_part(dom.input_offset(v), dom.input_size(v));
+  emit_part(dom.output_offset(), dom.num_outputs());
+  return out;
+}
+
+Cube cube_supercube(const Cube& a, const Cube& b) {
+  Cube r = a;
+  r.bits |= b.bits;
+  return r;
+}
+
+bool input_part_full(const Domain& dom, const Cube& c, int var) {
+  return part_full(c, dom.input_offset(var), dom.input_size(var));
+}
+
+int cube_input_literals(const Domain& dom, const Cube& c) {
+  int n = 0;
+  for (int v = 0; v < dom.num_inputs(); ++v)
+    if (!input_part_full(dom, c, v)) ++n;
+  return n;
+}
+
+std::string cube_to_string(const Domain& dom, const Cube& c) {
+  std::string s;
+  for (int v = 0; v < dom.num_inputs(); ++v) {
+    if (dom.input_size(v) == 2) {
+      const bool b0 = c.bits.test(static_cast<std::size_t>(dom.pos(v, 0)));
+      const bool b1 = c.bits.test(static_cast<std::size_t>(dom.pos(v, 1)));
+      s += (b0 && b1) ? '-' : (b1 ? '1' : (b0 ? '0' : '~'));
+    } else {
+      s += '[';
+      for (int j = 0; j < dom.input_size(v); ++j)
+        s += c.bits.test(static_cast<std::size_t>(dom.pos(v, j))) ? '1' : '0';
+      s += ']';
+    }
+  }
+  s += " | ";
+  for (int o = 0; o < dom.num_outputs(); ++o)
+    s += c.bits.test(static_cast<std::size_t>(dom.out_pos(o))) ? '1' : '0';
+  return s;
+}
+
+Cube cube_from_string(const Domain& dom, const std::string& inputs,
+                      const std::string& outputs) {
+  if (static_cast<int>(inputs.size()) != dom.num_inputs())
+    throw std::invalid_argument("cube_from_string: bad input width");
+  if (static_cast<int>(outputs.size()) != dom.num_outputs())
+    throw std::invalid_argument("cube_from_string: bad output width");
+  Cube c(dom);
+  for (int v = 0; v < dom.num_inputs(); ++v) {
+    if (dom.input_size(v) != 2)
+      throw std::invalid_argument("cube_from_string: MV variable in text cube");
+    switch (inputs[static_cast<std::size_t>(v)]) {
+      case '0': c.bits.set(static_cast<std::size_t>(dom.pos(v, 0))); break;
+      case '1': c.bits.set(static_cast<std::size_t>(dom.pos(v, 1))); break;
+      case '-':
+      case '2':
+        c.bits.set(static_cast<std::size_t>(dom.pos(v, 0)));
+        c.bits.set(static_cast<std::size_t>(dom.pos(v, 1)));
+        break;
+      default:
+        throw std::invalid_argument("cube_from_string: bad input char");
+    }
+  }
+  for (int o = 0; o < dom.num_outputs(); ++o) {
+    const char ch = outputs[static_cast<std::size_t>(o)];
+    if (ch == '1')
+      c.bits.set(static_cast<std::size_t>(dom.out_pos(o)));
+    else if (ch != '0' && ch != '-' && ch != '~')
+      throw std::invalid_argument("cube_from_string: bad output char");
+  }
+  return c;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,32 @@
+#include "logic/domain.h"
+
+#include <cassert>
+
+namespace encodesat {
+
+Domain::Domain(std::vector<int> input_sizes, int num_outputs)
+    : input_sizes_(std::move(input_sizes)), num_outputs_(num_outputs) {
+  assert(num_outputs_ >= 1);
+  offsets_.reserve(input_sizes_.size());
+  int off = 0;
+  for (int s : input_sizes_) {
+    assert(s >= 2);
+    offsets_.push_back(off);
+    off += s;
+  }
+  output_offset_ = off;
+  total_parts_ = off + num_outputs_;
+}
+
+Domain Domain::binary(int num_inputs, int num_outputs) {
+  return Domain(std::vector<int>(static_cast<std::size_t>(num_inputs), 2),
+                num_outputs);
+}
+
+unsigned long long Domain::num_input_minterms() const {
+  unsigned long long n = 1;
+  for (int s : input_sizes_) n *= static_cast<unsigned long long>(s);
+  return n;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,63 @@
+// Variable domain for multi-valued, multi-output logic covers in
+// positional-cube notation (Brayton et al., "Logic Minimization Algorithms
+// for VLSI Synthesis", 1984).
+//
+// A Domain describes k multi-valued input variables (a binary variable is
+// the 2-valued special case) and one output "variable" with one position per
+// output function. Every cube over the domain is a single Bitset with one
+// bit per (variable, value) pair followed by one bit per output; bit set
+// means the value is admitted (inputs) or the output is asserted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace encodesat {
+
+class Domain {
+ public:
+  Domain() = default;
+
+  /// input_sizes[v] is the number of values of input variable v (>= 2);
+  /// num_outputs >= 1 output positions form the trailing output part.
+  Domain(std::vector<int> input_sizes, int num_outputs);
+
+  /// Convenience: n binary inputs, m outputs.
+  static Domain binary(int num_inputs, int num_outputs);
+
+  int num_inputs() const { return static_cast<int>(input_sizes_.size()); }
+  int num_outputs() const { return num_outputs_; }
+  int input_size(int var) const { return input_sizes_[var]; }
+
+  /// First bit position of input variable var.
+  int input_offset(int var) const { return offsets_[var]; }
+  /// First bit position of the output part.
+  int output_offset() const { return output_offset_; }
+  /// Total bit positions of a cube over this domain.
+  int total_parts() const { return total_parts_; }
+
+  /// Bit position of value `value` of input variable `var`.
+  int pos(int var, int value) const { return offsets_[var] + value; }
+  /// Bit position of output `out`.
+  int out_pos(int out) const { return output_offset_ + out; }
+
+  bool operator==(const Domain& o) const {
+    return input_sizes_ == o.input_sizes_ && num_outputs_ == o.num_outputs_;
+  }
+  bool operator!=(const Domain& o) const { return !(*this == o); }
+
+  /// Number of input minterms = product of input sizes (useful only for
+  /// small domains; callers guard against overflow by construction).
+  unsigned long long num_input_minterms() const;
+
+ private:
+  std::vector<int> input_sizes_;
+  int num_outputs_ = 0;
+  std::vector<int> offsets_;
+  int output_offset_ = 0;
+  int total_parts_ = 0;
+};
+
+}  // namespace encodesat

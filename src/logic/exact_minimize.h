@@ -1,0 +1,44 @@
+// Exact two-level minimization (Quine-McCluskey generalized to
+// multi-valued, multi-output covers): all primes by iterated consensus,
+// then a minimum unate cover of the ON-set minterms.
+//
+// Exponential by nature — guarded by minterm/prime budgets — and used as
+// the optimality oracle for the heuristic ESPRESSO loop and for exact
+// cost-function evaluations on small code spaces.
+#pragma once
+
+#include <cstdint>
+
+#include "covering/unate.h"
+#include "logic/cover.h"
+
+namespace encodesat {
+
+struct ExactMinimizeOptions {
+  /// Refuse domains with more input minterms than this.
+  unsigned long long max_minterms = 1ull << 14;
+  /// Abort prime generation beyond this many primes.
+  std::size_t max_primes = 20000;
+  UnateCoverOptions cover_options;
+};
+
+struct ExactMinimizeResult {
+  enum class Status { kMinimized, kTooLarge, kPrimeLimit };
+  Status status = Status::kTooLarge;
+  Cover cover;
+  /// True when the covering search proved cube-count minimality.
+  bool optimal = false;
+  std::size_t num_primes = 0;
+};
+
+/// All primes of on ∪ dc by iterated consensus (Quine's theorem holds for
+/// the positional-cube representation; consensus on the output part merges
+/// multi-output primes). Returns an SCC-maximal set.
+Cover generate_all_primes(const Cover& on, const Cover& dc,
+                          std::size_t max_primes, bool* truncated);
+
+/// Minimum-cube cover of `on` modulo `dc` (exact when result.optimal).
+ExactMinimizeResult exact_minimize(const Cover& on, const Cover& dc,
+                                   const ExactMinimizeOptions& opts = {});
+
+}  // namespace encodesat

@@ -1,0 +1,35 @@
+// Berkeley espresso PLA-format I/O for binary-input covers.
+//
+// Supported directives: .i .o .p .ilb .ob .type (fd | fr | f) .e/.end.
+// Reading a type-fd PLA yields an ON-set cover plus a DC cover ('-' output
+// positions); type-fr yields ON and OFF ('0' output positions are OFF-set).
+// This keeps the library interoperable with espresso-format benchmark data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logic/cover.h"
+
+namespace encodesat {
+
+struct Pla {
+  Domain domain;                     ///< binary inputs, m outputs
+  Cover on;                          ///< ON-set
+  Cover dc;                          ///< DC-set (type fd)
+  Cover off;                         ///< OFF-set (type fr)
+  std::string type = "fd";
+  std::vector<std::string> input_labels;
+  std::vector<std::string> output_labels;
+};
+
+/// Parses a PLA from a stream. Throws std::runtime_error on malformed input.
+Pla read_pla(std::istream& in);
+Pla read_pla_string(const std::string& text);
+
+/// Writes the ON-set (and DC-set for type fd) in espresso format.
+void write_pla(std::ostream& out, const Pla& pla);
+std::string write_pla_string(const Pla& pla);
+
+}  // namespace encodesat

@@ -1,0 +1,30 @@
+// Unate recursive paradigm (URP) operations on covers: tautology,
+// complement, and cover-containment checks.
+//
+// The output part is treated as one more multi-valued variable, so every
+// routine works uniformly for multi-output functions over the characteristic
+// set of (input minterm, output) pairs — the classical ESPRESSO view.
+#pragma once
+
+#include "logic/cover.h"
+
+namespace encodesat {
+
+/// True iff the cover denotes the universe of (minterm, output) pairs.
+bool is_tautology(const Cover& f);
+
+/// Complement of the cover (URP with single-cube DeMorgan leaf and
+/// single-cube-containment minimization of partial results).
+Cover complement(const Cover& f);
+
+/// True iff cube c is covered by f (tautology of the cofactor of f by c).
+bool cover_contains_cube(const Cover& f, const Cube& c);
+
+/// True iff every cube of g is covered by f.
+bool cover_contains(const Cover& f, const Cover& g);
+
+/// True iff f and g denote the same function modulo the don't-care set dc:
+/// f ⊆ g ∪ dc and g ⊆ f ∪ dc.
+bool covers_equivalent(const Cover& f, const Cover& g, const Cover& dc);
+
+}  // namespace encodesat

@@ -1,0 +1,142 @@
+#include "util/bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace encodesat {
+
+namespace {
+// Mask selecting only the bits that belong to the universe in the last word.
+std::uint64_t tail_mask(std::size_t size) {
+  const std::size_t rem = size & 63;
+  return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+}
+}  // namespace
+
+void Bitset::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+void Bitset::set_all() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  if (!words_.empty()) words_.back() &= tail_mask(size_);
+}
+
+std::size_t Bitset::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool Bitset::empty() const {
+  for (auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+std::size_t Bitset::first() const {
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    if (words_[k] != 0)
+      return k * 64 + static_cast<std::size_t>(std::countr_zero(words_[k]));
+  return size_;
+}
+
+std::size_t Bitset::next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t k = i >> 6;
+  std::uint64_t w = words_[k] & (~std::uint64_t{0} << (i & 63));
+  while (true) {
+    if (w != 0) return k * 64 + static_cast<std::size_t>(std::countr_zero(w));
+    if (++k == words_.size()) return size_;
+    w = words_[k];
+  }
+}
+
+Bitset& Bitset::operator|=(const Bitset& o) {
+  assert(size_ == o.size_);
+  for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= o.words_[k];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& o) {
+  assert(size_ == o.size_);
+  for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= o.words_[k];
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& o) {
+  assert(size_ == o.size_);
+  for (std::size_t k = 0; k < words_.size(); ++k) words_[k] ^= o.words_[k];
+  return *this;
+}
+
+Bitset& Bitset::subtract(const Bitset& o) {
+  assert(size_ == o.size_);
+  for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= ~o.words_[k];
+  return *this;
+}
+
+bool Bitset::operator<(const Bitset& o) const {
+  if (size_ != o.size_) return size_ < o.size_;
+  for (std::size_t k = words_.size(); k-- > 0;)
+    if (words_[k] != o.words_[k]) return words_[k] < o.words_[k];
+  return false;
+}
+
+bool Bitset::is_subset_of(const Bitset& o) const {
+  assert(size_ == o.size_);
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    if ((words_[k] & ~o.words_[k]) != 0) return false;
+  return true;
+}
+
+bool Bitset::intersects(const Bitset& o) const {
+  assert(size_ == o.size_);
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    if ((words_[k] & o.words_[k]) != 0) return true;
+  return false;
+}
+
+void Bitset::for_each(const std::function<void(std::size_t)>& f) const {
+  for (std::size_t k = 0; k < words_.size(); ++k) {
+    std::uint64_t w = words_[k];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      f(k * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+}
+
+std::vector<std::size_t> Bitset::to_vector() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::string Bitset::to_string() const {
+  std::string s = "{";
+  bool firstItem = true;
+  for_each([&](std::size_t i) {
+    if (!firstItem) s += ',';
+    s += std::to_string(i);
+    firstItem = false;
+  });
+  s += '}';
+  return s;
+}
+
+std::size_t Bitset::hash() const {
+  // FNV-1a over words; adequate for hash-set dedup of terms/dichotomies.
+  std::size_t h = 1469598103934665603ull;
+  for (auto w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  h ^= size_;
+  return h;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for benchmark-workload
+// synthesis and the simulated-annealing baseline.
+//
+// A fixed, seedable generator (splitmix64 core) keeps every experiment
+// reproducible across platforms, unlike std::default_random_engine whose
+// distribution implementations vary between standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace encodesat {
+
+/// splitmix64: tiny, fast, passes BigCrush for this usage; fully portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound) - 1;
+    std::uint64_t v = next_u64();
+    while (v > limit) v = next_u64();
+    return v % bound;
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace encodesat

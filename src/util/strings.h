@@ -1,0 +1,21 @@
+// Minimal string helpers shared by the constraint and KISS2 parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace encodesat {
+
+/// Splits on any run of the given delimiter characters; empty tokens are
+/// dropped, so "  a  b " -> {"a", "b"}.
+std::vector<std::string> split_ws(std::string_view s,
+                                  std::string_view delims = " \t\r\n");
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if s starts with the given prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace encodesat

@@ -1,0 +1,24 @@
+// Wall-clock timing for the benchmark harnesses (Table 1/3 report runtimes).
+#pragma once
+
+#include <chrono>
+
+namespace encodesat {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace encodesat

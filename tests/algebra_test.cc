@@ -1,0 +1,146 @@
+// Algebraic-law property tests for the dichotomy framework primitives —
+// the invariants the paper's proofs lean on.
+#include <gtest/gtest.h>
+
+#include "core/dichotomy.h"
+#include "core/generate.h"
+#include "core/output_rules.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+Dichotomy random_dichotomy(Rng& rng, std::size_t n, double density = 0.35) {
+  Dichotomy d(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const double r = rng.next_double();
+    if (r < density) d.left.set(s);
+    else if (r < 2 * density) d.right.set(s);
+  }
+  return d;
+}
+
+class DichotomyAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(DichotomyAlgebra, CompatibilityIsSymmetric) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11 + 1);
+  const std::size_t n = 4 + rng.next_below(12);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_dichotomy(rng, n);
+    const auto b = random_dichotomy(rng, n);
+    EXPECT_EQ(a.compatible(b), b.compatible(a));
+  }
+}
+
+TEST_P(DichotomyAlgebra, UnionIsCommutativeAndCoversBoth) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 2);
+  const std::size_t n = 4 + rng.next_below(12);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_dichotomy(rng, n);
+    const auto b = random_dichotomy(rng, n);
+    if (!a.compatible(b)) continue;
+    const auto u1 = a.union_with(b);
+    const auto u2 = b.union_with(a);
+    EXPECT_EQ(u1, u2);
+    EXPECT_TRUE(u1.well_formed());
+    EXPECT_TRUE(u1.covers(a));
+    EXPECT_TRUE(u1.covers(b));
+  }
+}
+
+TEST_P(DichotomyAlgebra, CoveringIsTransitiveAndFlipInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+  const std::size_t n = 4 + rng.next_below(10);
+  for (int i = 0; i < 30; ++i) {
+    const auto a = random_dichotomy(rng, n);
+    const auto b = random_dichotomy(rng, n);
+    const auto c = random_dichotomy(rng, n);
+    if (a.covers(b) && b.covers(c)) {
+      EXPECT_TRUE(a.covers(c));
+    }
+    // Definition 3.4 allows the swapped orientation, so flipping either
+    // side never changes coverage.
+    EXPECT_EQ(a.covers(b), a.flipped().covers(b));
+    EXPECT_EQ(a.covers(b), a.covers(b.flipped()));
+  }
+}
+
+TEST_P(DichotomyAlgebra, CompatibleUnionPreservesValidity) {
+  // Validity is an intersection of per-constraint conditions on block
+  // membership; the union of two dichotomies valid for a dominance
+  // constraint can violate it only through new left/right pairs, which is
+  // exactly what this sweep exercises.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 23 + 4);
+  const std::size_t n = 6;
+  ConstraintSet cs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("s" + std::to_string(i));
+  cs.add_dominance_ids(0, 1);
+  cs.add_dominance_ids(2, 3);
+  for (int i = 0; i < 40; ++i) {
+    auto a = random_dichotomy(rng, n);
+    auto b = random_dichotomy(rng, n);
+    if (!a.compatible(b)) continue;
+    const auto u = a.union_with(b);
+    // If the union is valid then each part must have been valid (validity
+    // is monotone under removal of symbols).
+    if (dichotomy_valid(u, cs)) {
+      EXPECT_TRUE(dichotomy_valid(a, cs));
+      EXPECT_TRUE(dichotomy_valid(b, cs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DichotomyAlgebra, ::testing::Range(0, 10));
+
+class RaisedValiditySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaisedValiditySweep, RaisedDichotomiesSatisfyTheoremSixOne) {
+  // Theorem 6.1's "if" direction: completing any valid maximally raised
+  // dichotomy by sending all unplaced symbols to the right block yields a
+  // column that satisfies every output constraint.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 9);
+  const std::uint32_t n = 5 + static_cast<std::uint32_t>(rng.next_below(4));
+  ConstraintSet cs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("s" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (a != b) cs.add_dominance_ids(a, b);
+  }
+  if (n >= 4) {
+    const auto p = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto c1 = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto c2 = static_cast<std::uint32_t>(rng.next_below(n));
+    if (p != c1 && p != c2 && c1 != c2) cs.add_disjunctive_ids(p, {c1, c2});
+  }
+
+  auto column_satisfies_outputs = [&](const Dichotomy& d) {
+    // left = 0, everything else = 1.
+    auto bit = [&](std::uint32_t s) { return d.in_left(s) ? 0 : 1; };
+    for (const auto& dom : cs.dominances())
+      if (bit(dom.dominator) == 0 && bit(dom.dominated) == 1) return false;
+    for (const auto& dj : cs.disjunctives()) {
+      int orv = 0;
+      for (auto c : dj.children) orv |= bit(c);
+      if (orv != bit(dj.parent)) return false;
+    }
+    return true;
+  };
+
+  for (const auto& i : generate_initial_dichotomies(cs)) {
+    if (!dichotomy_valid(i.dichotomy, cs)) continue;
+    Dichotomy raised = i.dichotomy;
+    if (!raise_dichotomy(raised, cs)) continue;
+    if (!dichotomy_valid(raised, cs)) continue;
+    EXPECT_TRUE(column_satisfies_outputs(raised))
+        << raised.to_string(cs.symbols()) << "\n"
+        << cs.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaisedValiditySweep, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,80 @@
+// Tests for FSM static analysis (determinism / completeness / stats).
+#include <gtest/gtest.h>
+
+#include "fsm/analyze.h"
+#include "fsm/mcnc_like.h"
+
+namespace encodesat {
+namespace {
+
+TEST(Analyze, CleanDeterministicCompleteMachine) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 1
+.o 1
+0 a b 1
+1 a a 0
+- b a -
+)");
+  const auto res = analyze_fsm(fsm);
+  EXPECT_TRUE(res.deterministic);
+  EXPECT_TRUE(res.complete);
+  EXPECT_TRUE(res.issues.empty());
+  EXPECT_EQ(res.transitions, 3u);
+  EXPECT_EQ(res.dont_care_outputs, 1u);
+  EXPECT_EQ(res.max_fanout, 2);
+}
+
+TEST(Analyze, DetectsConflict) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 2
+.o 1
+1- a b 1
+11 a c 1
+)");
+  const auto res = analyze_fsm(fsm);
+  EXPECT_FALSE(res.deterministic);
+  bool found = false;
+  for (const auto& i : res.issues)
+    if (i.kind == FsmIssue::Kind::kConflict) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Analyze, AgreeingOverlapIsBenign) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 2
+.o 1
+1- a b 1
+11 a b -
+0- a a 0
+)");
+  const auto res = analyze_fsm(fsm);
+  EXPECT_TRUE(res.deterministic);
+  bool overlap = false;
+  for (const auto& i : res.issues)
+    if (i.kind == FsmIssue::Kind::kOverlap) overlap = true;
+  EXPECT_TRUE(overlap);
+}
+
+TEST(Analyze, DetectsIncompleteness) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 2
+.o 1
+00 a a 0
+)");
+  const auto res = analyze_fsm(fsm);
+  EXPECT_FALSE(res.complete);
+  ASSERT_FALSE(res.issues.empty());
+  EXPECT_EQ(res.issues[0].kind, FsmIssue::Kind::kIncomplete);
+}
+
+TEST(Analyze, GeneratedSuiteIsDeterministic) {
+  for (const char* name : {"dk512", "cse", "tbk"}) {
+    const Fsm fsm = make_mcnc_like(benchmark_spec(name));
+    const auto res = analyze_fsm(fsm);
+    EXPECT_TRUE(res.deterministic) << name;
+    EXPECT_TRUE(res.complete) << name;
+  }
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,84 @@
+// Tests for the comparison baselines: NOVA-like encoding and simulated
+// annealing.
+#include <gtest/gtest.h>
+
+#include "baseline/annealing.h"
+#include "baseline/nova.h"
+#include "core/bounded.h"
+#include "core/verify.h"
+
+namespace encodesat {
+namespace {
+
+TEST(Nova, ProducesUniqueCodes) {
+  const ConstraintSet cs = parse_constraints(R"(
+    face a b
+    face c d
+    face a c e
+  )");
+  const Encoding enc = nova_encode(cs, 3);
+  const auto v = verify_encoding(enc, cs);
+  for (const auto& viol : v)
+    EXPECT_NE(viol.kind, Violation::Kind::kDuplicateCode);
+  EXPECT_EQ(enc.bits, 3);
+}
+
+TEST(Nova, SatisfiesTrivialDisjointFaces) {
+  const ConstraintSet cs = parse_constraints("face a b\nface c d");
+  const Encoding enc = nova_encode(cs, 2);
+  EXPECT_EQ(count_satisfied_faces(enc, cs), 2);
+}
+
+TEST(Nova, RejectsTooFewBits) {
+  ConstraintSet cs;
+  for (int i = 0; i < 5; ++i) cs.symbols().intern("s" + std::to_string(i));
+  EXPECT_THROW(nova_encode(cs, 2), std::invalid_argument);
+}
+
+TEST(Nova, Deterministic) {
+  const ConstraintSet cs = parse_constraints("face a b c\nface b d\nsymbol e");
+  const Encoding e1 = nova_encode(cs, 3);
+  const Encoding e2 = nova_encode(cs, 3);
+  EXPECT_EQ(e1.codes, e2.codes);
+}
+
+TEST(Anneal, ProducesUniqueCodes) {
+  const ConstraintSet cs = parse_constraints(R"(
+    face a b
+    face b c
+    face d e
+  )");
+  AnnealOptions opts;
+  opts.temperature_points = 10;
+  opts.moves_per_temperature = 5;
+  const auto res = anneal_encode(cs, 3, opts);
+  const auto v = verify_encoding(res.encoding, cs);
+  for (const auto& viol : v)
+    EXPECT_NE(viol.kind, Violation::Kind::kDuplicateCode);
+  EXPECT_GT(res.evaluations, 0);
+}
+
+TEST(Anneal, MoreMovesNeverHurtsMuch) {
+  // Statistical sanity: with the face-violation cost on an easy instance
+  // the annealer should find a perfect assignment.
+  const ConstraintSet cs = parse_constraints("face a b\nface c d");
+  AnnealOptions opts;
+  opts.cost = CostKind::kViolatedFaces;
+  opts.temperature_points = 30;
+  opts.moves_per_temperature = 20;
+  const auto res = anneal_encode(cs, 2, opts);
+  EXPECT_EQ(res.cost.violated_faces, 0);
+}
+
+TEST(Anneal, Deterministic) {
+  const ConstraintSet cs = parse_constraints("face a b c\nsymbol d");
+  AnnealOptions opts;
+  opts.temperature_points = 5;
+  opts.moves_per_temperature = 4;
+  const auto r1 = anneal_encode(cs, 2, opts);
+  const auto r2 = anneal_encode(cs, 2, opts);
+  EXPECT_EQ(r1.encoding.codes, r2.encoding.codes);
+}
+
+}  // namespace
+}  // namespace encodesat

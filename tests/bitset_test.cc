@@ -1,0 +1,120 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace encodesat {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.first(), 130u);
+}
+
+TEST(Bitset, SetResetTest) {
+  Bitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, SetAllRespectsTail) {
+  Bitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  Bitset c(64);
+  c.set_all();
+  EXPECT_EQ(c.count(), 64u);
+}
+
+TEST(Bitset, FirstNextIterate) {
+  Bitset b(200);
+  const std::set<std::size_t> expected = {3, 64, 65, 127, 128, 199};
+  for (auto i : expected) b.set(i);
+  std::set<std::size_t> seen;
+  for (std::size_t i = b.first(); i < b.size(); i = b.next(i)) seen.insert(i);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Bitset, ForEachMatchesToVector) {
+  Bitset b(90);
+  b.set(1);
+  b.set(89);
+  b.set(42);
+  std::vector<std::size_t> v;
+  b.for_each([&](std::size_t i) { v.push_back(i); });
+  EXPECT_EQ(v, b.to_vector());
+  EXPECT_EQ(v, (std::vector<std::size_t>{1, 42, 89}));
+}
+
+TEST(Bitset, BooleanOps) {
+  Bitset a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  EXPECT_EQ((a & b).to_vector(), (std::vector<std::size_t>{65}));
+  EXPECT_EQ((a | b).to_vector(), (std::vector<std::size_t>{1, 2, 65}));
+  EXPECT_EQ((a ^ b).to_vector(), (std::vector<std::size_t>{1, 2}));
+  Bitset d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.to_vector(), (std::vector<std::size_t>{1}));
+}
+
+TEST(Bitset, SubsetAndIntersects) {
+  Bitset a(70), b(70);
+  a.set(5);
+  b.set(5);
+  b.set(66);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  Bitset c(70);
+  c.set(7);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(Bitset(70).is_subset_of(a));
+}
+
+TEST(Bitset, EqualityAndOrdering) {
+  Bitset a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(b < a);
+  b.set(4);
+  EXPECT_TRUE(a < b);
+}
+
+TEST(Bitset, ToString) {
+  Bitset a(10);
+  a.set(1);
+  a.set(4);
+  EXPECT_EQ(a.to_string(), "{1,4}");
+  EXPECT_EQ(Bitset(3).to_string(), "{}");
+}
+
+TEST(Bitset, HashDiffersForDifferentSets) {
+  Bitset a(64), b(64);
+  a.set(0);
+  b.set(1);
+  EXPECT_NE(a.hash(), b.hash());
+  Bitset c = a;
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+}  // namespace
+}  // namespace encodesat

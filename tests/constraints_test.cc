@@ -1,0 +1,97 @@
+// Tests for the constraint IR, the text parser, and round-tripping.
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+
+namespace encodesat {
+namespace {
+
+TEST(Parse, FaceWithDontCares) {
+  const ConstraintSet cs = parse_constraints("face a b [c d] e");
+  ASSERT_EQ(cs.faces().size(), 1u);
+  const auto& f = cs.faces()[0];
+  EXPECT_EQ(f.members.size(), 3u);
+  EXPECT_EQ(f.dontcares.size(), 2u);
+  EXPECT_EQ(cs.num_symbols(), 5u);
+  EXPECT_EQ(cs.symbols().name(f.members[2]), "e");
+  EXPECT_EQ(cs.symbols().name(f.dontcares[0]), "c");
+}
+
+TEST(Parse, AllConstraintKinds) {
+  const ConstraintSet cs = parse_constraints(R"(
+    # a comment
+    face a b c
+    dominance a b     # trailing comment
+    disjunctive a b c
+    extdisjunctive a : b c | d e
+    distance2 a d
+    nonface b c d
+    symbol lonely
+  )");
+  EXPECT_EQ(cs.faces().size(), 1u);
+  EXPECT_EQ(cs.dominances().size(), 1u);
+  EXPECT_EQ(cs.disjunctives().size(), 1u);
+  ASSERT_EQ(cs.extended_disjunctives().size(), 1u);
+  EXPECT_EQ(cs.extended_disjunctives()[0].conjunctions.size(), 2u);
+  EXPECT_EQ(cs.distance2s().size(), 1u);
+  EXPECT_EQ(cs.nonfaces().size(), 1u);
+  EXPECT_TRUE(cs.symbols().contains("lonely"));
+}
+
+TEST(Parse, Errors) {
+  EXPECT_THROW(parse_constraints("face a"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("dominance a"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("dominance a a"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("disjunctive a b"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("extdisjunctive a b c"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("frobnicate a b"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("face a [b c"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("face a b] c"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("extdisjunctive a : b |"), std::runtime_error);
+}
+
+TEST(Parse, RoundTripThroughToString) {
+  const std::string text = R"(face a b [c ] e
+dominance a b
+disjunctive a b e
+extdisjunctive a : b c | e f
+distance2 a e
+nonface b c e
+)";
+  const ConstraintSet cs = parse_constraints(text);
+  const ConstraintSet again = parse_constraints(cs.to_string());
+  EXPECT_EQ(cs.faces().size(), again.faces().size());
+  EXPECT_EQ(cs.dominances().size(), again.dominances().size());
+  EXPECT_EQ(cs.disjunctives().size(), again.disjunctives().size());
+  EXPECT_EQ(cs.extended_disjunctives().size(),
+            again.extended_disjunctives().size());
+  EXPECT_EQ(cs.num_symbols(), again.num_symbols());
+  EXPECT_EQ(cs.to_string(), again.to_string());
+}
+
+TEST(Parse, SymbolsInternedInOrderOfMention) {
+  const ConstraintSet cs = parse_constraints("face x y\nface a x");
+  EXPECT_EQ(cs.symbols().at("x"), 0u);
+  EXPECT_EQ(cs.symbols().at("y"), 1u);
+  EXPECT_EQ(cs.symbols().at("a"), 2u);
+}
+
+TEST(Symbols, InternAndLookup) {
+  SymbolTable t;
+  EXPECT_EQ(t.intern("a"), 0u);
+  EXPECT_EQ(t.intern("b"), 1u);
+  EXPECT_EQ(t.intern("a"), 0u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.name(1), "b");
+  EXPECT_THROW(t.at("zzz"), std::out_of_range);
+}
+
+TEST(IndexBitset, Builds) {
+  const Bitset b = index_bitset(6, {1, 4});
+  EXPECT_TRUE(b.test(1));
+  EXPECT_TRUE(b.test(4));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,204 @@
+// Tests for the Section 7 cost functions (Figure 9 semantics).
+#include <gtest/gtest.h>
+
+#include "core/bounded.h"
+#include "core/cost.h"
+#include "core/encoder.h"
+#include "core/verify.h"
+#include "logic/exact_minimize.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+// The Section 7 running example: (e,f,c), (e,d,g), (a,b,d), (a,g,f,d).
+ConstraintSet section7_constraints() {
+  return parse_constraints(R"(
+    face e f c
+    face e d g
+    face a b d
+    face a g f d
+  )");
+}
+
+// The paper's 4-bit satisfying assignment for it.
+Encoding section7_codes4() {
+  const ConstraintSet cs = section7_constraints();
+  Encoding enc;
+  enc.bits = 4;
+  enc.codes.assign(cs.num_symbols(), 0);
+  auto set = [&](const char* name, std::uint64_t msb_first) {
+    // The paper writes codes MSB-first; our bit 0 is column 0 (LSB).
+    std::uint64_t code = 0;
+    for (int b = 0; b < 4; ++b)
+      if ((msb_first >> (3 - b)) & 1u) code |= std::uint64_t{1} << b;
+    enc.codes[cs.symbols().at(name)] = code;
+  };
+  set("a", 0b1010);
+  set("b", 0b0010);
+  set("c", 0b0011);
+  set("d", 0b1110);
+  set("e", 0b0111);
+  set("f", 0b1011);
+  set("g", 0b1100);
+  return enc;
+}
+
+TEST(Cost, Section7FourBitSolutionSatisfiesAll) {
+  const ConstraintSet cs = section7_constraints();
+  const Encoding enc = section7_codes4();
+  EXPECT_EQ(count_satisfied_faces(enc, cs), 4);
+  const EncodingCost cost = evaluate_encoding_cost(enc, cs);
+  EXPECT_EQ(cost.violated_faces, 0);
+  // Every satisfied constraint minimizes to a single product term.
+  EXPECT_EQ(cost.cubes, 4);
+}
+
+TEST(Cost, Section7NeedsFourBits) {
+  // "To satisfy all the constraints, a code-length of 4 bits is required."
+  const auto res = exact_encode(section7_constraints());
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res.encoding.bits, 4);
+}
+
+TEST(Cost, ThreeBitsMustViolateSomething) {
+  // Any 3-bit encoding violates at least one face constraint; the paper's
+  // Figure 9 example violates 3 of them with 7 cubes / 14 literals.
+  const ConstraintSet cs = section7_constraints();
+  BoundedEncodeOptions opts;
+  opts.cost = CostKind::kCubes;
+  const auto res = bounded_encode(cs, 3, opts);
+  EXPECT_GT(res.cost.violated_faces, 0);
+  // A violated constraint needs at least two product terms (Section 7), so
+  // the minimized multi-output cover cannot be as small as the constraint
+  // count would allow if everything were satisfied.
+  EXPECT_GE(res.cost.cubes, 2);
+  EXPECT_GE(res.cost.literals, res.cost.cubes);
+}
+
+TEST(Cost, SatisfiedFaceIsOneCube) {
+  const ConstraintSet cs = parse_constraints("face a b\nsymbol c\nsymbol d");
+  Encoding enc;
+  enc.bits = 2;
+  enc.codes = {0b00, 0b01, 0b10, 0b11};  // a,b share the x1=0 face
+  EXPECT_EQ(count_satisfied_faces(enc, cs), 1);
+  const EncodingCost cost = evaluate_encoding_cost(enc, cs);
+  EXPECT_EQ(cost.cubes, 1);
+  EXPECT_EQ(cost.literals, 1);
+}
+
+TEST(Cost, ViolatedFaceNeedsAtLeastTwoCubes) {
+  // Symbols intern in order of first mention: a, d, b, c.
+  const ConstraintSet cs = parse_constraints("face a d\nsymbol b\nsymbol c");
+  Encoding enc;
+  enc.bits = 2;
+  enc.codes = {0b00, 0b11, 0b01, 0b10};  // a=00, d=11: span is everything
+  EXPECT_EQ(count_satisfied_faces(enc, cs), 0);
+  const EncodingCost cost = evaluate_encoding_cost(enc, cs);
+  EXPECT_GE(cost.cubes, 2);
+}
+
+TEST(Cost, DontCareMembersRelaxTheFunction) {
+  // (a, b, [c], d): c's code is a don't-care point of the constraint
+  // function, so it can never break single-cube minimization.
+  const ConstraintSet cs =
+      parse_constraints("face a b [c] d\nsymbol e\nsymbol f\nsymbol g\nsymbol h");
+  Encoding enc;
+  enc.bits = 3;
+  enc.codes = {0, 1, 2, 3, 4, 5, 6, 7};  // a,b,c,d = 000,001,010,011
+  EXPECT_EQ(count_satisfied_faces(enc, cs), 1);
+  const EncodingCost cost = evaluate_encoding_cost(enc, cs);
+  EXPECT_EQ(cost.cubes, 1);
+}
+
+TEST(Cost, UnusedCodesAreDontCares) {
+  // Three symbols in 2 bits: the unused code 11 must be usable as DC.
+  const ConstraintSet cs = parse_constraints("face a b\nsymbol c");
+  Encoding enc;
+  enc.bits = 2;
+  enc.codes = {0b00, 0b10, 0b01};  // a=00, b=10 (x0 differs), c=01
+  // Face of {a,b} spans x0; c=01 is outside; satisfied.
+  EXPECT_EQ(count_satisfied_faces(enc, cs), 1);
+  const EncodingCost cost = evaluate_encoding_cost(enc, cs);
+  EXPECT_EQ(cost.cubes, 1);
+  // The single cube is x1' (one literal), only possible if 11 is DC.
+  EXPECT_EQ(cost.literals, 1);
+}
+
+TEST(Cost, NoFacesZeroCost) {
+  ConstraintSet cs;
+  cs.symbols().intern("a");
+  cs.symbols().intern("b");
+  Encoding enc;
+  enc.bits = 1;
+  enc.codes = {0, 1};
+  const EncodingCost cost = evaluate_encoding_cost(enc, cs);
+  EXPECT_EQ(cost.cubes, 0);
+  EXPECT_EQ(cost.literals, 0);
+  EXPECT_EQ(cost.violated_faces, 0);
+}
+
+
+TEST(Cost, PerFaceCubesMatchExactOracleOnSmallSpaces) {
+  // The per-face ESPRESSO evaluation should be optimal (or within one cube)
+  // of the exact Quine-McCluskey minimizer on small code spaces.
+  Rng rng(20240705);
+  for (int trial = 0; trial < 10; ++trial) {
+    ConstraintSet cs;
+    const std::uint32_t n = 5 + static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t i = 0; i < n; ++i)
+      cs.symbols().intern("s" + std::to_string(i));
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t s = 0; s < n; ++s)
+      if (rng.next_bool(0.45)) members.push_back(s);
+    if (members.size() < 2 || members.size() >= n) continue;
+    cs.add_face_ids(members);
+
+    Encoding enc;
+    enc.bits = 3;
+    enc.codes.resize(n);
+    // Random injective assignment into the 3-bit space.
+    std::vector<std::uint64_t> codes{0, 1, 2, 3, 4, 5, 6, 7};
+    for (std::size_t i = codes.size(); i > 1; --i)
+      std::swap(codes[i - 1], codes[rng.next_below(i)]);
+    for (std::uint32_t s = 0; s < n; ++s) enc.codes[s] = codes[s];
+
+    const EncodingCost heur = evaluate_encoding_cost(enc, cs);
+
+    // Exact oracle over the same per-face function.
+    const Domain dom = Domain::binary(enc.bits, 1);
+    Cover on(dom), dc(dom);
+    Bitset out(1);
+    out.set(0);
+    std::vector<bool> used(8, false);
+    for (std::uint32_t s = 0; s < n; ++s) used[enc.codes[s]] = true;
+    for (auto m : cs.faces()[0].members) {
+      Cube c(dom);
+      for (int v = 0; v < 3; ++v)
+        c.bits.set(static_cast<std::size_t>(
+            dom.pos(v, static_cast<int>((enc.codes[m] >> v) & 1u))));
+      c.bits.set(static_cast<std::size_t>(dom.out_pos(0)));
+      on.add(c);
+    }
+    for (std::uint64_t code = 0; code < 8; ++code) {
+      if (used[code]) continue;
+      Cube c(dom);
+      for (int v = 0; v < 3; ++v)
+        c.bits.set(static_cast<std::size_t>(
+            dom.pos(v, static_cast<int>((code >> v) & 1u))));
+      c.bits.set(static_cast<std::size_t>(dom.out_pos(0)));
+      dc.add(c);
+    }
+    const auto exact = exact_minimize(on, dc);
+    ASSERT_EQ(exact.status, ExactMinimizeResult::Status::kMinimized);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_GE(heur.cubes, static_cast<int>(exact.cover.size()));
+    EXPECT_LE(heur.cubes, static_cast<int>(exact.cover.size()) + 1);
+    if (heur.violated_faces == 0) {
+      EXPECT_EQ(static_cast<int>(exact.cover.size()), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,115 @@
+// Tests for the cover-level set algebra.
+#include <gtest/gtest.h>
+
+#include "logic/cover_ops.h"
+#include "logic/urp.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+Cube bcube(const Domain& dom, const std::string& in, const std::string& out) {
+  return cube_from_string(dom, in, out);
+}
+
+Cover random_cover(Rng& rng, const Domain& dom, int cubes) {
+  Cover f(dom);
+  for (int i = 0; i < cubes; ++i) {
+    std::string in, out;
+    for (int v = 0; v < dom.num_inputs(); ++v) in += "01--"[rng.next_below(4)];
+    for (int o = 0; o < dom.num_outputs(); ++o) out += "01"[rng.next_below(2)];
+    if (out.find('1') == std::string::npos) out[0] = '1';
+    f.add(cube_from_string(dom, in, out));
+  }
+  return f;
+}
+
+TEST(CoverOps, IntersectBasics) {
+  const Domain dom = Domain::binary(3, 1);
+  Cover a(dom), b(dom);
+  a.add(bcube(dom, "1--", "1"));
+  b.add(bcube(dom, "-1-", "1"));
+  const Cover meet = cover_intersect(a, b);
+  ASSERT_EQ(meet.size(), 1u);
+  EXPECT_EQ(cube_to_string(dom, meet[0]), "11- | 1");
+  EXPECT_TRUE(cover_intersect(a, Cover(dom)).empty());
+}
+
+TEST(CoverOps, SharpRemovesExactlyB) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover a(dom), b(dom);
+  a.add(bcube(dom, "1-", "1"));
+  b.add(bcube(dom, "11", "1"));
+  const Cover diff = cover_sharp(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(cube_to_string(dom, diff[0]), "10 | 1");
+  // a = diff ∪ b.
+  EXPECT_TRUE(covers_equal(cover_union(diff, b), a));
+}
+
+TEST(CoverOps, UnionAbsorbs) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover a(dom), b(dom);
+  a.add(bcube(dom, "1-", "1"));
+  b.add(bcube(dom, "11", "1"));
+  EXPECT_EQ(cover_union(a, b).size(), 1u);
+}
+
+TEST(CoverOps, Supercube) {
+  const Domain dom = Domain::binary(3, 1);
+  Cover f(dom);
+  f.add(bcube(dom, "110", "1"));
+  f.add(bcube(dom, "100", "1"));
+  EXPECT_EQ(cube_to_string(dom, cover_supercube(f)), "1-0 | 1");
+  EXPECT_TRUE(cube_is_empty(dom, cover_supercube(Cover(dom))));
+}
+
+TEST(CoverOps, CofactorVar) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover f(dom);
+  f.add(bcube(dom, "10", "1"));
+  f.add(bcube(dom, "0-", "1"));
+  // Cofactor on x0 = 1 keeps {10} (as -0) and drops {0-}.
+  const Cover cf = cover_cofactor_var(f, 0, 1);
+  ASSERT_EQ(cf.size(), 1u);
+  EXPECT_EQ(cube_to_string(dom, cf[0]), "-0 | 1");
+}
+
+TEST(CoverOps, SubsetAndEquality) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover a(dom), b(dom);
+  a.add(bcube(dom, "11", "1"));
+  b.add(bcube(dom, "1-", "1"));
+  EXPECT_TRUE(cover_subset(a, b));
+  EXPECT_FALSE(cover_subset(b, a));
+  EXPECT_FALSE(covers_equal(a, b));
+  EXPECT_TRUE(covers_equal(b, b));
+}
+
+class CoverOpsAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverOpsAlgebra, DeMorganAndPartition) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 5);
+  const Domain dom = Domain::binary(3 + static_cast<int>(rng.next_below(2)),
+                                    1 + static_cast<int>(rng.next_below(2)));
+  const Cover a = random_cover(rng, dom, 4);
+  const Cover b = random_cover(rng, dom, 4);
+
+  // a = (a ∩ b) ∪ (a # b), and the two parts are disjoint.
+  const Cover meet = cover_intersect(a, b);
+  const Cover diff = cover_sharp(a, b);
+  EXPECT_TRUE(covers_equal(cover_union(meet, diff), a));
+  for (const Cube& x : diff)
+    EXPECT_FALSE(cover_contains_cube(b, x) &&
+                 !cube_is_empty(dom, x));
+
+  // complement(a ∪ b) == complement(a) ∩ complement(b).
+  const Cover lhs = complement(cover_union(a, b));
+  const Cover rhs = cover_intersect(complement(a), complement(b));
+  EXPECT_TRUE(covers_equal(lhs, rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverOpsAlgebra, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,220 @@
+// Tests for the unate and binate covering solvers, including brute-force
+// optimality cross-checks on random instances.
+#include <gtest/gtest.h>
+
+#include "covering/binate.h"
+#include "covering/unate.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+UnateCoverProblem make_unate(std::size_t cols,
+                             const std::vector<std::vector<std::size_t>>& rows) {
+  UnateCoverProblem p;
+  p.num_columns = cols;
+  for (const auto& r : rows) {
+    Bitset row(cols);
+    for (auto c : r) row.set(c);
+    p.rows.push_back(std::move(row));
+  }
+  return p;
+}
+
+TEST(UnateCover, EmptyProblemIsFeasibleZeroCost) {
+  UnateCoverProblem p;
+  p.num_columns = 3;
+  const auto sol = solve_unate_cover(p);
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.cost, 0);
+  EXPECT_TRUE(sol.columns.empty());
+}
+
+TEST(UnateCover, EmptyRowInfeasible) {
+  auto p = make_unate(2, {{0}, {}});
+  EXPECT_FALSE(solve_unate_cover(p).feasible);
+  EXPECT_FALSE(greedy_unate_cover(p).feasible);
+}
+
+TEST(UnateCover, EssentialColumnsPicked) {
+  auto p = make_unate(3, {{0}, {1}, {0, 1, 2}});
+  const auto sol = solve_unate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.cost, 2);
+  EXPECT_EQ(sol.columns, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(UnateCover, GreedyTrapExactEscapes) {
+  // Greedy prefers column 0 (covers 3 rows) but the optimum is {1, 2}.
+  auto p = make_unate(3, {{0, 1}, {0, 1}, {0, 2}, {1}, {2}});
+  const auto sol = solve_unate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_EQ(sol.cost, 2);
+  EXPECT_EQ(sol.columns, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(UnateCover, RespectsWeights) {
+  auto p = make_unate(3, {{0, 1}, {0, 2}});
+  p.weights = {5, 1, 1};  // column 0 covers both rows but costs more
+  const auto sol = solve_unate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.cost, 2);
+  EXPECT_EQ(sol.columns, (std::vector<std::size_t>{1, 2}));
+}
+
+int brute_force_unate(const UnateCoverProblem& p) {
+  int best = -1;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << p.num_columns);
+       ++mask) {
+    bool ok = true;
+    for (const auto& row : p.rows) {
+      bool covered = false;
+      row.for_each([&](std::size_t c) {
+        if ((mask >> c) & 1u) covered = true;
+      });
+      if (!covered && !row.empty()) {
+        ok = false;
+        break;
+      }
+      if (row.empty()) ok = false;
+    }
+    if (!ok) continue;
+    int cost = 0;
+    for (std::size_t c = 0; c < p.num_columns; ++c)
+      if ((mask >> c) & 1u)
+        cost += p.weights.empty() ? 1 : p.weights[c];
+    if (best < 0 || cost < best) best = cost;
+  }
+  return best;
+}
+
+class UnateRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnateRandom, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 5);
+  const std::size_t cols = 4 + rng.next_below(8);
+  const std::size_t rows = 2 + rng.next_below(10);
+  UnateCoverProblem p;
+  p.num_columns = cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    Bitset row(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+      if (rng.next_bool(0.3)) row.set(c);
+    if (row.empty()) row.set(rng.next_below(cols));
+    p.rows.push_back(std::move(row));
+  }
+  if (GetParam() % 3 == 0) {
+    p.weights.resize(cols);
+    for (auto& w : p.weights) w = 1 + static_cast<int>(rng.next_below(4));
+  }
+  const auto sol = solve_unate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  ASSERT_TRUE(sol.optimal);
+  EXPECT_EQ(sol.cost, brute_force_unate(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnateRandom, ::testing::Range(0, 30));
+
+TEST(BinateCover, PurePositiveMatchesUnate) {
+  BinateCoverProblem p;
+  p.num_columns = 3;
+  p.add_row({0, 1}, {});
+  p.add_row({1, 2}, {});
+  const auto sol = solve_binate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.cost, 1);
+  EXPECT_EQ(sol.columns, (std::vector<std::size_t>{1}));
+}
+
+TEST(BinateCover, NegativeLiteralSatisfiedByDeselection) {
+  BinateCoverProblem p;
+  p.num_columns = 2;
+  p.add_row({}, {0});  // forbid column 0
+  p.add_row({0, 1}, {});
+  const auto sol = solve_binate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.columns, (std::vector<std::size_t>{1}));
+}
+
+TEST(BinateCover, ConflictIsInfeasible) {
+  BinateCoverProblem p;
+  p.num_columns = 1;
+  p.add_row({0}, {});
+  p.add_row({}, {0});
+  EXPECT_FALSE(solve_binate_cover(p).feasible);
+}
+
+TEST(BinateCover, ImplicationChainPropagates) {
+  // Select 0 -> must select 1 -> must select 2; row forces 0.
+  BinateCoverProblem p;
+  p.num_columns = 3;
+  p.add_row({0}, {});
+  p.add_row({1}, {0});
+  p.add_row({2}, {1});
+  const auto sol = solve_binate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.cost, 3);
+}
+
+int brute_force_binate(const BinateCoverProblem& p) {
+  int best = -1;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << p.num_columns);
+       ++mask) {
+    bool ok = true;
+    for (const auto& row : p.rows) {
+      bool sat = false;
+      row.pos.for_each([&](std::size_t c) {
+        if ((mask >> c) & 1u) sat = true;
+      });
+      row.neg.for_each([&](std::size_t c) {
+        if (!((mask >> c) & 1u)) sat = true;
+      });
+      if (!sat) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    int cost = 0;
+    for (std::size_t c = 0; c < p.num_columns; ++c)
+      if ((mask >> c) & 1u)
+        cost += p.weights.empty() ? 1 : p.weights[c];
+    if (best < 0 || cost < best) best = cost;
+  }
+  return best;
+}
+
+class BinateRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinateRandom, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 9);
+  const std::size_t cols = 3 + rng.next_below(8);
+  const std::size_t rows = 2 + rng.next_below(12);
+  BinateCoverProblem p;
+  p.num_columns = cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::size_t> pos, neg;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = rng.next_double();
+      if (x < 0.2) pos.push_back(c);
+      else if (x < 0.3) neg.push_back(c);
+    }
+    if (pos.empty() && neg.empty()) pos.push_back(rng.next_below(cols));
+    p.add_row(pos, neg);
+  }
+  const int expected = brute_force_binate(p);
+  const auto sol = solve_binate_cover(p);
+  if (expected < 0) {
+    EXPECT_FALSE(sol.feasible);
+  } else {
+    ASSERT_TRUE(sol.feasible);
+    ASSERT_TRUE(sol.optimal);
+    EXPECT_EQ(sol.cost, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinateRandom, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace encodesat

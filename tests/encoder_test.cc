@@ -1,0 +1,217 @@
+// Tests for the feasibility check (P-1) and the exact encoder (P-2),
+// anchored on the paper's worked examples:
+//  - the abstract's example (face + dominance + disjunctive, 2 bits),
+//  - Figure 3 (input-only example, 4 prime columns),
+//  - Figure 4 (infeasible mixed constraints; the local-consistency check
+//    wrongly answers feasible),
+//  - Figure 8 (exact mixed encoding, 2 bits),
+//  - Section 8.1 (encoding don't-cares change the minimum from 4 to 3).
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/local_check.h"
+#include "core/verify.h"
+
+namespace encodesat {
+namespace {
+
+ConstraintSet figure4_constraints() {
+  return parse_constraints(R"(
+    symbol s0
+    symbol s1
+    symbol s2
+    symbol s3
+    symbol s4
+    symbol s5
+    face s1 s5
+    face s2 s5
+    face s4 s5
+    dominance s0 s1
+    dominance s0 s2
+    dominance s0 s3
+    dominance s0 s5
+    dominance s1 s3
+    dominance s2 s3
+    dominance s4 s5
+    dominance s5 s2
+    dominance s5 s3
+    disjunctive s0 s1 s2
+  )");
+}
+
+TEST(Feasibility, Figure4IsInfeasible) {
+  const ConstraintSet cs = figure4_constraints();
+  const FeasibilityResult res = check_feasible(cs);
+  EXPECT_FALSE(res.feasible);
+  // The paper reports (s0; s1 s5) and (s1 s5; s0) as the uncovered initial
+  // dichotomies.
+  const Dichotomy want =
+      Dichotomy::make(6, {0}, {1, 5});
+  bool found_same = false, found_flip = false;
+  for (std::size_t i : res.uncovered) {
+    if (res.initial[i].dichotomy == want) found_same = true;
+    if (res.initial[i].dichotomy == want.flipped()) found_flip = true;
+  }
+  EXPECT_TRUE(found_same);
+  EXPECT_TRUE(found_flip);
+}
+
+TEST(Feasibility, Figure4InitialDichotomyCount) {
+  // The paper lists 26 initial encoding-dichotomies for Figure 4.
+  const auto init = generate_initial_dichotomies(figure4_constraints());
+  EXPECT_EQ(init.size(), 26u);
+}
+
+TEST(Feasibility, LocalCheckIsFooledByFigure4) {
+  // Section 6.2: the check of [9] answers "satisfiable" on Figure 4.
+  EXPECT_TRUE(local_consistency_feasible(figure4_constraints()));
+}
+
+TEST(Feasibility, LocalCheckRejectsDirectConflicts) {
+  ConstraintSet cs = parse_constraints(R"(
+    dominance a b
+    dominance b a
+  )");
+  EXPECT_FALSE(local_consistency_feasible(cs));
+}
+
+TEST(Feasibility, SatisfiableMixedSet) {
+  const ConstraintSet cs = parse_constraints(R"(
+    face b c
+    face c d
+    face b a
+    face a d
+    dominance b c
+    dominance a c
+    disjunctive a b d
+  )");
+  EXPECT_TRUE(check_feasible(cs).feasible);
+}
+
+TEST(ExactEncode, AbstractExampleTwoBits) {
+  // From Section 1: (b,c), (c,d), (b,a), (a,d), b > c, a > c, a = b OR d
+  // has minimum code length two (e.g. a=11 b=01 c=00 d=10).
+  const ConstraintSet cs = parse_constraints(R"(
+    face b c
+    face c d
+    face b a
+    face a d
+    dominance b c
+    dominance a c
+    disjunctive a b d
+  )");
+  const auto res = exact_encode(cs);
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_TRUE(res.minimal);
+  EXPECT_EQ(res.encoding.bits, 2);
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
+}
+
+TEST(ExactEncode, Figure8TwoBits) {
+  const ConstraintSet cs = parse_constraints(R"(
+    face s0 s1
+    dominance s0 s1
+    dominance s1 s2
+    disjunctive s0 s1 s3
+  )");
+  const auto res = exact_encode(cs);
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res.encoding.bits, 2);
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
+  // The paper's raised set yields 4 valid prime encoding-dichotomies.
+  EXPECT_EQ(res.num_valid_primes, 4u);
+}
+
+TEST(ExactEncode, Figure3InputOnly) {
+  // (s0,s2,s4), (s0,s1,s4), (s1,s2,s3), (s1,s3,s4) over five symbols;
+  // the paper's minimum cover uses 4 prime encoding-dichotomies.
+  const ConstraintSet cs = parse_constraints(R"(
+    face s0 s2 s4
+    face s0 s1 s4
+    face s1 s2 s3
+    face s1 s3 s4
+  )");
+  const auto res = exact_encode(cs);
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_TRUE(res.minimal);
+  EXPECT_EQ(res.encoding.bits, 4);
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
+}
+
+TEST(ExactEncode, Section81DontCares) {
+  // (a,b), (a,c), (a,d), (a,b,[c,d],e): 3 bits suffice with the don't-cares
+  // free; forcing them in or out of the face needs 4 bits.
+  const ConstraintSet with_dc = parse_constraints(R"(
+    face a b
+    face a c
+    face a d
+    face a b [c d] e
+    symbol f
+  )");
+  const auto res_dc = exact_encode(with_dc);
+  ASSERT_EQ(res_dc.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res_dc.encoding.bits, 3);
+  EXPECT_TRUE(verify_encoding(res_dc.encoding, with_dc).empty());
+
+  const ConstraintSet forced_in = parse_constraints(R"(
+    face a b
+    face a c
+    face a d
+    face a b c d e
+    symbol f
+  )");
+  const auto res_in = exact_encode(forced_in);
+  ASSERT_EQ(res_in.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res_in.encoding.bits, 4);
+
+  const ConstraintSet forced_out = parse_constraints(R"(
+    face a b
+    face a c
+    face a d
+    face a b e
+    symbol f
+  )");
+  const auto res_out = exact_encode(forced_out);
+  ASSERT_EQ(res_out.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res_out.encoding.bits, 4);
+}
+
+TEST(ExactEncode, UnconstrainedSymbolsGetMinimumLength) {
+  ConstraintSet cs;
+  for (const char* s : {"a", "b", "c", "d", "e"}) cs.symbols().intern(s);
+  const auto res = exact_encode(cs);
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res.encoding.bits, 3);  // ceil(log2 5)
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
+}
+
+TEST(ExactEncode, InfeasibleDominanceCycleReported) {
+  const ConstraintSet cs = parse_constraints(R"(
+    dominance a b
+    dominance b a
+  )");
+  const auto res = exact_encode(cs);
+  EXPECT_EQ(res.status, ExactEncodeResult::Status::kInfeasible);
+  EXPECT_FALSE(res.uncovered.empty());
+}
+
+TEST(ExactEncode, SingleSymbol) {
+  ConstraintSet cs;
+  cs.symbols().intern("only");
+  const auto res = exact_encode(cs);
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_EQ(res.encoding.codes.size(), 1u);
+}
+
+TEST(ExactEncode, ExtendedDisjunctiveSatisfied) {
+  const ConstraintSet cs = parse_constraints(R"(
+    face a b
+    extdisjunctive a : b c | d e
+  )");
+  const auto res = exact_encode(cs);
+  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,141 @@
+// Tests for the exact (Quine-McCluskey-style) minimizer, including its use
+// as an optimality oracle for the heuristic ESPRESSO loop.
+#include <gtest/gtest.h>
+
+#include "logic/espresso.h"
+#include "logic/exact_minimize.h"
+#include "logic/urp.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+Cube bcube(const Domain& dom, const std::string& in, const std::string& out) {
+  return cube_from_string(dom, in, out);
+}
+
+TEST(AllPrimes, SingleOutputClassic) {
+  // f = a'b' + ab' + ab = b' + a: primes are b' and a.
+  const Domain dom = Domain::binary(2, 1);
+  Cover on(dom);
+  on.add(bcube(dom, "00", "1"));
+  on.add(bcube(dom, "10", "1"));
+  on.add(bcube(dom, "11", "1"));
+  bool truncated = true;
+  const Cover primes = generate_all_primes(on, Cover(dom), 100, &truncated);
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(primes.size(), 2u);
+}
+
+TEST(AllPrimes, XorHasTwoPrimes) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover on(dom);
+  on.add(bcube(dom, "01", "1"));
+  on.add(bcube(dom, "10", "1"));
+  bool truncated = true;
+  const Cover primes = generate_all_primes(on, Cover(dom), 100, &truncated);
+  EXPECT_EQ(primes.size(), 2u);
+}
+
+TEST(AllPrimes, MultiOutputSharedPrime) {
+  // o1 = a, o2 = a: the multi-output prime a|11 must appear.
+  const Domain dom = Domain::binary(1, 2);
+  Cover on(dom);
+  on.add(bcube(dom, "1", "10"));
+  on.add(bcube(dom, "1", "01"));
+  bool truncated = true;
+  const Cover primes = generate_all_primes(on, Cover(dom), 100, &truncated);
+  bool found_shared = false;
+  for (const Cube& c : primes)
+    if (cube_to_string(dom, c) == "1 | 11") found_shared = true;
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(ExactMinimize, KnownOptimalSizes) {
+  const Domain dom = Domain::binary(3, 1);
+  Cover on(dom);
+  // f = majority(a, b, c): 3 primes needed (ab + ac + bc).
+  for (const char* m : {"110", "101", "011", "111"})
+    on.add(bcube(dom, m, "1"));
+  const auto res = exact_minimize(on, Cover(dom));
+  ASSERT_EQ(res.status, ExactMinimizeResult::Status::kMinimized);
+  ASSERT_TRUE(res.optimal);
+  EXPECT_EQ(res.cover.size(), 3u);
+  EXPECT_TRUE(covers_equivalent(res.cover, on, Cover(dom)));
+}
+
+TEST(ExactMinimize, UsesDontCares) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover on(dom), dc(dom);
+  on.add(bcube(dom, "11", "1"));
+  dc.add(bcube(dom, "10", "1"));
+  const auto res = exact_minimize(on, dc);
+  ASSERT_EQ(res.status, ExactMinimizeResult::Status::kMinimized);
+  EXPECT_EQ(res.cover.size(), 1u);
+  EXPECT_EQ(cube_input_literals(dom, res.cover[0]), 1);
+}
+
+TEST(ExactMinimize, EmptyOnSet) {
+  const Domain dom = Domain::binary(2, 1);
+  const auto res = exact_minimize(Cover(dom), Cover(dom));
+  EXPECT_EQ(res.status, ExactMinimizeResult::Status::kMinimized);
+  EXPECT_TRUE(res.cover.empty());
+}
+
+TEST(ExactMinimize, RefusesHugeDomains) {
+  const Domain dom = Domain::binary(40, 1);
+  Cover on(dom);
+  on.add(full_cube(dom));
+  const auto res = exact_minimize(on, Cover(dom));
+  EXPECT_EQ(res.status, ExactMinimizeResult::Status::kTooLarge);
+}
+
+class EspressoVsExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(EspressoVsExact, HeuristicIsNeverBetterThanExactAndStaysClose) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 7);
+  const int ni = 3 + static_cast<int>(rng.next_below(2));
+  const int no = 1 + static_cast<int>(rng.next_below(2));
+  const Domain dom = Domain::binary(ni, no);
+  Cover on(dom);
+  const int cubes = 3 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < cubes; ++i) {
+    std::string in, out;
+    for (int v = 0; v < ni; ++v) in += "01--"[rng.next_below(4)];
+    for (int o = 0; o < no; ++o) out += "01"[rng.next_below(2)];
+    if (out.find('1') == std::string::npos) out[0] = '1';
+    on.add(cube_from_string(dom, in, out));
+  }
+  const Cover dc(dom);
+  const auto exact = exact_minimize(on, dc);
+  ASSERT_EQ(exact.status, ExactMinimizeResult::Status::kMinimized);
+  ASSERT_TRUE(exact.optimal);
+  const Cover heur = espresso(on, dc);
+  EXPECT_TRUE(covers_equivalent(exact.cover, on, dc));
+  EXPECT_TRUE(covers_equivalent(heur, on, dc));
+  EXPECT_GE(heur.size(), exact.cover.size());
+  // The heuristic should be close to optimal on these small functions.
+  EXPECT_LE(heur.size(), exact.cover.size() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EspressoVsExact, ::testing::Range(0, 25));
+
+TEST(ExactMinimize, MultiValuedInputVariable) {
+  // One MV(3) input, one output; ON for values {0, 2}: two primes (no
+  // merging possible into one cube without value 1... actually the literal
+  // {0,2} IS a single cube in positional notation).
+  const Domain dom({3}, 1);
+  Cover on(dom);
+  for (int v : {0, 2}) {
+    Cube c(dom);
+    c.bits.set(static_cast<std::size_t>(v));
+    c.bits.set(static_cast<std::size_t>(dom.out_pos(0)));
+    on.add(c);
+  }
+  const auto res = exact_minimize(on, Cover(dom));
+  ASSERT_EQ(res.status, ExactMinimizeResult::Status::kMinimized);
+  EXPECT_EQ(res.cover.size(), 1u);
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,130 @@
+// Randomized round-trip ("fuzz-lite") tests for the text formats and the
+// constraint IR: write → parse → write must be a fixpoint, and the parsed
+// structures must be semantically identical.
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "fsm/fsm.h"
+#include "logic/pla.h"
+#include "logic/urp.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+class PlaRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlaRoundTrip, WriteParseWriteIsFixpoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  Pla pla;
+  const int ni = 2 + static_cast<int>(rng.next_below(5));
+  const int no = 1 + static_cast<int>(rng.next_below(4));
+  pla.domain = Domain::binary(ni, no);
+  pla.on = Cover(pla.domain);
+  pla.dc = Cover(pla.domain);
+  pla.off = Cover(pla.domain);
+  const int cubes = 1 + static_cast<int>(rng.next_below(12));
+  for (int i = 0; i < cubes; ++i) {
+    std::string in, out;
+    for (int v = 0; v < ni; ++v) in += "01--"[rng.next_below(4)];
+    for (int o = 0; o < no; ++o) out += "01"[rng.next_below(2)];
+    if (out.find('1') == std::string::npos) out[0] = '1';
+    if (rng.next_bool(0.25))
+      pla.dc.add(cube_from_string(pla.domain, in, out));
+    else
+      pla.on.add(cube_from_string(pla.domain, in, out));
+  }
+  const std::string text1 = write_pla_string(pla);
+  const Pla again = read_pla_string(text1);
+  const std::string text2 = write_pla_string(again);
+  EXPECT_EQ(text1, text2);
+  EXPECT_TRUE(covers_equivalent(pla.on, again.on, Cover(pla.domain)));
+  EXPECT_TRUE(covers_equivalent(pla.dc, again.dc, Cover(pla.domain)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlaRoundTrip, ::testing::Range(0, 15));
+
+class KissRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(KissRoundTrip, WriteParseWriteIsFixpoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 577 + 9);
+  Fsm fsm;
+  fsm.num_inputs = 1 + static_cast<int>(rng.next_below(4));
+  fsm.num_outputs = 1 + static_cast<int>(rng.next_below(4));
+  const int n = 2 + static_cast<int>(rng.next_below(6));
+  for (int s = 0; s < n; ++s) fsm.states.intern("q" + std::to_string(s));
+  fsm.reset_state = static_cast<int>(rng.next_below(n));
+  const int edges = 2 + static_cast<int>(rng.next_below(12));
+  for (int e = 0; e < edges; ++e) {
+    FsmTransition t;
+    for (int v = 0; v < fsm.num_inputs; ++v)
+      t.input += "01--"[rng.next_below(4)];
+    for (int o = 0; o < fsm.num_outputs; ++o)
+      t.output += "01--"[rng.next_below(4)];
+    t.from = static_cast<std::uint32_t>(rng.next_below(n));
+    t.to = static_cast<std::uint32_t>(rng.next_below(n));
+    fsm.transitions.push_back(std::move(t));
+  }
+  // Make every state appear in some transition so the .s count written
+  // matches what a re-parse reconstructs.
+  for (int s = 0; s < n; ++s) {
+    FsmTransition t;
+    t.input.assign(static_cast<std::size_t>(fsm.num_inputs), '-');
+    t.output.assign(static_cast<std::size_t>(fsm.num_outputs), '0');
+    t.from = static_cast<std::uint32_t>(s);
+    t.to = static_cast<std::uint32_t>(s);
+    fsm.transitions.push_back(std::move(t));
+  }
+  const std::string text1 = write_kiss2_string(fsm);
+  const Fsm again = parse_kiss2_string(text1);
+  EXPECT_EQ(write_kiss2_string(again), text1);
+  // States are re-interned in order of appearance, so indices may differ;
+  // identity is by name. (A state never mentioned in a transition can only
+  // be the reset state itself, which the parser interns from .r.)
+  ASSERT_GE(again.reset_state, 0);
+  EXPECT_EQ(again.states.name(static_cast<std::uint32_t>(again.reset_state)),
+            fsm.states.name(static_cast<std::uint32_t>(fsm.reset_state)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KissRoundTrip, ::testing::Range(0, 15));
+
+class ConstraintRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConstraintRoundTrip, ToStringParsesBack) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 947 + 21);
+  ConstraintSet cs;
+  const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(6));
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("v" + std::to_string(i));
+  for (int f = 0; f < 3; ++f) {
+    std::vector<std::uint32_t> members, dcs;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const double r = rng.next_double();
+      if (r < 0.3) members.push_back(s);
+      else if (r < 0.4) dcs.push_back(s);
+    }
+    if (members.size() >= 2) cs.add_face_ids(members, dcs);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (a != b) cs.add_dominance_ids(a, b);
+  }
+  if (n >= 3)
+    cs.add_disjunctive_ids(0, {1, 2});
+  cs.add_distance2("v0", "v1");
+  cs.add_extended_disjunctive("v0", {{"v1", "v2"}, {"v3"}});
+
+  const ConstraintSet again = parse_constraints(cs.to_string());
+  EXPECT_EQ(again.to_string(), cs.to_string());
+  EXPECT_EQ(again.faces().size(), cs.faces().size());
+  EXPECT_EQ(again.dominances().size(), cs.dominances().size());
+  EXPECT_EQ(again.extended_disjunctives().size(),
+            cs.extended_disjunctives().size());
+  EXPECT_EQ(again.distance2s().size(), cs.distance2s().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintRoundTrip, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace encodesat

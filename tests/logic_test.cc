@@ -1,0 +1,234 @@
+// Tests for the two-level logic substrate: cubes, covers, URP operations.
+#include <gtest/gtest.h>
+
+#include "logic/cover.h"
+#include "logic/cube.h"
+#include "logic/domain.h"
+#include "logic/urp.h"
+
+namespace encodesat {
+namespace {
+
+Cube bcube(const Domain& dom, const std::string& in, const std::string& out) {
+  return cube_from_string(dom, in, out);
+}
+
+TEST(Domain, LayoutBinary) {
+  const Domain dom = Domain::binary(3, 2);
+  EXPECT_EQ(dom.num_inputs(), 3);
+  EXPECT_EQ(dom.num_outputs(), 2);
+  EXPECT_EQ(dom.total_parts(), 8);
+  EXPECT_EQ(dom.pos(0, 0), 0);
+  EXPECT_EQ(dom.pos(2, 1), 5);
+  EXPECT_EQ(dom.out_pos(0), 6);
+  EXPECT_EQ(dom.num_input_minterms(), 8ull);
+}
+
+TEST(Domain, LayoutMultiValued) {
+  const Domain dom({2, 5, 3}, 4);
+  EXPECT_EQ(dom.total_parts(), 2 + 5 + 3 + 4);
+  EXPECT_EQ(dom.input_offset(1), 2);
+  EXPECT_EQ(dom.pos(2, 2), 9);
+  EXPECT_EQ(dom.out_pos(3), 13);
+  EXPECT_EQ(dom.num_input_minterms(), 30ull);
+}
+
+TEST(Cube, EmptinessAndFull) {
+  const Domain dom = Domain::binary(2, 1);
+  Cube c(dom);
+  EXPECT_TRUE(cube_is_empty(dom, c));
+  const Cube f = full_cube(dom);
+  EXPECT_FALSE(cube_is_empty(dom, f));
+  // Empty input part.
+  Cube g = f;
+  g.bits.reset(static_cast<std::size_t>(dom.pos(0, 0)));
+  g.bits.reset(static_cast<std::size_t>(dom.pos(0, 1)));
+  EXPECT_TRUE(cube_is_empty(dom, g));
+  // Empty output part.
+  Cube h = f;
+  h.bits.reset(static_cast<std::size_t>(dom.out_pos(0)));
+  EXPECT_TRUE(cube_is_empty(dom, h));
+}
+
+TEST(Cube, ContainsAndIntersect) {
+  const Domain dom = Domain::binary(3, 1);
+  const Cube big = bcube(dom, "1--", "1");
+  const Cube small = bcube(dom, "10-", "1");
+  EXPECT_TRUE(cube_contains(big, small));
+  EXPECT_FALSE(cube_contains(small, big));
+  auto meet = cube_intersect(dom, big, bcube(dom, "-01", "1"));
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_EQ(cube_to_string(dom, *meet), "101 | 1");
+  EXPECT_FALSE(cube_intersect(dom, bcube(dom, "1--", "1"),
+                              bcube(dom, "0--", "1"))
+                   .has_value());
+}
+
+TEST(Cube, Distance) {
+  const Domain dom = Domain::binary(3, 1);
+  EXPECT_EQ(cube_distance(dom, bcube(dom, "1--", "1"), bcube(dom, "0--", "1")),
+            1);
+  EXPECT_EQ(cube_distance(dom, bcube(dom, "10-", "1"), bcube(dom, "01-", "1")),
+            2);
+  EXPECT_EQ(cube_distance(dom, bcube(dom, "1--", "1"), bcube(dom, "1--", "1")),
+            0);
+}
+
+TEST(Cube, CofactorBasics) {
+  const Domain dom = Domain::binary(2, 1);
+  const Cube c = bcube(dom, "11", "1");
+  const Cube p = bcube(dom, "1-", "1");
+  auto cf = cube_cofactor(dom, c, p);
+  ASSERT_TRUE(cf.has_value());
+  // Cofactor frees the positions p constrains: x0 becomes don't-care.
+  EXPECT_EQ(cube_to_string(dom, *cf), "-1 | 1");
+  EXPECT_FALSE(cube_cofactor(dom, bcube(dom, "0-", "1"), bcube(dom, "1-", "1"))
+                   .has_value());
+}
+
+TEST(Cube, ComplementSingleCube) {
+  const Domain dom = Domain::binary(2, 1);
+  const auto comp = cube_complement(dom, bcube(dom, "11", "1"));
+  // One cube per non-full part: x0=0, x1=0 (output part is full).
+  ASSERT_EQ(comp.size(), 2u);
+  Cover cover(dom);
+  for (const auto& c : comp) cover.add(c);
+  cover.add(cube_from_string(dom, "11", "1"));
+  EXPECT_TRUE(is_tautology(cover));
+}
+
+TEST(Cube, SupercubeAndLiterals) {
+  const Domain dom = Domain::binary(3, 1);
+  const Cube sc =
+      cube_supercube(bcube(dom, "110", "1"), bcube(dom, "100", "1"));
+  EXPECT_EQ(cube_to_string(dom, sc), "1-0 | 1");
+  EXPECT_EQ(cube_input_literals(dom, sc), 2);
+  EXPECT_EQ(cube_input_literals(dom, full_cube(dom)), 0);
+}
+
+TEST(Cover, SccMinimal) {
+  const Domain dom = Domain::binary(3, 1);
+  Cover f(dom);
+  f.add(bcube(dom, "1--", "1"));
+  f.add(bcube(dom, "11-", "1"));  // contained
+  f.add(bcube(dom, "0-1", "1"));
+  f.make_scc_minimal();
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Urp, TautologyTrivial) {
+  const Domain dom = Domain::binary(2, 1);
+  EXPECT_FALSE(is_tautology(Cover(dom)));
+  EXPECT_TRUE(is_tautology(universe_cover(dom)));
+}
+
+TEST(Urp, TautologyXLiterals) {
+  const Domain dom = Domain::binary(1, 1);
+  Cover f(dom);
+  f.add(bcube(dom, "0", "1"));
+  EXPECT_FALSE(is_tautology(f));
+  f.add(bcube(dom, "1", "1"));
+  EXPECT_TRUE(is_tautology(f));
+}
+
+TEST(Urp, TautologyNeedsAllOutputs) {
+  const Domain dom = Domain::binary(1, 2);
+  Cover f(dom);
+  f.add(bcube(dom, "-", "10"));
+  EXPECT_FALSE(is_tautology(f));
+  f.add(bcube(dom, "-", "01"));
+  EXPECT_TRUE(is_tautology(f));
+}
+
+TEST(Urp, TautologyThreeVarSplit) {
+  const Domain dom = Domain::binary(3, 1);
+  Cover f(dom);
+  // x0 + x0'x1 + x0'x1'x2 + x0'x1'x2' = 1
+  f.add(bcube(dom, "1--", "1"));
+  f.add(bcube(dom, "01-", "1"));
+  f.add(bcube(dom, "001", "1"));
+  EXPECT_FALSE(is_tautology(f));
+  f.add(bcube(dom, "000", "1"));
+  EXPECT_TRUE(is_tautology(f));
+}
+
+TEST(Urp, ComplementRoundTrip) {
+  const Domain dom = Domain::binary(4, 1);
+  Cover f(dom);
+  f.add(bcube(dom, "1-0-", "1"));
+  f.add(bcube(dom, "01--", "1"));
+  f.add(bcube(dom, "--11", "1"));
+  const Cover comp = complement(f);
+  // f | comp must be a tautology and f & comp empty.
+  Cover both = f;
+  both.add_all(comp);
+  EXPECT_TRUE(is_tautology(both));
+  for (const Cube& a : f)
+    for (const Cube& b : comp)
+      EXPECT_FALSE(cubes_intersect(dom, a, b));
+}
+
+TEST(Urp, ComplementOfEmptyAndUniverse) {
+  const Domain dom = Domain::binary(2, 2);
+  EXPECT_TRUE(is_tautology(complement(Cover(dom))));
+  EXPECT_TRUE(complement(universe_cover(dom)).empty());
+}
+
+TEST(Urp, CoverContainsCube) {
+  const Domain dom = Domain::binary(3, 1);
+  Cover f(dom);
+  f.add(bcube(dom, "11-", "1"));
+  f.add(bcube(dom, "1-1", "1"));
+  EXPECT_TRUE(cover_contains_cube(f, bcube(dom, "111", "1")));
+  EXPECT_TRUE(cover_contains_cube(f, bcube(dom, "110", "1")));
+  EXPECT_FALSE(cover_contains_cube(f, bcube(dom, "100", "1")));
+  // Consensus case: covered by two cubes jointly.
+  Cover g(dom);
+  g.add(bcube(dom, "1--", "1"));
+  g.add(bcube(dom, "0--", "1"));
+  EXPECT_TRUE(cover_contains_cube(g, bcube(dom, "--1", "1")));
+}
+
+TEST(Urp, EquivalenceModuloDc) {
+  const Domain dom = Domain::binary(2, 1);
+  Cover f(dom), g(dom), dc(dom);
+  f.add(bcube(dom, "1-", "1"));
+  g.add(bcube(dom, "11", "1"));
+  EXPECT_FALSE(covers_equivalent(f, g, dc));
+  dc.add(bcube(dom, "10", "1"));
+  EXPECT_TRUE(covers_equivalent(f, g, dc));
+}
+
+TEST(Urp, MultiValuedTautology) {
+  // One 3-valued variable: literals {0,1} and {2} together cover it.
+  const Domain dom({3}, 1);
+  Cover f(dom);
+  Cube a(dom);
+  a.bits.set(0);
+  a.bits.set(1);
+  a.bits.set(static_cast<std::size_t>(dom.out_pos(0)));
+  Cube b(dom);
+  b.bits.set(2);
+  b.bits.set(static_cast<std::size_t>(dom.out_pos(0)));
+  f.add(a);
+  EXPECT_FALSE(is_tautology(f));
+  f.add(b);
+  EXPECT_TRUE(is_tautology(f));
+}
+
+TEST(Urp, MultiValuedComplement) {
+  const Domain dom({4}, 1);
+  Cover f(dom);
+  Cube a(dom);
+  a.bits.set(1);
+  a.bits.set(static_cast<std::size_t>(dom.out_pos(0)));
+  f.add(a);
+  const Cover comp = complement(f);
+  Cover both = f;
+  both.add_all(comp);
+  EXPECT_TRUE(is_tautology(both));
+  for (const Cube& c : comp) EXPECT_FALSE(cubes_intersect(dom, a, c));
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,91 @@
+// Additional property sweeps: chain-constraint search and URP laws.
+#include <gtest/gtest.h>
+
+#include "core/bounded.h"
+#include "core/chains.h"
+#include "core/verify.h"
+#include "logic/cover_ops.h"
+#include "logic/urp.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+class ChainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSweep, SolutionsVerifyAndChainsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 83 + 19);
+  ConstraintSet cs;
+  const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(4));
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("s" + std::to_string(i));
+  // One random chain over a prefix of the symbols, plus a random face.
+  ChainConstraint chain;
+  const std::uint32_t len = 2 + static_cast<std::uint32_t>(rng.next_below(n - 2));
+  for (std::uint32_t i = 0; i < len; ++i) chain.sequence.push_back(i);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t s = 0; s < n; ++s)
+    if (rng.next_bool(0.4)) members.push_back(s);
+  if (members.size() >= 2 && members.size() < n)
+    cs.add_face_ids(std::move(members));
+
+  const int bits = minimum_code_length(n) + (rng.next_bool(0.5) ? 1 : 0);
+  const auto res = encode_with_chains(cs, {chain}, bits);
+  if (res.status != ChainEncodeResult::Status::kEncoded) return;
+  EXPECT_TRUE(chains_satisfied(res.encoding, {chain})) << cs.to_string();
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty()) << cs.to_string();
+  EXPECT_EQ(res.encoding.bits, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainSweep, ::testing::Range(0, 20));
+
+class UrpLaws : public ::testing::TestWithParam<int> {};
+
+Cover random_cover(Rng& rng, const Domain& dom, int cubes) {
+  Cover f(dom);
+  for (int i = 0; i < cubes; ++i) {
+    std::string in, out;
+    for (int v = 0; v < dom.num_inputs(); ++v) in += "01--"[rng.next_below(4)];
+    for (int o = 0; o < dom.num_outputs(); ++o) out += "01"[rng.next_below(2)];
+    if (out.find('1') == std::string::npos) out[0] = '1';
+    f.add(cube_from_string(dom, in, out));
+  }
+  return f;
+}
+
+TEST_P(UrpLaws, ShannonExpansionLaws) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 23);
+  const Domain dom = Domain::binary(3 + static_cast<int>(rng.next_below(2)), 1);
+  const Cover f = random_cover(rng, dom, 5);
+  const int var = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(dom.num_inputs())));
+
+  // Tautology iff both cofactors are tautologies.
+  const Cover f0 = cover_cofactor_var(f, var, 0);
+  const Cover f1 = cover_cofactor_var(f, var, 1);
+  EXPECT_EQ(is_tautology(f), is_tautology(f0) && is_tautology(f1));
+
+  // f == x'·f_x' + x·f_x (rebuild via intersection with the literals).
+  Cube lit0 = full_cube(dom), lit1 = full_cube(dom);
+  lit0.bits.reset(static_cast<std::size_t>(dom.pos(var, 1)));
+  lit1.bits.reset(static_cast<std::size_t>(dom.pos(var, 0)));
+  Cover rebuilt(dom);
+  for (const Cube& c : f0)
+    if (auto m = cube_intersect(dom, c, lit0)) rebuilt.add(std::move(*m));
+  for (const Cube& c : f1)
+    if (auto m = cube_intersect(dom, c, lit1)) rebuilt.add(std::move(*m));
+  EXPECT_TRUE(covers_equal(rebuilt, f));
+
+  // Double complement is identity; f and its complement partition space.
+  const Cover comp = complement(f);
+  EXPECT_TRUE(covers_equal(complement(comp), f));
+  Cover all = f;
+  all.add_all(comp);
+  EXPECT_TRUE(is_tautology(all) || (f.empty() && is_tautology(comp)));
+  EXPECT_TRUE(cover_intersect(f, comp).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UrpLaws, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,114 @@
+// Tests for constraint-set normalization.
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/normalize.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+TEST(Normalize, DedupesFaces) {
+  ConstraintSet cs = parse_constraints(R"(
+    face a b c
+    face c b a
+    face a b [d] c
+    symbol e
+  )");
+  const auto stats = normalize_constraints(cs);
+  EXPECT_EQ(stats.duplicate_faces, 1u);
+  EXPECT_EQ(cs.faces().size(), 2u);  // the don't-care variant is distinct
+}
+
+TEST(Normalize, DropsTrivialFaces) {
+  ConstraintSet cs;
+  for (const char* s : {"a", "b", "c"}) cs.symbols().intern(s);
+  cs.add_face_ids({0, 1, 2});     // covers everything: no dichotomies
+  cs.add_face_ids({0});           // single member
+  cs.add_face_ids({0, 1});        // genuine
+  const auto stats = normalize_constraints(cs);
+  EXPECT_EQ(stats.trivial_faces, 2u);
+  ASSERT_EQ(cs.faces().size(), 1u);
+  EXPECT_EQ(cs.faces()[0].members.size(), 2u);
+}
+
+TEST(Normalize, FaceWithDontCaresCoveringAllIsTrivial) {
+  ConstraintSet cs;
+  for (const char* s : {"a", "b", "c"}) cs.symbols().intern(s);
+  cs.add_face_ids({0, 1}, {2});
+  const auto stats = normalize_constraints(cs);
+  EXPECT_EQ(stats.trivial_faces, 1u);
+  EXPECT_TRUE(cs.faces().empty());
+}
+
+TEST(Normalize, TransitiveDominanceRemoved) {
+  ConstraintSet cs = parse_constraints(R"(
+    dominance a b
+    dominance b c
+    dominance a c
+  )");
+  const auto stats = normalize_constraints(cs);
+  EXPECT_EQ(stats.transitive_dominances, 1u);
+  EXPECT_EQ(cs.dominances().size(), 2u);
+  for (const auto& d : cs.dominances()) {
+    EXPECT_FALSE(d.dominator == cs.symbols().at("a") &&
+                 d.dominated == cs.symbols().at("c"));
+  }
+}
+
+TEST(Normalize, DominanceCycleKept) {
+  ConstraintSet cs = parse_constraints("dominance a b\ndominance b a");
+  normalize_constraints(cs);
+  EXPECT_EQ(cs.dominances().size(), 2u);
+  EXPECT_FALSE(check_feasible(cs).feasible);
+}
+
+TEST(Normalize, DuplicateDominanceAndDisjunctive) {
+  ConstraintSet cs = parse_constraints(R"(
+    dominance a b
+    dominance a b
+    disjunctive p a b
+    disjunctive p b a
+  )");
+  const auto stats = normalize_constraints(cs);
+  EXPECT_EQ(stats.duplicate_dominances, 1u);
+  EXPECT_EQ(stats.duplicate_disjunctives, 1u);
+  EXPECT_EQ(cs.dominances().size(), 1u);
+  EXPECT_EQ(cs.disjunctives().size(), 1u);
+}
+
+class NormalizePreserves : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizePreserves, FeasibilityAndMinimumLengthUnchanged) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 409 + 13);
+  ConstraintSet cs;
+  const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(3));
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("s" + std::to_string(i));
+  for (int f = 0; f < 4; ++f) {
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t s = 0; s < n; ++s)
+      if (rng.next_bool(0.4)) members.push_back(s);
+    if (members.size() >= 2) cs.add_face_ids(std::move(members));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (a != b) cs.add_dominance_ids(a, b);
+  }
+  ConstraintSet normalized = cs;
+  normalize_constraints(normalized);
+
+  const auto before = exact_encode(cs);
+  const auto after = exact_encode(normalized);
+  ASSERT_NE(before.status, ExactEncodeResult::Status::kPrimeLimit);
+  EXPECT_EQ(before.status, after.status);
+  if (before.status == ExactEncodeResult::Status::kEncoded &&
+      before.minimal && after.minimal)
+    EXPECT_EQ(before.encoding.bits, after.encoding.bits) << cs.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizePreserves, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,181 @@
+// Cross-cutting randomized property tests tying the subsystems together.
+#include <gtest/gtest.h>
+
+#include "core/bounded.h"
+#include "core/encoder.h"
+#include "core/extensions.h"
+#include "core/generate.h"
+#include "core/output_rules.h"
+#include "core/verify.h"
+#include "logic/espresso.h"
+#include "logic/urp.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+ConstraintSet random_mixed(Rng& rng, std::uint32_t n) {
+  ConstraintSet cs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    cs.symbols().intern("s" + std::to_string(i));
+  const int nfaces = 1 + static_cast<int>(rng.next_below(4));
+  for (int f = 0; f < nfaces; ++f) {
+    std::vector<std::uint32_t> members, dcs;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const double r = rng.next_double();
+      if (r < 0.3) members.push_back(s);
+      else if (r < 0.38) dcs.push_back(s);
+    }
+    if (members.size() >= 2 && members.size() + dcs.size() < n)
+      cs.add_face_ids(std::move(members), std::move(dcs));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (a != b && rng.next_bool(0.6)) cs.add_dominance_ids(a, b);
+  }
+  if (n >= 4 && rng.next_bool(0.5)) {
+    const auto p = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto c1 = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto c2 = static_cast<std::uint32_t>(rng.next_below(n));
+    if (p != c1 && p != c2 && c1 != c2) cs.add_disjunctive_ids(p, {c1, c2});
+  }
+  return cs;
+}
+
+class ExactAlwaysVerifies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactAlwaysVerifies, FeasibleMeansVerifiedInfeasibleMeansUncovered) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 101);
+  const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(6));
+  const ConstraintSet cs = random_mixed(rng, n);
+
+  const FeasibilityResult feas = check_feasible(cs);
+  const auto res = exact_encode(cs);
+  ASSERT_NE(res.status, ExactEncodeResult::Status::kPrimeLimit);
+
+  // Feasibility check and exact encoder must agree (Theorem 6.1).
+  EXPECT_EQ(feas.feasible,
+            res.status == ExactEncodeResult::Status::kEncoded)
+      << cs.to_string();
+  if (res.status == ExactEncodeResult::Status::kEncoded) {
+    const auto v = verify_encoding(res.encoding, cs);
+    EXPECT_TRUE(v.empty()) << cs.to_string() << "\nfirst: "
+                           << (v.empty() ? "" : v[0].detail);
+  } else {
+    EXPECT_FALSE(res.uncovered.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactAlwaysVerifies, ::testing::Range(0, 40));
+
+class RaisingProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaisingProperties, RaisingOnlyAddsAndReachesFixpoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::uint32_t n = 5 + static_cast<std::uint32_t>(rng.next_below(5));
+  const ConstraintSet cs = random_mixed(rng, n);
+  for (const auto& i : generate_initial_dichotomies(cs)) {
+    Dichotomy raised = i.dichotomy;
+    if (!raise_dichotomy(raised, cs)) continue;
+    // Monotone: blocks only grow.
+    EXPECT_TRUE(i.dichotomy.left.is_subset_of(raised.left));
+    EXPECT_TRUE(i.dichotomy.right.is_subset_of(raised.right));
+    // Covers the original.
+    EXPECT_TRUE(raised.covers(i.dichotomy));
+    // Fixpoint: raising again changes nothing.
+    Dichotomy again = raised;
+    ASSERT_TRUE(raise_dichotomy(again, cs));
+    EXPECT_EQ(again, raised);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaisingProperties, ::testing::Range(0, 20));
+
+class ExtensionsVerify : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtensionsVerify, EncodedResultsAlwaysVerify) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 407 + 3);
+  const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(4));
+  ConstraintSet cs = random_mixed(rng, n);
+  // Sprinkle extension constraints.
+  const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+  const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+  if (a != b)
+    cs.distance2s().push_back(Distance2Constraint{a, b});
+  if (rng.next_bool(0.4)) {
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t s = 0; s < n; ++s)
+      if (rng.next_bool(0.4)) members.push_back(s);
+    if (members.size() >= 2 && members.size() < n)
+      cs.nonfaces().push_back(NonFaceConstraint{std::move(members)});
+  }
+  const auto res = encode_with_extensions(cs);
+  if (res.status != ExtensionEncodeResult::Status::kEncoded) return;
+  EXPECT_TRUE(verify_encoding(res.encoding, cs).empty()) << cs.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionsVerify, ::testing::Range(0, 30));
+
+class EspressoProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(EspressoProperties, IdempotentAndComplementInvolutive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 19 + 2);
+  const int nv = 3 + static_cast<int>(rng.next_below(3));
+  const Domain dom = Domain::binary(nv, 1 + static_cast<int>(rng.next_below(2)));
+  Cover on(dom);
+  for (int i = 0; i < 8; ++i) {
+    Cube c(dom);
+    for (int v = 0; v < nv; ++v) {
+      const int pick = static_cast<int>(rng.next_below(3));
+      if (pick != 0) c.bits.set(static_cast<std::size_t>(dom.pos(v, 1)));
+      if (pick != 1) c.bits.set(static_cast<std::size_t>(dom.pos(v, 0)));
+    }
+    c.bits.set(static_cast<std::size_t>(
+        dom.out_pos(static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(dom.num_outputs()))))));
+    on.add(c);
+  }
+  const Cover dc(dom);
+  const Cover once = espresso(on, dc);
+  const Cover twice = espresso(once, dc);
+  EXPECT_LE(twice.size(), once.size());
+  EXPECT_TRUE(covers_equivalent(once, twice, dc));
+
+  const Cover comp = complement(on);
+  const Cover comp2 = complement(comp);
+  EXPECT_TRUE(covers_equivalent(comp2, on, dc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EspressoProperties, ::testing::Range(0, 20));
+
+TEST(BoundedVsExact, HeuristicAtExactLengthIsValidEncoding) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 8; ++trial) {
+    ConstraintSet cs;
+    const std::uint32_t n = 5 + static_cast<std::uint32_t>(rng.next_below(4));
+    for (std::uint32_t i = 0; i < n; ++i)
+      cs.symbols().intern("s" + std::to_string(i));
+    for (int f = 0; f < 3; ++f) {
+      std::vector<std::uint32_t> members;
+      for (std::uint32_t s = 0; s < n; ++s)
+        if (rng.next_bool(0.35)) members.push_back(s);
+      if (members.size() >= 2 && members.size() < n)
+        cs.add_face_ids(std::move(members));
+    }
+    const auto exact = exact_encode(cs);
+    ASSERT_EQ(exact.status, ExactEncodeResult::Status::kEncoded);
+    // At the exact minimum length the heuristic must produce unique codes;
+    // at the exact's length it cannot beat zero violations.
+    BoundedEncodeOptions opts;
+    opts.cost = CostKind::kViolatedFaces;
+    const auto heur = bounded_encode(cs, exact.encoding.bits, opts);
+    EXPECT_GE(heur.cost.violated_faces, 0);
+    const auto v = verify_encoding(heur.encoding, cs);
+    for (const auto& viol : v)
+      EXPECT_NE(viol.kind, Violation::Kind::kDuplicateCode);
+  }
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,81 @@
+// Tests for FSM reachability analysis and unreachable-state pruning.
+#include <gtest/gtest.h>
+
+#include "fsm/mcnc_like.h"
+#include "fsm/reachability.h"
+
+namespace encodesat {
+namespace {
+
+TEST(Reachability, FindsReachableSet) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 1
+.o 1
+.r a
+0 a b 0
+1 b a 1
+0 c d 0
+1 d c 1
+)");
+  const auto seen = reachable_states(fsm);
+  EXPECT_TRUE(seen[fsm.states.at("a")]);
+  EXPECT_TRUE(seen[fsm.states.at("b")]);
+  EXPECT_FALSE(seen[fsm.states.at("c")]);
+  EXPECT_FALSE(seen[fsm.states.at("d")]);
+}
+
+TEST(Reachability, PruneRemovesIslandAndKeepsBehaviour) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 1
+.o 1
+.r a
+0 a b 0
+1 b a 1
+0 c d 0
+1 d c 1
+)");
+  const auto res = prune_unreachable(fsm);
+  EXPECT_EQ(res.removed, 2u);
+  EXPECT_EQ(res.fsm.num_states(), 2u);
+  EXPECT_EQ(res.fsm.transitions.size(), 2u);
+  EXPECT_EQ(res.fsm.states.name(
+                static_cast<std::uint32_t>(res.fsm.reset_state)),
+            "a");
+  EXPECT_EQ(res.old_of_new.size(), 2u);
+  EXPECT_EQ(fsm.states.name(res.old_of_new[0]), "a");
+}
+
+TEST(Reachability, DefaultsToStateZeroWithoutReset) {
+  const Fsm fsm = parse_kiss2_string(R"(
+.i 1
+.o 1
+0 x y 0
+1 y x 1
+0 z z 0
+)");
+  const auto seen = reachable_states(fsm);
+  EXPECT_TRUE(seen[fsm.states.at("x")]);
+  EXPECT_TRUE(seen[fsm.states.at("y")]);
+  EXPECT_FALSE(seen[fsm.states.at("z")]);
+}
+
+TEST(Reachability, GeneratedMachinesAreFullyReachableAfterPrune) {
+  for (const char* name : {"dk512", "cse", "donfile"}) {
+    const Fsm fsm = make_mcnc_like(benchmark_spec(name));
+    const auto res = prune_unreachable(fsm);
+    const auto seen = reachable_states(res.fsm);
+    for (std::uint32_t s = 0; s < res.fsm.num_states(); ++s)
+      EXPECT_TRUE(seen[s]);
+  }
+}
+
+TEST(Reachability, EmptyMachine) {
+  Fsm fsm;
+  fsm.num_inputs = 1;
+  fsm.num_outputs = 1;
+  EXPECT_TRUE(reachable_states(fsm).empty());
+  EXPECT_EQ(prune_unreachable(fsm).removed, 0u);
+}
+
+}  // namespace
+}  // namespace encodesat

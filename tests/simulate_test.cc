@@ -1,0 +1,97 @@
+// Behavioural-equivalence tests: the encoded, ESPRESSO-minimized PLA must
+// implement exactly the symbolic machine, for arbitrary valid encodings.
+#include <gtest/gtest.h>
+
+#include "core/bounded.h"
+#include "fsm/encode_fsm.h"
+#include "fsm/mcnc_like.h"
+#include "fsm/simulate.h"
+#include "logic/espresso.h"
+
+namespace encodesat {
+namespace {
+
+TEST(EvalCover, OrsMatchingCubes) {
+  const Domain dom = Domain::binary(2, 2);
+  Cover f(dom);
+  f.add(cube_from_string(dom, "1-", "10"));
+  f.add(cube_from_string(dom, "-1", "01"));
+  EXPECT_EQ(eval_cover(f, {true, true}).to_vector(),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(eval_cover(f, {true, false}).to_vector(),
+            (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(eval_cover(f, {false, false}).empty());
+}
+
+TEST(SymbolicStep, MatchesCubesAndReportsUnspecified) {
+  Fsm fsm = parse_kiss2_string(R"(
+.i 2
+.o 1
+10 a b 1
+0- a a 0
+-- b a 1
+)");
+  SymbolicStep step;
+  ASSERT_TRUE(symbolic_step(fsm, {true, false}, fsm.states.at("a"), &step));
+  EXPECT_EQ(step.next_state, fsm.states.at("b"));
+  ASSERT_TRUE(symbolic_step(fsm, {false, true}, fsm.states.at("a"), &step));
+  EXPECT_EQ(step.next_state, fsm.states.at("a"));
+  // "11" from a is unspecified.
+  EXPECT_FALSE(symbolic_step(fsm, {true, true}, fsm.states.at("a"), &step));
+}
+
+class EncodedEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EncodedEquivalence, MinimizedPlaImplementsTheMachine) {
+  const Fsm fsm = make_mcnc_like(benchmark_spec(GetParam()));
+  // Arbitrary (naive) encoding: the equivalence must hold for any codes.
+  Encoding enc;
+  enc.bits = minimum_code_length(fsm.num_states());
+  enc.codes.resize(fsm.num_states());
+  for (std::uint32_t s = 0; s < fsm.num_states(); ++s) enc.codes[s] = s;
+
+  const Pla pla = encode_fsm(fsm, enc);
+  const Cover minimized = espresso(pla.on, pla.dc);
+  const auto report =
+      check_encoded_equivalence(fsm, enc, minimized, /*steps=*/400);
+  EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+  EXPECT_GT(report.steps_checked, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, EncodedEquivalence,
+                         ::testing::Values("dk512", "master", "cse",
+                                           "donfile", "keyb"));
+
+TEST(EncodedEquivalence, HoldsForHeuristicCodesToo) {
+  const Fsm fsm = make_mcnc_like(benchmark_spec("dk512"));
+  const ConstraintSet cs = [&] {
+    ConstraintSet c;
+    for (std::uint32_t s = 0; s < fsm.num_states(); ++s)
+      c.symbols().intern(fsm.states.name(s));
+    return c;
+  }();
+  BoundedEncodeOptions opts;
+  const auto res =
+      bounded_encode(cs, minimum_code_length(fsm.num_states()), opts);
+  const Pla pla = encode_fsm(fsm, res.encoding);
+  const Cover minimized = espresso(pla.on, pla.dc);
+  const auto report =
+      check_encoded_equivalence(fsm, res.encoding, minimized, 300);
+  EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+}
+
+TEST(EncodedEquivalence, DetectsACorruptedCover) {
+  const Fsm fsm = make_mcnc_like(benchmark_spec("dk512"));
+  Encoding enc;
+  enc.bits = minimum_code_length(fsm.num_states());
+  enc.codes.resize(fsm.num_states());
+  for (std::uint32_t s = 0; s < fsm.num_states(); ++s) enc.codes[s] = s;
+  // An implementation that never asserts anything must be caught quickly.
+  const Cover broken(encode_fsm(fsm, enc).domain);
+  const auto report = check_encoded_equivalence(fsm, enc, broken, 2000);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_FALSE(report.first_mismatch.empty());
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -1,0 +1,73 @@
+// Brute-force oracle for the cs/ps 2-CNF -> SOP conversion: the terms must
+// be exactly the minimal vertex covers of the incompatibility graph.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/primes.h"
+#include "util/rng.h"
+
+namespace encodesat {
+namespace {
+
+std::set<std::vector<std::size_t>> brute_force_minimal_covers(
+    const std::vector<Bitset>& adj) {
+  const std::size_t m = adj.size();
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = i + 1; j < m; ++j)
+      if (adj[i].test(j)) edges.emplace_back(i, j);
+
+  // All covers, then keep the minimal ones.
+  std::vector<std::uint64_t> covers;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    bool ok = true;
+    for (const auto& [i, j] : edges)
+      if (!((mask >> i) & 1u) && !((mask >> j) & 1u)) {
+        ok = false;
+        break;
+      }
+    if (ok) covers.push_back(mask);
+  }
+  std::set<std::vector<std::size_t>> minimal;
+  for (std::uint64_t c : covers) {
+    bool is_minimal = true;
+    for (std::uint64_t d : covers)
+      if (d != c && (d & c) == d) {
+        is_minimal = false;
+        break;
+      }
+    if (!is_minimal) continue;
+    std::vector<std::size_t> v;
+    for (std::size_t i = 0; i < m; ++i)
+      if ((c >> i) & 1u) v.push_back(i);
+    minimal.insert(std::move(v));
+  }
+  return minimal;
+}
+
+class SopOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(SopOracle, TermsAreExactlyMinimalVertexCovers) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 17);
+  const std::size_t m = 3 + rng.next_below(8);
+  std::vector<Bitset> adj(m, Bitset(m));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = i + 1; j < m; ++j)
+      if (rng.next_bool(0.35)) {
+        adj[i].set(j);
+        adj[j].set(i);
+      }
+
+  bool truncated = true;
+  const auto sop = two_cnf_to_minimal_sop(adj, 1u << 16, &truncated);
+  ASSERT_FALSE(truncated);
+  std::set<std::vector<std::size_t>> got;
+  for (const auto& t : sop) got.insert(t.to_vector());
+  EXPECT_EQ(got, brute_force_minimal_covers(adj));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SopOracle, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace encodesat

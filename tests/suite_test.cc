@@ -1,0 +1,72 @@
+// Parameterized checks over the whole MCNC-like benchmark suite: machine
+// dimensions, determinism, and constraint-generation sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fsm/constraints_gen.h"
+#include "fsm/mcnc_like.h"
+#include "fsm/reachability.h"
+
+namespace encodesat {
+namespace {
+
+class SuiteMachines : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteMachines, DimensionsMatchSpec) {
+  const BenchmarkSpec& spec = mcnc_like_suite()[GetParam()];
+  const Fsm fsm = make_mcnc_like(spec);
+  EXPECT_EQ(fsm.name, spec.name);
+  EXPECT_EQ(static_cast<int>(fsm.num_states()), spec.states);
+  EXPECT_EQ(fsm.num_inputs, spec.inputs);
+  EXPECT_EQ(fsm.num_outputs, spec.outputs);
+  EXPECT_GE(fsm.reset_state, 0);
+}
+
+TEST_P(SuiteMachines, DeterministicTransitionRelation) {
+  // The generator's events partition the input space, so no two
+  // transitions from the same state may have intersecting input cubes.
+  const Fsm fsm = make_mcnc_like(mcnc_like_suite()[GetParam()]);
+  auto intersects = [](const std::string& a, const std::string& b) {
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return false;
+    return true;
+  };
+  std::vector<std::vector<const FsmTransition*>> by_state(fsm.num_states());
+  for (const auto& t : fsm.transitions) by_state[t.from].push_back(&t);
+  for (const auto& list : by_state)
+    for (std::size_t i = 0; i < list.size(); ++i)
+      for (std::size_t j = i + 1; j < list.size(); ++j)
+        EXPECT_FALSE(intersects(list[i]->input, list[j]->input))
+            << fsm.name << ": state has overlapping input cubes";
+}
+
+TEST_P(SuiteMachines, EveryStateHasOutgoingEdges) {
+  const Fsm fsm = make_mcnc_like(mcnc_like_suite()[GetParam()]);
+  std::set<std::uint32_t> sources;
+  for (const auto& t : fsm.transitions) sources.insert(t.from);
+  EXPECT_EQ(sources.size(), fsm.num_states());
+}
+
+TEST_P(SuiteMachines, InputConstraintsAreNonTrivial) {
+  const BenchmarkSpec& spec = mcnc_like_suite()[GetParam()];
+  if (spec.states > 40) GTEST_SKIP() << "kept quick: large MV minimization";
+  const Fsm fsm = make_mcnc_like(spec);
+  const ConstraintSet cs = generate_input_constraints(fsm);
+  EXPECT_EQ(cs.num_symbols(), fsm.num_states());
+  EXPECT_GE(cs.faces().size(), 1u) << spec.name;
+  for (const auto& f : cs.faces()) {
+    EXPECT_GE(f.members.size(), 2u);
+    EXPECT_LT(f.members.size(), fsm.num_states());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuiteMachines,
+    ::testing::Range<std::size_t>(0, mcnc_like_suite().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return mcnc_like_suite()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace encodesat

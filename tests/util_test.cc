@@ -1,0 +1,103 @@
+// Tests for string helpers, the deterministic RNG, and the Encoding type.
+#include <gtest/gtest.h>
+
+#include "core/encoding.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace encodesat {
+namespace {
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_EQ(split_ws("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(split_ws("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\r\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(".i 4", ".i"));
+  EXPECT_FALSE(starts_with(".i", ".inputs"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+    const auto v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(99);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.next_below(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Timer, MonotoneAndResettable) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  const double first = t.elapsed_seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(t.elapsed_seconds(), first);
+  t.reset();
+  EXPECT_LE(t.elapsed_seconds(), first + 1.0);
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+TEST(Encoding, CodeStringMsbFirst) {
+  Encoding e;
+  e.bits = 3;
+  e.codes = {0b101, 0b010};
+  EXPECT_EQ(e.code_string(0), "101");
+  EXPECT_EQ(e.code_string(1), "010");
+}
+
+TEST(Encoding, ToStringUsesNames) {
+  SymbolTable t;
+  t.intern("alpha");
+  t.intern("beta");
+  Encoding e;
+  e.bits = 2;
+  e.codes = {0b01, 0b10};
+  EXPECT_EQ(e.to_string(t), "alpha = 01, beta = 10");
+}
+
+TEST(Encoding, DeriveCodesLeftZeroRightOneUnplacedOne) {
+  // Column 0: a left, b right; column 1: a left only (b unplaced -> 1).
+  std::vector<Dichotomy> cols;
+  cols.push_back(Dichotomy::make(2, {0}, {1}));
+  cols.push_back(Dichotomy::make(2, {0}, {}));
+  const Encoding e = derive_codes(2, cols);
+  EXPECT_EQ(e.bits, 2);
+  EXPECT_EQ(e.codes[0], 0u);
+  EXPECT_EQ(e.codes[1], 0b11u);
+}
+
+}  // namespace
+}  // namespace encodesat
