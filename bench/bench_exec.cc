@@ -1,0 +1,125 @@
+// Sequential-vs-parallel benchmarks (google-benchmark) for the execution
+// subsystem: the unate-cover component fan-out, whole exact solves through
+// the Solver facade at varying thread counts, batch encoding, and the raw
+// parallel_for / Budget overheads. Thread counts beyond the hardware are
+// clamped by resolve_threads.
+#include <benchmark/benchmark.h>
+
+#include "core/solver.h"
+#include "covering/unate.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+using namespace encodesat;
+
+namespace {
+
+// Overlapping triples + long-stride pairs (same family as the solver
+// tests): dense, irregular incompatibilities.
+ConstraintSet dense_faces(int n) {
+  ConstraintSet cs;
+  for (int i = 0; i < n; ++i) cs.symbols().intern("s" + std::to_string(i));
+  auto face = [&](std::vector<std::uint32_t> m) {
+    cs.add_face_ids(std::move(m));
+  };
+  for (int i = 0; i + 2 < n; ++i)
+    face({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 1),
+          static_cast<std::uint32_t>(i + 2)});
+  for (int i = 0; i + 7 < n; i += 2)
+    face({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 7)});
+  for (int i = 0; i + 11 < n; i += 3)
+    face({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 11)});
+  return cs;
+}
+
+// k disjoint cyclic cores of `cycle` columns each: the root decomposition
+// yields k independent sub-searches, the best case for the fan-out.
+UnateCoverProblem block_cycles(std::size_t k, std::size_t cycle) {
+  UnateCoverProblem p;
+  p.num_columns = k * cycle;
+  for (std::size_t b = 0; b < k; ++b)
+    for (std::size_t r = 0; r < cycle; ++r) {
+      Bitset row(p.num_columns);
+      row.set(b * cycle + r);
+      row.set(b * cycle + (r + 1) % cycle);
+      row.set(b * cycle + (r + 2) % cycle);
+      p.rows.push_back(row);
+    }
+  return p;
+}
+
+void BM_UnateCoverComponents(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  const UnateCoverProblem p = block_cycles(8, 15);
+  const ExecContext ctx{nullptr, nullptr, threads};
+  for (auto _ : state) {
+    const UnateCoverSolution sol = solve_unate_cover(p, {}, ctx);
+    benchmark::DoNotOptimize(sol.cost);
+  }
+}
+BENCHMARK(BM_UnateCoverComponents)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SolverExact(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  const ConstraintSet cs = dense_faces(10);
+  const Solver solver(cs);
+  SolveOptions opts;
+  opts.threads = threads;
+  for (auto _ : state) {
+    const SolveResult res = solver.encode(opts);
+    benchmark::DoNotOptimize(res.encoding.bits);
+  }
+}
+BENCHMARK(BM_SolverExact)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeBatch(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  std::vector<ConstraintSet> sets;
+  for (int i = 0; i < 8; ++i) sets.push_back(dense_faces(8 + (i & 1)));
+  SolveOptions opts;
+  opts.threads = threads;
+  for (auto _ : state) {
+    const auto results = encode_batch(sets, opts);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_EncodeBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_BoundedLengthsSweep(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  const ConstraintSet cs = dense_faces(12);
+  const std::vector<int> lengths{4, 5, 6, 7};
+  for (auto _ : state) {
+    const auto results = bounded_encode_lengths(cs, lengths, {}, threads);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_BoundedLengthsSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  std::vector<std::uint64_t> slots(1 << 14);
+  for (auto _ : state) {
+    parallel_for(slots.size(), threads,
+                 [&](std::size_t i) { slots[i] = i * 2654435761u; });
+    benchmark::DoNotOptimize(slots.data());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+void BM_BudgetCharge(benchmark::State& state) {
+  Budget budget;
+  for (auto _ : state) benchmark::DoNotOptimize(budget.charge(3));
+}
+BENCHMARK(BM_BudgetCharge);
+
+void BM_BudgetPoll(benchmark::State& state) {
+  Budget budget;
+  budget.set_deadline_after(3600.0);
+  for (auto _ : state) benchmark::DoNotOptimize(budget.poll());
+}
+BENCHMARK(BM_BudgetPoll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

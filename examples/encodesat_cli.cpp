@@ -9,15 +9,25 @@
 //       cost C in {violated, cubes, literals}; default cubes) or --exact
 //       minimum-length satisfaction of all constraints; prints codes and
 //       the minimized encoded PLA to stdout (espresso format)
+//   encodesat_cli solve       <constraints.txt>
+//       minimum-length encoding of a constraint file via the Solver facade;
+//       prints the code table to stdout
+//
+// Shared budget/observability flags (encode and solve):
+//   --timeout SECS   wall-clock budget; expiry yields a truncated result,
+//                    never a hang
+//   --threads N      worker threads (0 = all hardware threads)
+//   --stats-json     per-stage StageStats tree as JSON on stdout
 //
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/bounded.h"
-#include "core/encoder.h"
 #include "core/normalize.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "fsm/analyze.h"
 #include "fsm/constraints_gen.h"
@@ -25,17 +35,30 @@
 #include "fsm/reachability.h"
 #include "fsm/simulate.h"
 #include "logic/espresso.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace encodesat;
 
 namespace {
 
+struct CliOptions {
+  int bits = 0;
+  CostKind cost = CostKind::kCubes;
+  bool exact = false;
+  double timeout_seconds = 0;
+  int threads = 1;
+  bool stats_json = false;
+};
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s analyze|constraints|encode <machine.kiss2> "
-               "[--bits K] [--cost violated|cubes|literals] [--exact]\n",
-               argv0);
+               "[--bits K] [--cost violated|cubes|literals] [--exact]\n"
+               "       %s solve <constraints.txt>\n"
+               "  common flags: [--timeout SECS] [--threads N] "
+               "[--stats-json]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -73,7 +96,14 @@ int cmd_constraints(const Fsm& fsm) {
   return 0;
 }
 
-int cmd_encode(const Fsm& fsm, int bits, CostKind cost, bool exact) {
+SolveOptions to_solve_options(const CliOptions& cli) {
+  SolveOptions opts;
+  opts.timeout_seconds = cli.timeout_seconds;
+  opts.threads = cli.threads;
+  return opts;
+}
+
+int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
   ConstraintSet cs = generate_mixed_constraints(fsm);
   normalize_constraints(cs);
   std::fprintf(stderr, "constraints: %zu face, %zu dominance, %zu disjunctive\n",
@@ -81,28 +111,40 @@ int cmd_encode(const Fsm& fsm, int bits, CostKind cost, bool exact) {
                cs.disjunctives().size());
   Timer t;
   Encoding enc;
-  if (exact) {
-    ExactEncodeOptions opts;
+  if (cli.exact) {
+    SolveOptions opts = to_solve_options(cli);
     opts.cover_options.max_nodes = 200000;
-    const auto res = exact_encode(cs, opts);
-    if (res.status != ExactEncodeResult::Status::kEncoded) {
-      std::fprintf(stderr, "exact encoding failed (infeasible or budget)\n");
+    const SolveResult res = Solver(cs).encode(opts);
+    if (cli.stats_json) std::printf("%s\n", res.stats.to_json().c_str());
+    if (!res.encoded()) {
+      std::fprintf(stderr, "exact encoding failed (%s)\n",
+                   res.status == SolveResult::Status::kTruncated
+                       ? truncation_name(res.truncation)
+                       : "infeasible");
       return 1;
     }
     enc = res.encoding;
     std::fprintf(stderr, "exact: %d bits (%s) in %.2fs\n", enc.bits,
                  res.minimal ? "minimal" : "upper bound", t.elapsed_seconds());
   } else {
+    int bits = cli.bits;
     if (bits <= 0) bits = minimum_code_length(fsm.num_states());
     BoundedEncodeOptions opts;
-    opts.cost = cost;
-    const auto res = bounded_encode(cs, bits, opts);
+    opts.cost = cli.cost;
+    Budget budget;
+    if (cli.timeout_seconds > 0)
+      budget.set_deadline_after(cli.timeout_seconds);
+    StageStats stats("solve");
+    const ExecContext ctx{&budget, &stats, resolve_threads(cli.threads)};
+    const auto res = bounded_encode(cs, bits, opts, ctx);
+    if (cli.stats_json) std::printf("%s\n", stats.to_json().c_str());
     enc = res.encoding;
     std::fprintf(stderr,
                  "heuristic: %d bits, %d faces violated, %d cubes, "
-                 "%d literals in %.2fs\n",
+                 "%d literals in %.2fs%s\n",
                  enc.bits, res.cost.violated_faces, res.cost.cubes,
-                 res.cost.literals, t.elapsed_seconds());
+                 res.cost.literals, t.elapsed_seconds(),
+                 res.truncation == Truncation::kNone ? "" : " (truncated)");
   }
   for (std::uint32_t s = 0; s < fsm.num_states(); ++s)
     std::fprintf(stderr, "  %-12s %s\n", fsm.states.name(s).c_str(),
@@ -124,34 +166,105 @@ int cmd_encode(const Fsm& fsm, int bits, CostKind cost, bool exact) {
   return 0;
 }
 
+int cmd_solve(const char* path, const CliOptions& cli) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  ParseError err;
+  const auto cs = parse_constraints(buf.str(), &err);
+  if (!cs) {
+    std::fprintf(stderr, "%s: parse error at %s\n", path,
+                 err.to_string().c_str());
+    return 2;
+  }
+
+  Timer t;
+  const SolveResult res = Solver(*cs).encode(to_solve_options(cli));
+  if (cli.stats_json) std::printf("%s\n", res.stats.to_json().c_str());
+  switch (res.status) {
+    case SolveResult::Status::kInfeasible:
+      std::printf("INFEASIBLE\n");
+      return 1;
+    case SolveResult::Status::kTruncated:
+      std::printf("TRUNCATED (%s)\n", truncation_name(res.truncation));
+      return 1;
+    case SolveResult::Status::kEncoded:
+      break;
+  }
+  std::fprintf(stderr, "encoded %u symbols in %d bits (%s) in %.2fs\n",
+               cs->num_symbols(), res.encoding.bits,
+               res.minimal ? "minimal" : "upper bound", t.elapsed_seconds());
+  std::printf("bits: %d\n", res.encoding.bits);
+  for (std::uint32_t s = 0; s < cs->num_symbols(); ++s)
+    std::printf("%-12s %s\n", cs->symbols().name(s).c_str(),
+                res.encoding.code_string(s).c_str());
+  return 0;
+}
+
+// atoi/atof silently map garbage to 0, which for --timeout means
+// "no timeout" — reject anything that doesn't parse fully instead.
+bool parse_number(const char* flag, const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s: expected a non-negative number, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_int(const char* flag, const char* text, int* out) {
+  double v = 0;
+  if (!parse_number(flag, text, &v)) return false;
+  if (v != static_cast<int>(v)) {
+    std::fprintf(stderr, "%s: expected an integer, got '%s'\n", flag, text);
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::string cmd = argv[1];
-  int bits = 0;
-  CostKind cost = CostKind::kCubes;
-  bool exact = false;
+  CliOptions cli;
   for (int i = 3; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--bits") && i + 1 < argc)
-      bits = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--exact"))
-      exact = true;
+    if (!std::strcmp(argv[i], "--bits") && i + 1 < argc) {
+      if (!parse_int("--bits", argv[++i], &cli.bits)) return 2;
+    } else if (!std::strcmp(argv[i], "--exact"))
+      cli.exact = true;
+    else if (!std::strcmp(argv[i], "--timeout") && i + 1 < argc) {
+      if (!parse_number("--timeout", argv[++i], &cli.timeout_seconds))
+        return 2;
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      if (!parse_int("--threads", argv[++i], &cli.threads)) return 2;
+    } else if (!std::strcmp(argv[i], "--stats-json"))
+      cli.stats_json = true;
     else if (!std::strcmp(argv[i], "--cost") && i + 1 < argc) {
       const std::string c = argv[++i];
-      if (c == "violated") cost = CostKind::kViolatedFaces;
-      else if (c == "cubes") cost = CostKind::kCubes;
-      else if (c == "literals") cost = CostKind::kLiterals;
+      if (c == "violated") cli.cost = CostKind::kViolatedFaces;
+      else if (c == "cubes") cli.cost = CostKind::kCubes;
+      else if (c == "literals") cli.cost = CostKind::kLiterals;
       else return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
   }
   try {
+    if (cmd == "solve") return cmd_solve(argv[2], cli);
     const Fsm fsm = load(argv[2]);
     if (cmd == "analyze") return cmd_analyze(fsm);
     if (cmd == "constraints") return cmd_constraints(fsm);
-    if (cmd == "encode") return cmd_encode(fsm, bits, cost, exact);
+    if (cmd == "encode") return cmd_encode(fsm, cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -1,7 +1,7 @@
 // Command-line constraint-satisfaction tool: reads a constraint file in the
 // text grammar of core/constraints.h, answers P-1 (feasibility), and — when
 // satisfiable — solves P-2 (minimum-length codes) or P-3 (bounded length,
-// chosen cost function).
+// chosen cost function). Uses the Solver facade of core/solver.h.
 //
 //   $ ./feasibility_tool constraints.txt            # P-1 + P-2
 //   $ ./feasibility_tool constraints.txt 4 cubes    # P-3 at 4 bits
@@ -11,9 +11,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "core/bounded.h"
-#include "core/encoder.h"
 #include "core/normalize.h"
+#include "core/solver.h"
 #include "core/verify.h"
 
 using namespace encodesat;
@@ -33,13 +32,14 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  ConstraintSet cs;
-  try {
-    cs = parse_constraints(buf.str());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+  ParseError err;
+  auto parsed = parse_constraints(buf.str(), &err);
+  if (!parsed) {
+    std::fprintf(stderr, "constraint parse error at %s\n",
+                 err.to_string().c_str());
     return 2;
   }
+  ConstraintSet cs = std::move(*parsed);
   const NormalizeStats norm = normalize_constraints(cs);
   std::printf("%u symbols, %zu face, %zu dominance, %zu disjunctive, "
               "%zu extended\n",
@@ -53,12 +53,14 @@ int main(int argc, char** argv) {
     std::printf("(normalization removed %zu redundant constraints)\n",
                 removed);
 
-  const FeasibilityResult feas = check_feasible(cs);
+  const Solver solver(std::move(cs));
+  const ConstraintSet& ncs = solver.constraints();
+  const FeasibilityResult feas = solver.feasibility();
   if (!feas.feasible) {
     std::printf("INFEASIBLE — uncovered initial encoding-dichotomies:\n");
     for (std::size_t i : feas.uncovered)
       std::printf("  %s\n",
-                  feas.initial[i].dichotomy.to_string(cs.symbols()).c_str());
+                  feas.initial[i].dichotomy.to_string(ncs.symbols()).c_str());
     return 1;
   }
   std::printf("feasible\n");
@@ -75,23 +77,23 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    const auto res = bounded_encode(cs, bits, opts);
+    const auto res = bounded_encode(ncs, bits, opts);
     std::printf("bounded %d-bit encoding: %s\n", bits,
-                res.encoding.to_string(cs.symbols()).c_str());
+                res.encoding.to_string(ncs.symbols()).c_str());
     std::printf("cost: %d violated faces, %d cubes, %d literals\n",
                 res.cost.violated_faces, res.cost.cubes, res.cost.literals);
     return 0;
   }
 
-  const auto res = exact_encode(cs);
-  if (res.status == ExactEncodeResult::Status::kPrimeLimit) {
+  const SolveResult res = solver.encode();
+  if (res.status == SolveResult::Status::kTruncated) {
     std::printf("prime generation exceeded its budget; retry bounded mode\n");
     return 1;
   }
   std::printf("minimum code length: %d bits%s\n", res.encoding.bits,
               res.minimal ? "" : " (upper bound; search budget exhausted)");
-  std::printf("codes: %s\n", res.encoding.to_string(cs.symbols()).c_str());
-  const auto v = verify_encoding(res.encoding, cs);
+  std::printf("codes: %s\n", res.encoding.to_string(ncs.symbols()).c_str());
+  const auto v = verify_encoding(res.encoding, ncs);
   if (!v.empty()) {
     std::printf("INTERNAL ERROR: verification failed: %s\n",
                 v[0].detail.c_str());

@@ -1,11 +1,12 @@
 // Quickstart: build a constraint set, check feasibility, find a minimum
-// length encoding, and verify it — the paper's abstract example.
+// length encoding, and verify it — the paper's abstract example, driven
+// through the Solver facade (core/solver.h).
 //
 //   $ ./quickstart
 //
 #include <cstdio>
 
-#include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 
 using namespace encodesat;
@@ -13,7 +14,7 @@ using namespace encodesat;
 int main() {
   // Input (face-embedding) and output (dominance / disjunctive)
   // constraints, as a symbolic minimizer would emit them.
-  const ConstraintSet cs = parse_constraints(R"(
+  const Solver solver(parse_constraints(R"(
     face b c
     face c d
     face b a
@@ -21,16 +22,16 @@ int main() {
     dominance b c
     dominance a c
     disjunctive a b d
-  )");
+  )"));
+  const ConstraintSet& cs = solver.constraints();
 
   // P-1: is the set satisfiable at all? (Polynomial time, Theorem 6.1.)
-  const FeasibilityResult feasible = check_feasible(cs);
-  std::printf("feasible: %s\n", feasible.feasible ? "yes" : "no");
-  if (!feasible.feasible) return 1;
+  std::printf("feasible: %s\n", solver.feasible() ? "yes" : "no");
+  if (!solver.feasible()) return 1;
 
   // P-2: minimum-length codes satisfying every constraint (Figure 7).
-  const ExactEncodeResult res = exact_encode(cs);
-  if (res.status != ExactEncodeResult::Status::kEncoded) {
+  const SolveResult res = solver.encode();
+  if (!res.encoded()) {
     std::printf("encoding failed\n");
     return 1;
   }

@@ -80,6 +80,7 @@ Encoding selection_codes(const std::vector<std::uint32_t>& subset,
 struct Evaluator {
   const ConstraintSet& cs;
   const BoundedEncodeOptions& opts;
+  ExecContext ctx;
   int evals = 0;
 
   // Cost of `selection` for `subset` under the restricted constraints
@@ -89,6 +90,8 @@ struct Evaluator {
              const ConstraintSet& restricted,
              const std::vector<Dichotomy>& selection) {
     ++evals;
+    ctx.charge(1);
+    if ((evals & 63) == 0) ctx.poll();
     bool unique = false;
     const Encoding enc = selection_codes(subset, selection, &unique);
     if (!unique) return std::numeric_limits<long>::max();
@@ -238,10 +241,12 @@ std::uint64_t combinations_capped(std::size_t m, std::size_t c,
 struct RecursiveEncoder {
   const ConstraintSet& cs;
   const BoundedEncodeOptions& opts;
+  ExecContext ctx;
   Evaluator eval;
 
-  RecursiveEncoder(const ConstraintSet& c, const BoundedEncodeOptions& o)
-      : cs(c), opts(o), eval{c, o} {}
+  RecursiveEncoder(const ConstraintSet& c, const BoundedEncodeOptions& o,
+                   const ExecContext& x)
+      : cs(c), opts(o), ctx(x), eval{c, o, x} {}
 
   // Returns up to `length` restricted dichotomies (over the full universe)
   // giving the symbols of `subset` distinct codes and minimizing the cost.
@@ -321,6 +326,9 @@ struct RecursiveEncoder {
 
     const int budget = std::max(opts.max_selection_evals, 8);
     std::vector<Dichotomy> best = fallback;
+    // Shared budget expired: the fallback is structurally safe, stop
+    // optimizing here instead of spending more cost evaluations.
+    if (ctx.exhausted()) return best;
     long best_score = eval.score(subset, restricted, best);
 
     if (combinations_capped(candidates.size(), want,
@@ -328,6 +336,7 @@ struct RecursiveEncoder {
         static_cast<std::uint64_t>(budget)) {
       for_each_combination(
           candidates.size(), want, [&](const std::vector<std::size_t>& idx) {
+            if (ctx.exhausted()) return false;
             std::vector<Dichotomy> sel;
             sel.reserve(idx.size());
             for (auto i : idx) sel.push_back(candidates[i]);
@@ -344,10 +353,11 @@ struct RecursiveEncoder {
     // Hill climbing: replace one selected dichotomy by one unselected.
     int used = 1;  // the fallback evaluation
     bool improved = true;
-    while (improved && used < budget) {
+    while (improved && used < budget && !ctx.exhausted()) {
       improved = false;
       for (std::size_t pos = 0; pos < best.size() && used < budget; ++pos) {
-        for (std::size_t c = 0; c < candidates.size() && used < budget; ++c) {
+        for (std::size_t c = 0;
+             c < candidates.size() && used < budget && !ctx.exhausted(); ++c) {
           std::vector<Dichotomy> trial = best;
           trial[pos] = candidates[c];
           ++used;
@@ -375,9 +385,10 @@ struct RecursiveEncoder {
 // used-code sets — the only inputs of the Fig. 9 cost — are otherwise
 // permuted within themselves.
 void polish_by_swaps(Encoding& enc, const ConstraintSet& cs,
-                     const BoundedEncodeOptions& opts) {
+                     const BoundedEncodeOptions& opts,
+                     const ExecContext& ctx) {
   const std::size_t nf = cs.faces().size();
-  if (nf == 0 || opts.polish_passes <= 0) return;
+  if (nf == 0 || opts.polish_passes <= 0 || ctx.exhausted()) return;
   const std::uint32_t n = cs.num_symbols();
   // The unused-code DC cover is refreshed whenever a move-to-free-code is
   // accepted (swaps never change the used-code set).
@@ -394,6 +405,8 @@ void polish_by_swaps(Encoding& enc, const ConstraintSet& cs,
   int evals = 0;
   auto face_value = [&](std::size_t i) -> long {
     ++evals;
+    ctx.charge(1);
+    if ((evals & 63) == 0) ctx.poll();
     const FaceCost fc =
         evaluate_face_cost(enc, cs, cs.faces()[i], live_unused_dc,
                            /*fast=*/opts.fast_cost);
@@ -433,7 +446,7 @@ void polish_by_swaps(Encoding& enc, const ConstraintSet& cs,
     for (std::uint32_t a = 0; a < n; ++a) {
       // Pairwise swaps.
       for (std::uint32_t b = a + 1; b < n; ++b) {
-        if (evals >= opts.polish_eval_budget) return;
+        if (evals >= opts.polish_eval_budget || ctx.exhausted()) return;
         std::vector<std::size_t> affected;
         for (std::size_t i = 0; i < nf; ++i)
           if (cat[i][a] != cat[i][b]) affected.push_back(i);
@@ -462,7 +475,9 @@ void polish_by_swaps(Encoding& enc, const ConstraintSet& cs,
       // re-evaluation).
       const std::size_t free_tries = std::min<std::size_t>(free_codes.size(), 8);
       for (std::size_t fi = 0; fi < free_tries; ++fi) {
-        if (evals + static_cast<int>(nf) >= opts.polish_eval_budget) break;
+        if (evals + static_cast<int>(nf) >= opts.polish_eval_budget ||
+            ctx.exhausted())
+          break;
         const std::uint64_t old_code = enc.codes[a];
         enc.codes[a] = free_codes[fi];
         if (opts.cost != CostKind::kViolatedFaces)
@@ -492,7 +507,9 @@ void polish_by_swaps(Encoding& enc, const ConstraintSet& cs,
 }  // namespace
 
 BoundedEncodeResult bounded_encode(const ConstraintSet& cs, int code_length,
-                                   const BoundedEncodeOptions& opts) {
+                                   const BoundedEncodeOptions& opts,
+                                   const ExecContext& ctx) {
+  StageScope stage(ctx, "bounded_encode");
   const std::uint32_t n = cs.num_symbols();
   if (n == 0) throw std::invalid_argument("no symbols to encode");
   if (code_length < minimum_code_length(n))
@@ -505,7 +522,7 @@ BoundedEncodeResult bounded_encode(const ConstraintSet& cs, int code_length,
   std::vector<std::uint32_t> all(n);
   for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
 
-  RecursiveEncoder enc(cs, opts);
+  RecursiveEncoder enc(cs, opts, stage.ctx());
   std::vector<Dichotomy> columns = enc.encode_subset(all, code_length, 1);
 
   // Pad with empty columns if the recursion returned fewer than requested
@@ -524,9 +541,15 @@ BoundedEncodeResult bounded_encode(const ConstraintSet& cs, int code_length,
       if (columns[j].in_right(s))
         res.encoding.codes[s] |= std::uint64_t{1} << j;
 
-  polish_by_swaps(res.encoding, cs, opts);
+  polish_by_swaps(res.encoding, cs, opts, stage.ctx());
 
   res.cost = evaluate_encoding_cost(res.encoding, cs, /*fast=*/false);
+  stage.ctx().poll();
+  if (stage.ctx().exhausted()) {
+    res.truncation = stage.ctx().reason();
+    stage.set_truncation(res.truncation);
+  }
+  stage.add_items(static_cast<std::uint64_t>(enc.eval.evals));
   return res;
 }
 

@@ -20,6 +20,7 @@
 #include "core/constraints.h"
 #include "core/cost.h"
 #include "core/encoding.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -45,13 +46,20 @@ struct BoundedEncodeResult {
   Encoding encoding;
   /// Final cost of the returned encoding (full-quality evaluation).
   EncodingCost cost;
+  /// Set when a shared Budget expired mid-optimization: the encoding is
+  /// still valid (codes are unique by construction), just less polished.
+  Truncation truncation = Truncation::kNone;
 };
 
 /// Encodes all symbols of cs in exactly `code_length` bits, minimizing the
 /// chosen cost function heuristically. Requires
 /// code_length >= ceil(log2(num_symbols)) (throws std::invalid_argument).
+/// `ctx.budget` (deadline/cancellation) degrades the local search
+/// gracefully — selection and polish stop improving when it expires, the
+/// structurally safe encoding is always returned.
 BoundedEncodeResult bounded_encode(const ConstraintSet& cs, int code_length,
-                                   const BoundedEncodeOptions& opts = {});
+                                   const BoundedEncodeOptions& opts = {},
+                                   const ExecContext& ctx = {});
 
 /// Minimum number of bits needed to give distinct codes to n symbols.
 int minimum_code_length(std::uint32_t n);

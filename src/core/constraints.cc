@@ -114,16 +114,23 @@ std::string ConstraintSet::to_string() const {
   return out.str();
 }
 
-namespace {
-
-[[noreturn]] void parse_error(int line_no, const std::string& msg) {
-  throw std::runtime_error("constraint parse error at line " +
-                           std::to_string(line_no) + ": " + msg);
+std::string ParseError::to_string() const {
+  return "line " + std::to_string(line) + ": " + message;
 }
 
-}  // namespace
+namespace {
 
-ConstraintSet parse_constraints(const std::string& text) {
+// Internal control flow of the parser; both public overloads translate it
+// at their boundary (into std::runtime_error or a ParseError out-param).
+struct ParseFailure {
+  ParseError err;
+};
+
+[[noreturn]] void parse_error(int line_no, const std::string& msg) {
+  throw ParseFailure{ParseError{line_no, msg}};
+}
+
+ConstraintSet parse_impl(const std::string& text) {
   ConstraintSet cs;
   std::istringstream in(text);
   std::string raw;
@@ -202,6 +209,27 @@ ConstraintSet parse_constraints(const std::string& text) {
     }
   }
   return cs;
+}
+
+}  // namespace
+
+ConstraintSet parse_constraints(const std::string& text) {
+  try {
+    return parse_impl(text);
+  } catch (const ParseFailure& f) {
+    throw std::runtime_error("constraint parse error at " +
+                             f.err.to_string());
+  }
+}
+
+std::optional<ConstraintSet> parse_constraints(const std::string& text,
+                                               ParseError* error) {
+  try {
+    return parse_impl(text);
+  } catch (const ParseFailure& f) {
+    if (error) *error = f.err;
+    return std::nullopt;
+  }
 }
 
 }  // namespace encodesat

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -140,8 +141,22 @@ class ConstraintSet {
   std::vector<NonFaceConstraint> nonfaces_;
 };
 
+/// Diagnostic for a malformed constraint line.
+struct ParseError {
+  int line = 0;  ///< 1-based line number of the offending input line.
+  std::string message;
+
+  /// "line N: message" — ready for CLI diagnostics.
+  std::string to_string() const;
+};
+
 /// Parses the text grammar; throws std::runtime_error with a line number on
 /// malformed input. Symbols appear in order of first mention.
 ConstraintSet parse_constraints(const std::string& text);
+
+/// Non-throwing variant: returns std::nullopt on malformed input and fills
+/// `*error` (when non-null) with the line number and message instead.
+std::optional<ConstraintSet> parse_constraints(const std::string& text,
+                                               ParseError* error);
 
 }  // namespace encodesat

@@ -1,71 +1,105 @@
 #include "core/encoder.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/output_rules.h"
 #include "core/verify.h"
+#include "util/thread_pool.h"
 
 namespace encodesat {
 
 namespace {
 
+// Fan-out thresholds: below these sizes the per-thread dispatch overhead
+// outweighs the work, so the loops stay inline regardless of ctx threads.
+constexpr std::size_t kParallelGrain = 64;
+
+int threads_for(const ExecContext& ctx, std::size_t n) {
+  return n >= kParallelGrain ? ctx.num_threads : 1;
+}
+
 // Builds D from I: delete invalid dichotomies, raise the survivors to their
-// maximal form, delete any that became invalid, and deduplicate.
+// maximal form, delete any that became invalid, and deduplicate. Raising is
+// independent per dichotomy, so the loop fans out over `ctx.num_threads`
+// with one result slot per input — the surviving order (and therefore the
+// deduplicated set) matches the sequential path exactly.
 std::vector<Dichotomy> valid_raised_set(
-    const std::vector<InitialDichotomy>& initial, const ConstraintSet& cs) {
+    const std::vector<InitialDichotomy>& initial, const ConstraintSet& cs,
+    const ExecContext& ctx) {
+  std::vector<std::optional<Dichotomy>> slots(initial.size());
+  parallel_for(initial.size(), threads_for(ctx, initial.size()),
+               [&](std::size_t i) {
+                 const Dichotomy& d = initial[i].dichotomy;
+                 if (!dichotomy_valid(d, cs)) return;
+                 Dichotomy raised = d;
+                 if (!raise_dichotomy(raised, cs)) return;
+                 if (!dichotomy_valid(raised, cs)) return;
+                 slots[i] = std::move(raised);
+               });
   std::vector<Dichotomy> d;
   d.reserve(initial.size());
-  for (const auto& i : initial) {
-    if (!dichotomy_valid(i.dichotomy, cs)) continue;
-    Dichotomy raised = i.dichotomy;
-    if (!raise_dichotomy(raised, cs)) continue;
-    if (!dichotomy_valid(raised, cs)) continue;
-    d.push_back(std::move(raised));
-  }
+  for (auto& s : slots)
+    if (s) d.push_back(std::move(*s));
   dedupe_dichotomies(d);
   return d;
 }
 
 std::vector<std::size_t> uncovered_initials(
     const std::vector<InitialDichotomy>& initial,
-    const std::vector<Dichotomy>& d) {
+    const std::vector<Dichotomy>& d, const ExecContext& ctx) {
+  std::vector<char> covered(initial.size(), 0);
+  parallel_for(initial.size(), threads_for(ctx, initial.size()),
+               [&](std::size_t i) {
+                 for (const auto& raised : d) {
+                   if (raised.covers(initial[i].dichotomy)) {
+                     covered[i] = 1;
+                     return;
+                   }
+                 }
+               });
   std::vector<std::size_t> uncovered;
-  for (std::size_t i = 0; i < initial.size(); ++i) {
-    bool covered = false;
-    for (const auto& raised : d) {
-      if (raised.covers(initial[i].dichotomy)) {
-        covered = true;
-        break;
-      }
-    }
-    if (!covered) uncovered.push_back(i);
-  }
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    if (!covered[i]) uncovered.push_back(i);
   return uncovered;
 }
 
 }  // namespace
 
-FeasibilityResult check_feasible(const ConstraintSet& cs) {
+FeasibilityResult check_feasible(const ConstraintSet& cs,
+                                 const ExecContext& ctx) {
+  StageScope stage(ctx, "feasibility");
   FeasibilityResult res;
   res.initial = generate_initial_dichotomies(cs);
-  res.raised = valid_raised_set(res.initial, cs);
-  res.uncovered = uncovered_initials(res.initial, res.raised);
+  res.raised = valid_raised_set(res.initial, cs, stage.ctx());
+  res.uncovered = uncovered_initials(res.initial, res.raised, stage.ctx());
   res.feasible = res.uncovered.empty();
+  stage.add_items(res.initial.size());
   return res;
 }
 
 ExactEncodeResult exact_encode(const ConstraintSet& cs,
-                               const ExactEncodeOptions& opts) {
+                               const ExactEncodeOptions& opts,
+                               const ExecContext& ctx) {
   ExactEncodeResult res;
   const std::uint32_t n = cs.num_symbols();
 
-  const auto initial = generate_initial_dichotomies(cs);
-  res.num_initial = initial.size();
+  std::vector<InitialDichotomy> initial;
+  std::vector<Dichotomy> d;
+  {
+    StageScope stage(ctx, "initial_dichotomies");
+    initial = generate_initial_dichotomies(cs);
+    res.num_initial = initial.size();
+    stage.add_items(initial.size());
+  }
+  {
+    StageScope stage(ctx, "raise");
+    d = valid_raised_set(initial, cs, stage.ctx());
+    res.num_raised = d.size();
+    stage.add_items(d.size());
 
-  std::vector<Dichotomy> d = valid_raised_set(initial, cs);
-  res.num_raised = d.size();
-
-  res.uncovered = uncovered_initials(initial, d);
+    res.uncovered = uncovered_initials(initial, d, stage.ctx());
+  }
   if (!res.uncovered.empty()) {
     res.status = ExactEncodeResult::Status::kInfeasible;
     return res;
@@ -79,9 +113,10 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
     return res;
   }
 
-  PrimeGenResult pg = generate_prime_dichotomies(d, opts.prime_options);
+  PrimeGenResult pg = generate_prime_dichotomies(d, opts.prime_options, ctx);
   if (pg.truncated) {
     res.status = ExactEncodeResult::Status::kPrimeLimit;
+    res.truncation = pg.truncation;
     return res;
   }
   res.num_primes = pg.primes.size();
@@ -91,33 +126,54 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
   // (e.g. scatter all children of a right-block disjunctive parent into the
   // left block), so each prime is also re-raised to its maximal form —
   // required for the default-to-right code derivation of Theorem 6.1.
+  // Validation is independent per prime: slot-per-index fan-out again.
   std::vector<Dichotomy> candidates;
-  candidates.reserve(pg.primes.size() + d.size());
-  for (Dichotomy& p : pg.primes) {
-    if (!dichotomy_valid(p, cs)) continue;
-    if (!raise_dichotomy(p, cs)) continue;
-    if (!dichotomy_valid(p, cs)) continue;
-    candidates.push_back(std::move(p));
+  {
+    StageScope stage(ctx, "validate_primes");
+    std::vector<std::optional<Dichotomy>> slots(pg.primes.size());
+    parallel_for(pg.primes.size(), threads_for(ctx, pg.primes.size()),
+                 [&](std::size_t i) {
+                   Dichotomy& p = pg.primes[i];
+                   if (!dichotomy_valid(p, cs)) return;
+                   if (!raise_dichotomy(p, cs)) return;
+                   if (!dichotomy_valid(p, cs)) return;
+                   slots[i] = std::move(p);
+                 });
+    candidates.reserve(pg.primes.size() + d.size());
+    for (auto& s : slots)
+      if (s) candidates.push_back(std::move(*s));
+    res.num_valid_primes = candidates.size();
+    // Safety net: the valid maximally raised dichotomies themselves remain
+    // legal columns (Theorem 6.1 proves they suffice for feasibility), so a
+    // prime lost to post-union validity filtering never costs us a solution.
+    for (const Dichotomy& raised : d) candidates.push_back(raised);
+    dedupe_dichotomies(candidates);
+    stage.add_items(candidates.size());
   }
-  res.num_valid_primes = candidates.size();
-  // Safety net: the valid maximally raised dichotomies themselves remain
-  // legal columns (Theorem 6.1 proves they suffice for feasibility), so a
-  // prime lost to post-union validity filtering never costs us a solution.
-  for (const Dichotomy& raised : d) candidates.push_back(raised);
-  dedupe_dichotomies(candidates);
+  if (!ctx.poll()) {
+    res.status = ExactEncodeResult::Status::kPrimeLimit;
+    res.truncation = ctx.reason();
+    return res;
+  }
 
   // Exact unate covering: rows = initial dichotomies, columns = candidates.
   UnateCoverProblem problem;
   problem.num_columns = candidates.size();
-  problem.rows.reserve(initial.size());
-  for (const auto& i : initial) {
-    Bitset row(problem.num_columns);
-    for (std::size_t c = 0; c < candidates.size(); ++c)
-      if (candidates[c].covers(i.dichotomy)) row.set(c);
-    problem.rows.push_back(std::move(row));
+  problem.rows.resize(initial.size());
+  {
+    StageScope stage(ctx, "cover_table");
+    parallel_for(initial.size(), threads_for(ctx, initial.size()),
+                 [&](std::size_t i) {
+                   Bitset row(problem.num_columns);
+                   for (std::size_t c = 0; c < candidates.size(); ++c)
+                     if (candidates[c].covers(initial[i].dichotomy))
+                       row.set(c);
+                   problem.rows[i] = std::move(row);
+                 });
+    stage.add_items(initial.size());
   }
   const UnateCoverSolution cover =
-      solve_unate_cover(problem, opts.cover_options);
+      solve_unate_cover(problem, opts.cover_options, ctx);
   if (!cover.feasible) {
     // Cannot happen when the feasibility check passed (Theorem 6.1), but
     // report honestly rather than asserting in release builds.
@@ -131,6 +187,7 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
 
   res.status = ExactEncodeResult::Status::kEncoded;
   res.minimal = cover.optimal;
+  res.truncation = cover.truncation;
   res.encoding = derive_codes(n, columns);
   return res;
 }

@@ -29,7 +29,12 @@ struct FeasibilityResult {
 /// P-1 in time polynomial in symbols × constraints: generate I, delete
 /// invalid dichotomies, raise the survivors maximally, delete any that
 /// became invalid, and check that every i ∈ I is covered by some d ∈ D.
+/// The one-argument form is a thin wrapper over the Solver facade
+/// (core/solver.h); the two-argument form is the budget/stats-aware
+/// implementation.
 FeasibilityResult check_feasible(const ConstraintSet& cs);
+FeasibilityResult check_feasible(const ConstraintSet& cs,
+                                 const ExecContext& ctx);
 
 struct ExactEncodeOptions {
   PrimeGenOptions prime_options;
@@ -47,6 +52,11 @@ struct ExactEncodeResult {
   /// Covering-solver proof of minimality (false if the node budget ran out,
   /// in which case `encoding` is still valid but possibly not minimum).
   bool minimal = true;
+  /// Why the pipeline stopped early or lost the optimality proof: set with
+  /// kPrimeLimit (term/work/deadline/cancel during prime generation) and
+  /// alongside `minimal == false` (node budget or shared-budget expiry in
+  /// the covering search).
+  Truncation truncation = Truncation::kNone;
 
   // Statistics mirroring Table 1's columns.
   std::size_t num_initial = 0;
@@ -58,8 +68,15 @@ struct ExactEncodeResult {
 
 /// P-2: exact minimum-length encoding satisfying all input and output
 /// constraints (distance-2 and non-face constraints are handled by
-/// solve_with_extensions in extensions.h; this routine ignores them).
+/// encode_with_extensions in extensions.h; this routine ignores them).
+/// The two-argument form is a thin wrapper over the Solver facade
+/// (core/solver.h); the three-argument form is the budget/stats-aware
+/// implementation, deterministic for any `ctx.num_threads` under work/term/
+/// node budgets (wall-clock deadlines excepted).
 ExactEncodeResult exact_encode(const ConstraintSet& cs,
                                const ExactEncodeOptions& opts = {});
+ExactEncodeResult exact_encode(const ConstraintSet& cs,
+                               const ExactEncodeOptions& opts,
+                               const ExecContext& ctx);
 
 }  // namespace encodesat

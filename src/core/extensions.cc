@@ -89,8 +89,10 @@ bool pattern_separates_from_face(std::uint64_t pattern,
 
 }  // namespace
 
-ExtensionEncodeResult encode_with_extensions(
-    const ConstraintSet& cs, const ExtensionEncodeOptions& opts) {
+ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
+                                             const ExtensionEncodeOptions& opts,
+                                             const ExecContext& ctx) {
+  StageScope stage(ctx, "extensions");
   ExtensionEncodeResult res;
   const std::uint32_t n = cs.num_symbols();
   if (n > 64) {
@@ -132,9 +134,12 @@ ExtensionEncodeResult encode_with_extensions(
 
   std::vector<Dichotomy> candidates = d;
   if (!d.empty()) {
-    PrimeGenResult pg = generate_prime_dichotomies(d, opts.prime_options);
+    PrimeGenResult pg =
+        generate_prime_dichotomies(d, opts.prime_options, stage.ctx());
     if (pg.truncated) {
       res.status = ExtensionEncodeResult::Status::kPrimeLimit;
+      res.truncation = pg.truncation;
+      stage.set_truncation(pg.truncation);
       return res;
     }
     for (Dichotomy& p : pg.primes) {
@@ -232,15 +237,26 @@ ExtensionEncodeResult encode_with_extensions(
     problem.rows.push_back(std::move(row));
   }
 
+  if (!stage.ctx().poll()) {
+    res.status = ExtensionEncodeResult::Status::kPrimeLimit;
+    res.truncation = stage.ctx().reason();
+    stage.set_truncation(res.truncation);
+    return res;
+  }
   const BinateCoverSolution sol =
       solve_binate_cover(problem, opts.cover_options);
   res.nodes_explored = sol.nodes_explored;
+  stage.add_items(sol.nodes_explored);
   if (!sol.feasible) {
     res.status = ExtensionEncodeResult::Status::kInfeasible;
     return res;
   }
   res.status = ExtensionEncodeResult::Status::kEncoded;
   res.minimal = sol.optimal;
+  if (!sol.optimal) {
+    res.truncation = Truncation::kNodeLimit;
+    stage.set_truncation(res.truncation);
+  }
 
   std::vector<std::uint64_t> chosen;
   for (std::size_t c : sol.columns)

@@ -30,14 +30,22 @@ struct ExtensionEncodeResult {
   Status status = Status::kInfeasible;
   Encoding encoding;
   bool minimal = false;
+  /// Why the run truncated or lost its optimality proof (kNone otherwise).
+  Truncation truncation = Truncation::kNone;
   std::size_t num_candidates = 0;
   std::size_t num_aux_columns = 0;
   std::uint64_t nodes_explored = 0;
 };
 
 /// Minimum-length encoding satisfying face, dominance, disjunctive,
-/// extended disjunctive, distance-2 and non-face constraints.
+/// extended disjunctive, distance-2 and non-face constraints. The
+/// two-argument form is a thin wrapper over the Solver facade
+/// (core/solver.h); the three-argument form is the budget/stats-aware
+/// implementation.
 ExtensionEncodeResult encode_with_extensions(
     const ConstraintSet& cs, const ExtensionEncodeOptions& opts = {});
+ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
+                                             const ExtensionEncodeOptions& opts,
+                                             const ExecContext& ctx);
 
 }  // namespace encodesat

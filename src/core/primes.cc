@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
+
 namespace encodesat {
 
 namespace {
@@ -44,9 +46,20 @@ void keep_minimal_terms(std::vector<Bitset>& terms) {
 std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
                                            std::size_t max_terms,
                                            bool* truncated,
-                                           std::uint64_t max_work) {
+                                           std::uint64_t max_work,
+                                           const ExecContext& ctx,
+                                           Truncation* reason) {
   const std::size_t m = incompat.size();
   if (truncated) *truncated = false;
+  if (reason) *reason = Truncation::kNone;
+  // Stage-local limits (terms, the local work option) are reported to the
+  // caller but never tripped into the shared budget: a truncated stage must
+  // not poison budget checks in unrelated later stages.
+  auto truncate = [&](Truncation why) -> std::vector<Bitset> {
+    if (truncated) *truncated = true;
+    if (reason) *reason = why;
+    return {};
+  };
 
   // Peel variables one at a time (the cs recursion, iteratively): at each
   // step remove the remaining variable x of maximum residual degree
@@ -91,18 +104,18 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
     // Work accounting (in bitset word operations, upper bound): the
     // absorption scans below cost about |B|^2/2 + |A|*|B| pairwise subset
     // checks of `words` words each for this fold.
-    work += (static_cast<std::uint64_t>(sop.size()) * sop.size() * 3 / 2) *
-            words;
-    if (work > max_work) {
-      if (truncated) *truncated = true;
-      return {};
-    }
+    const std::uint64_t fold_work =
+        (static_cast<std::uint64_t>(sop.size()) * sop.size() * 3 / 2) * words;
+    work += fold_work;
+    if (work > max_work) return truncate(Truncation::kWorkBudget);
+    // The shared budget sees the same work units; its deadline and
+    // cancellation flag are polled once per fold, bounding the latency of a
+    // truncated return by one absorption scan.
+    if (!ctx.charge(fold_work)) return truncate(ctx.reason());
+    if (!ctx.poll()) return truncate(ctx.reason());
     // Bail out before paying the absorption scan on a hopeless blow-up:
     // absorption at most halves the set, so 2x over budget cannot recover.
-    if (sop.size() > max_terms) {
-      if (truncated) *truncated = true;
-      return {};
-    }
+    if (sop.size() > max_terms) return truncate(Truncation::kTermLimit);
     // next = {t ∪ {x}} ∪ {t ∪ N}. Structure exploited for absorption:
     // terms never contain x before this fold (x was peeled first), so the
     // {t ∪ {x}} half inherits the SOP's pairwise incomparability verbatim
@@ -133,39 +146,48 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
       if (!absorbed) next.push_back(std::move(a));
     }
     for (Bitset& b : with_nbrs) next.push_back(std::move(b));
-    if (next.size() > max_terms) {
-      if (truncated) *truncated = true;
-      return {};
-    }
+    if (next.size() > max_terms) return truncate(Truncation::kTermLimit);
     sop = std::move(next);
   }
   return sop;
 }
 
 PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
-                                          const PrimeGenOptions& opts) {
+                                          const PrimeGenOptions& opts,
+                                          const ExecContext& ctx) {
   PrimeGenResult result;
   if (ds.empty()) return result;
+  StageScope stage(ctx, "prime_generation");
   const std::size_t m = ds.size();
 
+  // Pairwise incompatibility matrix. Each task fills only the upper
+  // triangle of its own row, so the fan-out is race-free and the mirrored
+  // result is independent of the thread count.
   std::vector<Bitset> incompat(m, Bitset(m));
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      if (!ds[i].compatible(ds[j])) {
-        incompat[i].set(j);
-        incompat[j].set(i);
-      }
-    }
-  }
+  parallel_for(m, m >= 128 ? ctx.num_threads : 1, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < m; ++j)
+      if (!ds[i].compatible(ds[j])) incompat[i].set(j);
+  });
+  for (std::size_t i = 0; i < m; ++i)
+    incompat[i].for_each([&](std::size_t j) {
+      if (j > i) incompat[j].set(i);
+    });
 
   bool truncated = false;
-  std::vector<Bitset> sop = two_cnf_to_minimal_sop(
-      incompat, opts.max_terms, &truncated, opts.max_work);
+  Truncation reason = Truncation::kNone;
+  const std::uint64_t work_before = ctx.budget ? ctx.budget->work_used() : 0;
+  std::vector<Bitset> sop =
+      two_cnf_to_minimal_sop(incompat, opts.max_terms, &truncated,
+                             opts.max_work, stage.ctx(), &reason);
+  if (ctx.budget) stage.add_work(ctx.budget->work_used() - work_before);
   if (truncated) {
     result.truncated = true;
+    result.truncation = reason;
+    stage.set_truncation(reason);
     return result;
   }
   result.num_terms = sop.size();
+  stage.add_items(sop.size());
 
   // Each SOP term is a minimal deletion set; the variables missing from it
   // form a maximal compatible whose union is a prime encoding-dichotomy.

@@ -17,6 +17,7 @@
 
 #include "core/dichotomy.h"
 #include "util/bitset.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -34,21 +35,33 @@ struct PrimeGenResult {
   /// Maximal-compatible unions, deduplicated; empty if truncated.
   std::vector<Dichotomy> primes;
   bool truncated = false;
+  /// Why the run truncated (kNone when it completed). Term/work limits of
+  /// PrimeGenOptions report kTermLimit/kWorkBudget; a shared Budget adds
+  /// deadline/cancellation reasons.
+  Truncation truncation = Truncation::kNone;
   /// Number of terms in the final SOP (= number of maximal compatibles).
   std::size_t num_terms = 0;
 };
 
 /// Generates all prime encoding-dichotomies of `ds` (which must all share
 /// one universe and be well formed). Exact duplicates in `ds` are tolerated.
+/// The context supplies the shared budget (polled each fold), a stats node
+/// (a "prime_generation" child is recorded) and the thread count for the
+/// incompatibility-matrix construction.
 PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
-                                          const PrimeGenOptions& opts = {});
+                                          const PrimeGenOptions& opts = {},
+                                          const ExecContext& ctx = {});
 
 /// Exposed for tests and the Figure 3 bench: converts a 2-CNF given as
 /// adjacency sets (edge {i,j} iff incompat[i].test(j)) into the minimal SOP
 /// term list via the cs/ps recursion. Terms are Bitsets over num_vars.
+/// `ctx.budget` is charged with the fold work and polled once per fold;
+/// `reason` (optional) reports why the run truncated.
 std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
                                            std::size_t max_terms,
                                            bool* truncated,
-                                           std::uint64_t max_work = ~0ull);
+                                           std::uint64_t max_work = ~0ull,
+                                           const ExecContext& ctx = {},
+                                           Truncation* reason = nullptr);
 
 }  // namespace encodesat

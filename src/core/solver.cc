@@ -1,0 +1,206 @@
+#include "core/solver.h"
+
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace encodesat {
+
+namespace {
+
+SolveResult::Status from_exact(ExactEncodeResult::Status s) {
+  switch (s) {
+    case ExactEncodeResult::Status::kEncoded:
+      return SolveResult::Status::kEncoded;
+    case ExactEncodeResult::Status::kInfeasible:
+      return SolveResult::Status::kInfeasible;
+    case ExactEncodeResult::Status::kPrimeLimit:
+      return SolveResult::Status::kTruncated;
+  }
+  return SolveResult::Status::kInfeasible;
+}
+
+SolveResult::Status from_extension(ExtensionEncodeResult::Status s) {
+  switch (s) {
+    case ExtensionEncodeResult::Status::kEncoded:
+      return SolveResult::Status::kEncoded;
+    case ExtensionEncodeResult::Status::kInfeasible:
+      return SolveResult::Status::kInfeasible;
+    case ExtensionEncodeResult::Status::kPrimeLimit:
+      return SolveResult::Status::kTruncated;
+  }
+  return SolveResult::Status::kInfeasible;
+}
+
+// The facade body, with the budget already configured by the caller (the
+// single-solve path sets a relative deadline, the batch path a shared
+// absolute one).
+SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
+                      Budget& budget, int threads) {
+  SolveResult out;
+  out.stats = StageStats("solve");
+  const Budget::Clock::time_point start = Budget::Clock::now();
+  const ExecContext ctx{&budget, &out.stats, threads};
+
+  const bool extended =
+      opts.pipeline == SolveOptions::Pipeline::kExtensions ||
+      (opts.pipeline == SolveOptions::Pipeline::kAuto &&
+       (!cs.distance2s().empty() || !cs.nonfaces().empty()));
+  if (!extended) {
+    ExactEncodeOptions eo;
+    eo.prime_options = opts.prime_options;
+    eo.cover_options = opts.cover_options;
+    ExactEncodeResult r = exact_encode(cs, eo, ctx);
+    out.status = from_exact(r.status);
+    out.encoding = std::move(r.encoding);
+    out.minimal = r.status == ExactEncodeResult::Status::kEncoded && r.minimal;
+    out.truncation = r.truncation;
+    out.uncovered = std::move(r.uncovered);
+    out.num_initial = r.num_initial;
+    out.num_raised = r.num_raised;
+    out.num_primes = r.num_primes;
+    out.num_valid_primes = r.num_valid_primes;
+    if (const StageStats* cover = out.stats.find("unate_cover"))
+      out.nodes_explored = cover->items;
+  } else {
+    ExtensionEncodeOptions xo;
+    xo.prime_options = opts.prime_options;
+    xo.cover_options = opts.extension_cover_options;
+    ExtensionEncodeResult r = encode_with_extensions(cs, xo, ctx);
+    out.status = from_extension(r.status);
+    out.encoding = std::move(r.encoding);
+    out.minimal =
+        r.status == ExtensionEncodeResult::Status::kEncoded && r.minimal;
+    out.truncation = r.truncation;
+    out.num_candidates = r.num_candidates;
+    out.num_aux_columns = r.num_aux_columns;
+    out.nodes_explored = r.nodes_explored;
+  }
+  if (out.status == SolveResult::Status::kTruncated &&
+      out.truncation == Truncation::kNone)
+    out.truncation = budget.reason();
+  out.stats.work = budget.work_used();
+  out.stats.truncation = out.truncation;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(Budget::Clock::now() - start).count();
+  return out;
+}
+
+void configure_limits(Budget& budget, const SolveOptions& opts) {
+  if (opts.max_work > 0) budget.set_work_limit(opts.max_work);
+  if (opts.cancel) budget.set_cancel_token(opts.cancel);
+}
+
+}  // namespace
+
+FeasibilityResult Solver::feasibility() const {
+  return check_feasible(cs_, ExecContext{});
+}
+
+SolveResult Solver::encode(const SolveOptions& opts) const {
+  Budget budget;
+  if (opts.timeout_seconds > 0) budget.set_deadline_after(opts.timeout_seconds);
+  configure_limits(budget, opts);
+  return run_solve(cs_, opts, budget, resolve_threads(opts.threads));
+}
+
+std::vector<SolveResult> encode_batch(const std::vector<ConstraintSet>& sets,
+                                      const SolveOptions& opts) {
+  std::vector<SolveResult> out(sets.size());
+  // One absolute deadline shared by every item; work budgets stay per-item
+  // so work truncation does not depend on scheduling order.
+  Budget::Clock::time_point deadline{};
+  const bool has_deadline = opts.timeout_seconds > 0;
+  if (has_deadline)
+    deadline = Budget::Clock::now() +
+               std::chrono::duration_cast<Budget::Clock::duration>(
+                   std::chrono::duration<double>(opts.timeout_seconds));
+  parallel_for(sets.size(), resolve_threads(opts.threads),
+               [&](std::size_t i) {
+                 Budget budget;
+                 if (has_deadline) budget.set_deadline(deadline);
+                 configure_limits(budget, opts);
+                 out[i] = run_solve(sets[i], opts, budget, /*threads=*/1);
+               });
+  return out;
+}
+
+std::vector<BoundedEncodeResult> bounded_encode_lengths(
+    const ConstraintSet& cs, const std::vector<int>& lengths,
+    const BoundedEncodeOptions& opts, int threads) {
+  std::vector<BoundedEncodeResult> out(lengths.size());
+  parallel_for(lengths.size(), resolve_threads(threads), [&](std::size_t i) {
+    out[i] = bounded_encode(cs, lengths[i], opts);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy entry points, reimplemented as thin wrappers over the facade so
+// existing callers keep compiling (and pick up the staged pipeline).
+// ---------------------------------------------------------------------------
+
+FeasibilityResult check_feasible(const ConstraintSet& cs) {
+  return Solver(cs).feasibility();
+}
+
+ExactEncodeResult exact_encode(const ConstraintSet& cs,
+                               const ExactEncodeOptions& opts) {
+  SolveOptions so;
+  so.prime_options = opts.prime_options;
+  so.cover_options = opts.cover_options;
+  SolveResult r = Solver(cs).encode(so);
+  ExactEncodeResult out;
+  switch (r.status) {
+    case SolveResult::Status::kEncoded:
+      out.status = ExactEncodeResult::Status::kEncoded;
+      break;
+    case SolveResult::Status::kInfeasible:
+      out.status = ExactEncodeResult::Status::kInfeasible;
+      break;
+    case SolveResult::Status::kTruncated:
+      out.status = ExactEncodeResult::Status::kPrimeLimit;
+      break;
+  }
+  out.encoding = std::move(r.encoding);
+  out.minimal = r.minimal;
+  out.truncation = r.truncation;
+  out.num_initial = r.num_initial;
+  out.num_raised = r.num_raised;
+  out.num_primes = r.num_primes;
+  out.num_valid_primes = r.num_valid_primes;
+  out.uncovered = std::move(r.uncovered);
+  return out;
+}
+
+ExtensionEncodeResult encode_with_extensions(
+    const ConstraintSet& cs, const ExtensionEncodeOptions& opts) {
+  // Force the extension pipeline even for plain constraint sets: callers of
+  // this entry point expect its totalized-column semantics.
+  SolveOptions so;
+  so.pipeline = SolveOptions::Pipeline::kExtensions;
+  so.prime_options = opts.prime_options;
+  so.extension_cover_options = opts.cover_options;
+  SolveResult r = Solver(cs).encode(so);
+  ExtensionEncodeResult out;
+  switch (r.status) {
+    case SolveResult::Status::kEncoded:
+      out.status = ExtensionEncodeResult::Status::kEncoded;
+      break;
+    case SolveResult::Status::kInfeasible:
+      out.status = ExtensionEncodeResult::Status::kInfeasible;
+      break;
+    case SolveResult::Status::kTruncated:
+      out.status = ExtensionEncodeResult::Status::kPrimeLimit;
+      break;
+  }
+  out.encoding = std::move(r.encoding);
+  out.minimal = r.minimal;
+  out.truncation = r.truncation;
+  out.num_candidates = r.num_candidates;
+  out.num_aux_columns = r.num_aux_columns;
+  out.nodes_explored = r.nodes_explored;
+  return out;
+}
+
+}  // namespace encodesat

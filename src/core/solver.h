@@ -1,0 +1,134 @@
+// The unified front door of the library: one facade over the paper's whole
+// flow (P-1 feasibility, P-2 exact minimum-length encoding, the Section 8
+// extension pipeline), with one options surface for budgets, threads and
+// statistics instead of the per-stage knobs the individual entry points
+// expose.
+//
+//   Solver solver(parse_constraints(text));
+//   if (!solver.feasible()) ...;
+//   SolveOptions opts;
+//   opts.timeout_seconds = 5;
+//   opts.threads = 4;
+//   SolveResult r = solver.encode(opts);
+//   // r.status, r.encoding, r.stats.to_json(), ...
+//
+// encode() routes automatically: constraint sets with distance-2 or
+// non-face constraints go through the binate-covering extension pipeline,
+// everything else through the exact Fig. 7 pipeline. The legacy free
+// functions (`check_feasible`, `exact_encode`, `encode_with_extensions`)
+// are thin wrappers over this facade.
+//
+// Determinism: for fixed options, the encoding produced is identical for
+// every `threads` value and for repeated runs — work/term/node budgets trip
+// at reproducible points. Only wall-clock deadlines and cancellation make
+// truncation timing (never validity) run-dependent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounded.h"
+#include "core/constraints.h"
+#include "core/encoder.h"
+#include "core/encoding.h"
+#include "core/extensions.h"
+#include "util/exec.h"
+
+namespace encodesat {
+
+struct SolveOptions {
+  /// Which pipeline encode() runs. kAuto picks the extension pipeline when
+  /// distance-2 or non-face constraints are present, the exact Fig. 7
+  /// pipeline otherwise; the explicit values force one.
+  enum class Pipeline { kAuto, kExact, kExtensions };
+  Pipeline pipeline = Pipeline::kAuto;
+
+  /// Wall-clock budget for the whole solve; 0 means unlimited.
+  double timeout_seconds = 0;
+  /// Total work budget in bitset word operations; 0 means unlimited. This
+  /// is the deterministic alternative to a deadline. Stage-local budgets
+  /// (prime_options.max_terms/max_work, cover node budgets) still apply.
+  std::uint64_t max_work = 0;
+  /// Worker threads for the parallel fan-out paths; 1 = sequential
+  /// (reference path), 0 = all hardware threads.
+  int threads = 1;
+  /// Optional cooperative cancellation, shared across threads and solves.
+  /// Borrowed; must outlive the call.
+  CancelToken* cancel = nullptr;
+
+  PrimeGenOptions prime_options;
+  UnateCoverOptions cover_options;
+  /// Used only when the extension pipeline is taken.
+  BinateCoverOptions extension_cover_options;
+};
+
+struct SolveResult {
+  enum class Status {
+    kEncoded,     ///< `encoding` satisfies every constraint
+    kInfeasible,  ///< the constraints cannot all be satisfied
+    kTruncated,   ///< a budget expired before an encoding was found
+  };
+  Status status = Status::kInfeasible;
+  Encoding encoding;
+  /// True when minimality was proved within every budget.
+  bool minimal = false;
+  /// First budget/limit that tripped (kNone on a clean run). Also set with
+  /// status kEncoded when only the optimality proof was cut short.
+  Truncation truncation = Truncation::kNone;
+  /// Initial dichotomies no valid raised dichotomy covers (infeasible
+  /// exact-pipeline runs only; indexes the generated initial list).
+  std::vector<std::size_t> uncovered;
+
+  // Table-1 style counters (exact pipeline).
+  std::size_t num_initial = 0;
+  std::size_t num_raised = 0;
+  std::size_t num_primes = 0;
+  std::size_t num_valid_primes = 0;
+  // Extension-pipeline counters.
+  std::size_t num_candidates = 0;
+  std::size_t num_aux_columns = 0;
+  /// Covering-search nodes (binate nodes on the extension path).
+  std::uint64_t nodes_explored = 0;
+
+  /// Per-stage observability tree rooted at "solve"; serialize with
+  /// stats.to_json(). Populated on every path, including truncated ones.
+  StageStats stats;
+
+  bool encoded() const { return status == Status::kEncoded; }
+};
+
+class Solver {
+ public:
+  explicit Solver(ConstraintSet cs) : cs_(std::move(cs)) {}
+
+  const ConstraintSet& constraints() const { return cs_; }
+
+  /// P-1: polynomial-time feasibility of the face/output constraints.
+  bool feasible() const { return feasibility().feasible; }
+  /// P-1 with diagnostics (the uncovered initial dichotomies).
+  FeasibilityResult feasibility() const;
+
+  /// Minimum-length encoding under all constraints, routed to the exact or
+  /// extension pipeline as needed.
+  SolveResult encode(const SolveOptions& opts = {}) const;
+
+ private:
+  ConstraintSet cs_;
+};
+
+/// Encodes each constraint set independently — results in input order,
+/// bit-identical to encoding them one by one. `opts.threads` is the batch
+/// fan-out width (each item solves single-threaded); `opts.timeout_seconds`
+/// is one shared deadline for the whole batch, while `opts.max_work` is a
+/// per-item budget so work truncation stays deterministic.
+std::vector<SolveResult> encode_batch(const std::vector<ConstraintSet>& sets,
+                                      const SolveOptions& opts = {});
+
+/// P-3 sweep: bounded_encode at every candidate code length, fanned out
+/// over `threads` workers; results in input order, identical to calling
+/// bounded_encode per length.
+std::vector<BoundedEncodeResult> bounded_encode_lengths(
+    const ConstraintSet& cs, const std::vector<int>& lengths,
+    const BoundedEncodeOptions& opts = {}, int threads = 1);
+
+}  // namespace encodesat

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
+
+#include "util/thread_pool.h"
 
 namespace encodesat {
 
@@ -18,14 +21,16 @@ int column_weight(const UnateCoverProblem& p, std::size_t c) {
 struct Search {
   const UnateCoverProblem& p;
   const UnateCoverOptions& opts;
+  ExecContext ctx;
   std::uint64_t nodes = 0;
   bool budget_exhausted = false;
+  Truncation truncation = Truncation::kNone;
   int best_cost = std::numeric_limits<int>::max();
   std::vector<std::size_t> best_columns;
 
-  explicit Search(const UnateCoverProblem& problem,
-                  const UnateCoverOptions& options)
-      : p(problem), opts(options) {}
+  Search(const UnateCoverProblem& problem, const UnateCoverOptions& options,
+         const ExecContext& context)
+      : p(problem), opts(options), ctx(context) {}
 
   // Columns of row r still available under the exclusion set.
   Bitset available(std::size_t r, const Bitset& excluded) const {
@@ -72,6 +77,15 @@ struct Search {
     if (budget_exhausted) return;
     if (++nodes > opts.max_nodes) {
       budget_exhausted = true;
+      truncation = Truncation::kNodeLimit;
+      return;
+    }
+    // Shared-budget checks: a cheap exhaustion flag every node (catches a
+    // limit tripped by a sibling component's thread), a clock poll every
+    // 1024 nodes. Either way the greedy/best-so-far cover stays valid.
+    if (ctx.exhausted() || ((nodes & 1023u) == 0 && !ctx.poll())) {
+      budget_exhausted = true;
+      truncation = ctx.reason();
       return;
     }
 
@@ -280,14 +294,14 @@ ReducedProblem reduce_columns(const UnateCoverProblem& p) {
 
 }  // namespace
 
-UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
-                                     const UnateCoverOptions& options) {
-  for (const Bitset& r : p.rows)
-    if (r.empty()) return UnateCoverSolution{};  // infeasible
+namespace {
 
-  const ReducedProblem reduced = reduce_columns(p);
-  const UnateCoverProblem& q = reduced.problem;
-
+// Greedy seed + branch-and-bound over an already column-reduced problem;
+// columns are returned in the reduced space. Runs single-threaded — the
+// parallelism lives one level up, across independent components.
+UnateCoverSolution solve_reduced(const UnateCoverProblem& q,
+                                 const UnateCoverOptions& options,
+                                 const ExecContext& ctx) {
   UnateCoverSolution greedy = greedy_unate_cover(q);
   if (!greedy.feasible) return greedy;
 
@@ -297,17 +311,125 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
   sol.columns = greedy.columns;
   sol.columns_after_reduction = q.num_columns;
   if (options.max_nodes > 0) {
-    Search search(q, options);
+    Search search(q, options, ctx);
     search.best_cost = greedy.cost;
     search.best_columns = greedy.columns;
     search.solve(Bitset(q.num_columns), Bitset(q.rows.size()), {}, 0);
     sol.optimal = !search.budget_exhausted;
+    sol.truncation = search.truncation;
     sol.columns = search.best_columns;
     sol.cost = search.best_cost;
     sol.nodes_explored = search.nodes;
+  } else {
+    // Greedy only, by configuration: no optimality proof was attempted.
+    sol.truncation = Truncation::kNodeLimit;
   }
+  return sol;
+}
+
+// Union-find with path halving over the reduced columns.
+std::size_t dsu_find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
+                                     const UnateCoverOptions& options,
+                                     const ExecContext& ctx) {
+  StageScope stage(ctx, "unate_cover");
+  for (const Bitset& r : p.rows)
+    if (r.empty()) return UnateCoverSolution{};  // infeasible
+
+  const ReducedProblem reduced = reduce_columns(p);
+  const UnateCoverProblem& q = reduced.problem;
+
+  // Independent-subproblem fan-out: rows that share no columns (after
+  // reduction) can be covered independently, and the union of the
+  // per-component optima is a global optimum. Components are discovered by
+  // union-find over the columns of each row.
+  std::vector<std::size_t> parent(q.num_columns);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (const Bitset& row : q.rows) {
+    const std::size_t first = dsu_find(parent, row.first());
+    row.for_each([&](std::size_t c) { parent[dsu_find(parent, c)] = first; });
+  }
+  // Number components in column order so the decomposition — and therefore
+  // the merged solution — is independent of scheduling.
+  std::vector<std::size_t> comp_of_col(q.num_columns);
+  std::vector<std::size_t> roots;
+  for (std::size_t c = 0; c < q.num_columns; ++c) {
+    const std::size_t r = dsu_find(parent, c);
+    auto it = std::find(roots.begin(), roots.end(), r);
+    if (it == roots.end()) {
+      roots.push_back(r);
+      it = roots.end() - 1;
+    }
+    comp_of_col[c] = static_cast<std::size_t>(it - roots.begin());
+  }
+  const std::size_t num_components = roots.size();
+
+  UnateCoverSolution sol;
+  if (num_components <= 1) {
+    sol = solve_reduced(q, options,
+                        ExecContext{ctx.budget, nullptr, 1});
+  } else {
+    // Build one subproblem per component (columns and rows renumbered).
+    std::vector<UnateCoverProblem> subs(num_components);
+    std::vector<std::vector<std::size_t>> col_maps(num_components);
+    std::vector<std::size_t> local_of_col(q.num_columns);
+    for (std::size_t c = 0; c < q.num_columns; ++c) {
+      auto& map = col_maps[comp_of_col[c]];
+      local_of_col[c] = map.size();
+      map.push_back(c);
+    }
+    for (std::size_t k = 0; k < num_components; ++k) {
+      subs[k].num_columns = col_maps[k].size();
+      if (!q.weights.empty()) {
+        subs[k].weights.reserve(col_maps[k].size());
+        for (std::size_t c : col_maps[k])
+          subs[k].weights.push_back(q.weights[c]);
+      }
+    }
+    for (const Bitset& row : q.rows) {
+      const std::size_t k = comp_of_col[row.first()];
+      Bitset local(subs[k].num_columns);
+      row.for_each([&](std::size_t c) { local.set(local_of_col[c]); });
+      subs[k].rows.push_back(std::move(local));
+    }
+
+    // Each component gets the full node budget and a private result slot,
+    // so the merged outcome is bit-identical for every thread count (only
+    // wall-clock deadlines can break the tie, by design).
+    std::vector<UnateCoverSolution> results(num_components);
+    const ExecContext sub_ctx{ctx.budget, nullptr, 1};
+    parallel_for(num_components, ctx.num_threads, [&](std::size_t k) {
+      results[k] = solve_reduced(subs[k], options, sub_ctx);
+    });
+
+    sol.feasible = true;
+    sol.optimal = true;
+    for (std::size_t k = 0; k < num_components; ++k) {
+      const UnateCoverSolution& r = results[k];
+      if (!r.feasible) return UnateCoverSolution{};
+      sol.cost += r.cost;
+      sol.nodes_explored += r.nodes_explored;
+      sol.optimal = sol.optimal && r.optimal;
+      if (sol.truncation == Truncation::kNone) sol.truncation = r.truncation;
+      for (std::size_t c : r.columns) sol.columns.push_back(col_maps[k][c]);
+    }
+  }
+  sol.columns_after_reduction = q.num_columns;
+  sol.components = num_components == 0 ? 1 : num_components;
+
   for (auto& c : sol.columns) c = reduced.column_map[c];
   std::sort(sol.columns.begin(), sol.columns.end());
+  stage.add_items(sol.nodes_explored);
+  stage.set_truncation(sol.truncation);
   return sol;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -40,12 +41,23 @@ struct UnateCoverSolution {
   /// Columns surviving the root coverage-dominance reduction (the search
   /// ran over these; see the ablation bench).
   std::size_t columns_after_reduction = 0;
+  /// Independent connected components the root decomposed the search into.
+  std::size_t components = 1;
+  /// Why optimality was not proved (kNone when `optimal`): kNodeLimit for
+  /// the node budget, kDeadline/kWorkBudget/kCancelled for a shared Budget.
+  Truncation truncation = Truncation::kNone;
 };
 
 /// Solves min-cost column selection such that every row contains a selected
-/// column. Infeasible iff some row is empty.
+/// column. Infeasible iff some row is empty. After the root reduction the
+/// problem splits into its connected components (rows sharing no columns),
+/// each searched independently with its own `max_nodes` budget — and, when
+/// `ctx.num_threads` > 1, concurrently. The selected columns are identical
+/// for every thread count; `ctx.budget` (deadline/cancellation, polled
+/// every 1024 nodes) only affects whether optimality is proved.
 UnateCoverSolution solve_unate_cover(const UnateCoverProblem& problem,
-                                     const UnateCoverOptions& options = {});
+                                     const UnateCoverOptions& options = {},
+                                     const ExecContext& ctx = {});
 
 /// Greedy (largest cover-count / weight first) — used as the upper bound
 /// seed and as the standalone heuristic solver.

@@ -57,13 +57,23 @@ Pla encode_fsm(const Fsm& fsm, const Encoding& state_codes) {
 }
 
 EncodedFsmStats minimized_fsm_stats(const Fsm& fsm,
-                                    const Encoding& state_codes) {
+                                    const Encoding& state_codes,
+                                    const ExecContext& ctx) {
+  StageScope stage(ctx, "fsm_minimize");
   const Pla pla = encode_fsm(fsm, state_codes);
+  stage.add_work(pla.on.size() + pla.dc.size());
+  stage.ctx().charge(pla.on.size() + pla.dc.size());
   const Cover minimized = espresso(pla.on, pla.dc);
   EncodedFsmStats stats;
   stats.cubes = static_cast<int>(minimized.size());
   stats.literals = minimized.input_literals();
+  stage.add_items(static_cast<std::uint64_t>(stats.cubes));
   return stats;
+}
+
+EncodedFsmStats minimized_fsm_stats(const Fsm& fsm,
+                                    const Encoding& state_codes) {
+  return minimized_fsm_stats(fsm, state_codes, ExecContext{});
 }
 
 }  // namespace encodesat

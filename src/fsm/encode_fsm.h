@@ -7,6 +7,7 @@
 #include "core/encoding.h"
 #include "fsm/fsm.h"
 #include "logic/pla.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -19,7 +20,13 @@ struct EncodedFsmStats {
   int literals = 0;
 };
 
-/// ESPRESSO-minimized size of the encoded PLA.
+/// ESPRESSO-minimized size of the encoded PLA. With a ctx, the PLA build
+/// and minimization are recorded as an "fsm_minimize" stage (the ESPRESSO
+/// pass itself is not interruptible; the stage reports elapsed time and the
+/// encoded cube count as work).
+EncodedFsmStats minimized_fsm_stats(const Fsm& fsm,
+                                    const Encoding& state_codes,
+                                    const ExecContext& ctx);
 EncodedFsmStats minimized_fsm_stats(const Fsm& fsm,
                                     const Encoding& state_codes);
 

@@ -1,0 +1,85 @@
+#include "util/exec.h"
+
+#include <sstream>
+
+namespace encodesat {
+
+const char* truncation_name(Truncation t) {
+  switch (t) {
+    case Truncation::kNone: return "none";
+    case Truncation::kDeadline: return "deadline";
+    case Truncation::kWorkBudget: return "work_budget";
+    case Truncation::kTermLimit: return "term_limit";
+    case Truncation::kNodeLimit: return "node_limit";
+    case Truncation::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+StageStats* StageStats::add_child(const std::string& child_name) {
+  children.emplace_back(child_name);
+  return &children.back();
+}
+
+const StageStats* StageStats::find(const std::string& stage_name) const {
+  if (name == stage_name) return this;
+  for (const StageStats& c : children)
+    if (const StageStats* hit = c.find(stage_name)) return hit;
+  return nullptr;
+}
+
+namespace {
+
+void escape_json(const std::string& s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void emit_json(const StageStats& s, std::ostream& out) {
+  out << "{\"name\":\"";
+  escape_json(s.name, out);
+  out << "\",\"elapsed_s\":" << s.elapsed_seconds << ",\"work\":" << s.work
+      << ",\"items\":" << s.items << ",\"truncation\":\""
+      << truncation_name(s.truncation) << "\",\"children\":[";
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    if (i) out << ',';
+    emit_json(s.children[i], out);
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string StageStats::to_json() const {
+  std::ostringstream out;
+  emit_json(*this, out);
+  return out.str();
+}
+
+StageScope::StageScope(const ExecContext& parent, const char* stage_name)
+    : ctx_{parent.budget,
+           parent.stats ? parent.stats->add_child(stage_name) : nullptr,
+           parent.num_threads},
+      start_(Budget::Clock::now()) {}
+
+StageScope::~StageScope() {
+  if (ctx_.stats)
+    ctx_.stats->elapsed_seconds =
+        std::chrono::duration<double>(Budget::Clock::now() - start_).count();
+}
+
+}  // namespace encodesat

@@ -1,0 +1,31 @@
+// Minimal std::thread fan-out for the embarrassingly-parallel hot paths
+// (independent unate-covering subproblems, batch encoding, per-row table
+// construction).
+//
+// `parallel_for(n, threads, fn)` runs fn(0..n-1) exactly once each, pulling
+// indices from a shared atomic counter across at most `threads` workers.
+// Callers write results into pre-sized per-index slots, so the merged
+// output is identical to the sequential loop no matter how work is
+// scheduled — the determinism contract the pipeline tests assert.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace encodesat {
+
+/// Number of hardware threads, always >= 1.
+int hardware_threads();
+
+/// Resolves a requested worker count: <= 0 means "all hardware threads".
+int resolve_threads(int requested);
+
+/// Runs fn(i) for every i in [0, n). With num_threads <= 1 (or n <= 1) the
+/// loop runs inline on the calling thread — the reference sequential path.
+/// Otherwise min(num_threads, n) workers drain a shared index counter.
+/// The first exception thrown by any fn is rethrown on the calling thread
+/// after all workers have stopped (remaining indices are abandoned).
+void parallel_for(std::size_t n, int num_threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace encodesat
