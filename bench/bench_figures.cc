@@ -14,6 +14,7 @@
 #include "core/chains.h"
 #include "core/cost.h"
 #include "core/encoder.h"
+#include "core/solver.h"
 #include "core/extensions.h"
 #include "core/local_check.h"
 #include "core/primes.h"
@@ -93,7 +94,7 @@ void figure3() {
   dedupe_dichotomies(ds);
   const auto pg = generate_prime_dichotomies(ds);
   std::printf("prime encoding-dichotomies: %zu\n", pg.primes.size());
-  const auto res = exact_encode(cs);
+  const SolveResult res = Solver(cs).encode();
   std::printf("minimum cover: %d primes -> %s\n", res.encoding.bits,
               res.encoding.to_string(cs.symbols()).c_str());
   std::printf("paper: minimum cover uses 4 primes\n\n");
@@ -118,7 +119,7 @@ void figure4() {
     dominance s5 s3
     disjunctive s0 s1 s2
   )");
-  const auto res = check_feasible(cs);
+  const FeasibilityResult res = Solver(cs).feasibility();
   std::printf("initial encoding-dichotomies: %zu (paper: 26)\n",
               res.initial.size());
   std::printf("valid maximally raised dichotomies: %zu (paper: 6)\n",
@@ -144,7 +145,7 @@ void figure8() {
     dominance s1 s2
     disjunctive s0 s1 s3
   )");
-  const auto res = exact_encode(cs);
+  const SolveResult res = Solver(cs).encode();
   std::printf("initial: %zu, raised: %zu, valid primes: %zu\n",
               res.num_initial, res.num_raised, res.num_valid_primes);
   std::printf("encoding (%d bits): %s\n", res.encoding.bits,
@@ -163,7 +164,7 @@ void section7() {
     face a b d
     face a g f d
   )");
-  const auto exact = exact_encode(cs);
+  const SolveResult exact = Solver(cs).encode();
   std::printf("satisfying all constraints needs %d bits (paper: 4)\n",
               exact.encoding.bits);
   for (int bits = 4; bits >= 3; --bits) {
@@ -195,7 +196,7 @@ void section81() {
        "face a b\nface a c\nface a d\nface a b e\nsymbol f"},
   };
   for (const auto& c : cases) {
-    const auto res = exact_encode(parse_constraints(c.text));
+    const SolveResult res = Solver(parse_constraints(c.text)).encode();
     std::printf("%-24s -> %d bits (%zu valid primes)\n", c.label,
                 res.encoding.bits, res.num_valid_primes);
   }
@@ -211,7 +212,9 @@ void section83() {
     face d f
     nonface a b e
   )");
-  const auto res = encode_with_extensions(cs);
+  SolveOptions so;
+  so.pipeline = SolveOptions::Pipeline::kExtensions;
+  const SolveResult res = Solver(cs).encode(so);
   std::printf("encoding (%d bits): %s\n", res.encoding.bits,
               res.encoding.to_string(cs.symbols()).c_str());
   const auto v = verify_encoding(res.encoding, cs);

@@ -9,6 +9,7 @@
 #include "core/generate.h"
 #include "core/output_rules.h"
 #include "core/primes.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "covering/unate.h"
 #include "logic/espresso.h"
@@ -101,10 +102,12 @@ BENCHMARK(BM_PrimeGeneration)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 void BM_ExactEncode(benchmark::State& state) {
   const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 5,
                                37);
+  const Solver solver(cs);
   for (auto _ : state) {
-    ExactEncodeOptions opts;
+    SolveOptions opts;
+    opts.pipeline = SolveOptions::Pipeline::kExact;
     opts.cover_options.max_nodes = 50000;
-    benchmark::DoNotOptimize(exact_encode(cs, opts));
+    benchmark::DoNotOptimize(solver.encode(opts));
   }
 }
 BENCHMARK(BM_ExactEncode)->Arg(6)->Arg(8)->Arg(10);
@@ -180,7 +183,8 @@ BENCHMARK(BM_BoundedEncode)->Arg(8)->Arg(16)->Arg(32);
 void BM_Feasibility(benchmark::State& state) {
   const auto cs = random_faces(static_cast<std::uint32_t>(state.range(0)), 6,
                                51);
-  for (auto _ : state) benchmark::DoNotOptimize(check_feasible(cs));
+  const Solver solver(cs);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.feasibility());
 }
 BENCHMARK(BM_Feasibility)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 

@@ -1,0 +1,224 @@
+// Benchmark regression harness for the cs/ps SOP fold (Fig. 2) — the
+// measured bottleneck of the exact pipeline (Table 1's planet/vmecont blow
+// up here). Emits a stable JSON schema so compare_bench.py (and the CMake
+// `bench_check` target) can fail the build on wall-time regressions against
+// the committed BENCH_primes.json baseline.
+//
+//   bench_primes [--reps N] [--out FILE] [--quick]
+//
+// Schema (encodesat-bench-primes-v1): one record per case with the minimum
+// wall time over N repetitions plus the deterministic fold metrics (work
+// units, peak arena bytes, term count) that must not drift silently.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/primes.h"
+#include "fsm/constraints_gen.h"
+#include "fsm/mcnc_like.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace encodesat;
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  double wall_seconds = 0;
+  std::uint64_t work_units = 0;
+  std::size_t peak_arena_bytes = 0;
+  std::size_t num_terms = 0;
+  std::size_t folds = 0;
+  bool truncated = false;
+};
+
+// --- 2-CNF instance builders (deterministic) -------------------------------
+
+std::vector<Bitset> random_graph(std::size_t n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bitset> adj(n, Bitset(n));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.next_double() < p) {
+        adj[i].set(j);
+        adj[j].set(i);
+      }
+  return adj;
+}
+
+// Perfect matching on 2k vertices: the SOP has exactly 2^k minimal covers,
+// so the fold doubles the term list at every split — pure fold throughput.
+std::vector<Bitset> matching(std::size_t k) {
+  std::vector<Bitset> adj(2 * k, Bitset(2 * k));
+  for (std::size_t i = 0; i < k; ++i) {
+    adj[2 * i].set(2 * i + 1);
+    adj[2 * i + 1].set(2 * i);
+  }
+  return adj;
+}
+
+// Chain triples plus stride pairs — the shape of the hard instances in the
+// verify recipe; dense enough that absorption does real work every fold.
+std::vector<Bitset> stride_graph(std::size_t n) {
+  std::vector<Bitset> adj(n, Bitset(n));
+  auto edge = [&](std::size_t i, std::size_t j) {
+    adj[i].set(j);
+    adj[j].set(i);
+  };
+  for (std::size_t i = 0; i + 2 < n; ++i) {
+    edge(i, i + 1);
+    edge(i, i + 2);
+  }
+  for (std::size_t i = 0; i + 7 < n; i += 2) edge(i, i + 7);
+  for (std::size_t i = 0; i + 11 < n; i += 3) edge(i, i + 11);
+  return adj;
+}
+
+CaseResult run_sop_case(const std::string& name, const std::vector<Bitset>& adj,
+                        std::size_t max_terms, int reps) {
+  CaseResult out;
+  out.name = name;
+  out.wall_seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    bool truncated = false;
+    Truncation reason = Truncation::kNone;
+    SopFoldStats fold;
+    Timer t;
+    const auto sop = two_cnf_to_minimal_sop(adj, max_terms, &truncated,
+                                            ~0ull, ExecContext{}, &reason,
+                                            &fold);
+    const double secs = t.elapsed_seconds();
+    if (secs < out.wall_seconds) out.wall_seconds = secs;
+    out.work_units = fold.work;
+    out.peak_arena_bytes = fold.peak_arena_bytes;
+    out.num_terms = sop.size();
+    out.folds = fold.folds;
+    out.truncated = truncated;
+  }
+  return out;
+}
+
+// Prime generation for a Table-1 machine: FSM -> mixed constraints ->
+// initial dichotomies -> valid maximally raised set -> primes. planet and
+// vmecont hit the term cutoff, like Table 1 (scaled down from the paper's
+// 50000 to keep the regression harness fast).
+CaseResult run_machine_case(const char* machine, int reps) {
+  const Fsm fsm = make_mcnc_like(benchmark_spec(machine));
+  ConstraintGenOptions gopts;
+  gopts.max_dominance = static_cast<int>(fsm.num_states()) * 2;
+  gopts.max_disjunctive = static_cast<int>(fsm.num_states()) / 4;
+  const ConstraintSet cs = generate_mixed_constraints(fsm, gopts);
+  const FeasibilityResult feas = check_feasible(cs, ExecContext{});
+
+  CaseResult out;
+  out.name = std::string("primes_") + machine;
+  out.wall_seconds = 1e30;
+  PrimeGenOptions popts;
+  popts.max_terms = 12000;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const PrimeGenResult pg = generate_prime_dichotomies(feas.raised, popts);
+    const double secs = t.elapsed_seconds();
+    if (secs < out.wall_seconds) out.wall_seconds = secs;
+    out.work_units = pg.fold.work;
+    out.peak_arena_bytes = pg.fold.peak_arena_bytes;
+    out.num_terms = pg.fold.num_terms;
+    out.folds = pg.fold.folds;
+    out.truncated = pg.truncated;
+  }
+  return out;
+}
+
+void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
+  std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-primes-v1\",\n");
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"work_units\": %llu, \"peak_arena_bytes\": %zu, "
+                 "\"num_terms\": %zu, \"folds\": %zu, \"truncated\": %s}%s\n",
+                 c.name.c_str(), c.wall_seconds,
+                 static_cast<unsigned long long>(c.work_units),
+                 c.peak_arena_bytes, c.num_terms, c.folds,
+                 c.truncated ? "true" : "false",
+                 i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  const char* out_path = nullptr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      out_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--quick"))
+      quick = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--reps N] [--out FILE] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  std::vector<CaseResult> cases;
+  // Figure 3's worked example as a smoke case (term count pinned at 5).
+  {
+    std::vector<Bitset> inc(5, Bitset(5));
+    auto edge = [&](std::size_t i, std::size_t j) {
+      inc[i].set(j);
+      inc[j].set(i);
+    };
+    edge(0, 1);
+    edge(0, 2);
+    edge(1, 2);
+    edge(2, 3);
+    edge(3, 4);
+    cases.push_back(run_sop_case("sop_section51", inc, 1000, reps));
+  }
+  cases.push_back(
+      run_sop_case("sop_matching_k12", matching(12), 10000, reps));
+  cases.push_back(run_sop_case("sop_random_n64_p06",
+                               random_graph(64, 0.06, 12345), 20000, reps));
+  cases.push_back(run_sop_case("sop_random_n56_p12",
+                               random_graph(56, 0.12, 777), 20000, reps));
+  cases.push_back(run_sop_case("sop_stride_n96", stride_graph(96), 20000,
+                               reps));
+  cases.push_back(run_machine_case("keyb", reps));
+  if (!quick) {
+    // The two Table-1 blow-up machines: the fold runs until the 50000-term
+    // cutoff, exactly the regime the arena is built for.
+    cases.push_back(run_machine_case("planet", reps));
+    cases.push_back(run_machine_case("vmecont", reps));
+  }
+
+  std::printf("%-22s %12s %14s %12s %10s %6s %5s\n", "case", "wall_s",
+              "work_units", "arena_bytes", "terms", "folds", "trunc");
+  for (const CaseResult& c : cases)
+    std::printf("%-22s %12.6f %14llu %12zu %10zu %6zu %5s\n", c.name.c_str(),
+                c.wall_seconds, static_cast<unsigned long long>(c.work_units),
+                c.peak_arena_bytes, c.num_terms, c.folds,
+                c.truncated ? "yes" : "no");
+
+  if (out_path) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    write_json(f, cases);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  }
+  return 0;
+}

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "fsm/constraints_gen.h"
 #include "fsm/mcnc_like.h"
@@ -37,20 +37,21 @@ int main(int argc, char** argv) {
     const ConstraintSet cs = generate_mixed_constraints(fsm, gopts);
 
     Timer t;
-    ExactEncodeOptions opts;
+    SolveOptions opts;
+    opts.pipeline = SolveOptions::Pipeline::kExact;
     opts.prime_options.max_terms = 50000;
     opts.cover_options.max_nodes = quick ? 20000 : 300000;
-    const auto res = exact_encode(cs, opts);
+    const SolveResult res = Solver(cs).encode(opts);
     const double secs = t.elapsed_seconds();
 
-    if (res.status == ExactEncodeResult::Status::kPrimeLimit) {
+    if (res.status == SolveResult::Status::kTruncated) {
       std::printf("%-9s %7u %6zu %5zu %8s %7s %6s %9.2f\n", name,
                   fsm.num_states(), cs.faces().size(),
                   cs.dominances().size() + cs.disjunctives().size(), "*", "*",
                   "*", secs);
       continue;
     }
-    if (res.status == ExactEncodeResult::Status::kInfeasible) {
+    if (res.status == SolveResult::Status::kInfeasible) {
       std::printf("%-9s %7u %6zu %5zu %8s %7s %6s %9.2f\n", name,
                   fsm.num_states(), cs.faces().size(),
                   cs.dominances().size() + cs.disjunctives().size(), "-",

@@ -1,0 +1,15 @@
+# Helper for the bench_check test/target (see CMakeLists.txt here): runs
+# bench_primes in quick mode, then compare_bench.py against the committed
+# baseline. Expects BENCH_PRIMES, PYTHON, COMPARE, BASELINE, OUT_JSON.
+execute_process(
+  COMMAND ${BENCH_PRIMES} --quick --reps 2 --out ${OUT_JSON}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_primes exited with ${bench_rc}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT_JSON}
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR "compare_bench.py reported a regression (rc=${compare_rc})")
+endif()

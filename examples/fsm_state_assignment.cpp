@@ -13,7 +13,7 @@
 #include <fstream>
 
 #include "core/bounded.h"
-#include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "fsm/constraints_gen.h"
 #include "fsm/encode_fsm.h"
@@ -70,10 +70,11 @@ int main(int argc, char** argv) {
 
   // Phase 2a: exact satisfaction of all constraints.
   Timer t;
-  ExactEncodeOptions eopts;
+  SolveOptions eopts;
+  eopts.pipeline = SolveOptions::Pipeline::kExact;
   eopts.cover_options.max_nodes = 200000;
-  const auto exact = exact_encode(cs, eopts);
-  if (exact.status == ExactEncodeResult::Status::kEncoded) {
+  const SolveResult exact = Solver(cs).encode(eopts);
+  if (exact.status == SolveResult::Status::kEncoded) {
     char extra[64];
     std::snprintf(extra, sizeof extra, "   [%zu primes, %.2fs]",
                   exact.num_primes, t.elapsed_seconds());

@@ -16,7 +16,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "logic/espresso.h"
 #include "util/rng.h"
@@ -106,8 +106,8 @@ int main() {
   }
 
   // Phase 2: constraint satisfaction.
-  const auto res = exact_encode(cs);
-  if (res.status != ExactEncodeResult::Status::kEncoded) {
+  const SolveResult res = Solver(cs).encode();
+  if (res.status != SolveResult::Status::kEncoded) {
     std::printf("no satisfying encoding found\n");
     return 1;
   }

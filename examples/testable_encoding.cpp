@@ -7,7 +7,7 @@
 //
 #include <cstdio>
 
-#include "core/extensions.h"
+#include "core/solver.h"
 #include "core/verify.h"
 
 using namespace encodesat;
@@ -16,9 +16,11 @@ namespace {
 
 void run(const char* title, const ConstraintSet& cs) {
   std::printf("--- %s ---\n", title);
-  const auto res = encode_with_extensions(cs);
+  SolveOptions so;
+  so.pipeline = SolveOptions::Pipeline::kExtensions;
+  const SolveResult res = Solver(cs).encode(so);
   switch (res.status) {
-    case ExtensionEncodeResult::Status::kEncoded: {
+    case SolveResult::Status::kEncoded: {
       std::printf("encoded in %d bits (%zu candidate columns, %llu nodes)\n",
                   res.encoding.bits, res.num_candidates,
                   static_cast<unsigned long long>(res.nodes_explored));
@@ -28,11 +30,11 @@ void run(const char* title, const ConstraintSet& cs) {
                                               : v[0].detail.c_str());
       break;
     }
-    case ExtensionEncodeResult::Status::kInfeasible:
+    case SolveResult::Status::kInfeasible:
       std::printf("infeasible (as expected for contradictory demands)\n");
       break;
-    case ExtensionEncodeResult::Status::kPrimeLimit:
-      std::printf("prime generation exceeded its budget\n");
+    case SolveResult::Status::kTruncated:
+      std::printf("a solve budget expired before an answer\n");
       break;
   }
   std::printf("\n");

@@ -116,6 +116,7 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
   PrimeGenResult pg = generate_prime_dichotomies(d, opts.prime_options, ctx);
   if (pg.truncated) {
     res.status = ExactEncodeResult::Status::kPrimeLimit;
+    res.truncated = true;
     res.truncation = pg.truncation;
     return res;
   }
@@ -152,6 +153,7 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
   }
   if (!ctx.poll()) {
     res.status = ExactEncodeResult::Status::kPrimeLimit;
+    res.truncated = true;
     res.truncation = ctx.reason();
     return res;
   }
@@ -187,6 +189,7 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
 
   res.status = ExactEncodeResult::Status::kEncoded;
   res.minimal = cover.optimal;
+  res.truncated = cover.truncated;
   res.truncation = cover.truncation;
   res.encoding = derive_codes(n, columns);
   return res;

@@ -29,9 +29,10 @@ struct FeasibilityResult {
 /// P-1 in time polynomial in symbols × constraints: generate I, delete
 /// invalid dichotomies, raise the survivors maximally, delete any that
 /// became invalid, and check that every i ∈ I is covered by some d ∈ D.
-/// The one-argument form is a thin wrapper over the Solver facade
-/// (core/solver.h); the two-argument form is the budget/stats-aware
+/// The one-argument form is a deprecated thin wrapper over the Solver
+/// facade (core/solver.h); the two-argument form is the budget/stats-aware
 /// implementation.
+[[deprecated("use Solver(cs).feasibility() — see docs/API.md")]]
 FeasibilityResult check_feasible(const ConstraintSet& cs);
 FeasibilityResult check_feasible(const ConstraintSet& cs,
                                  const ExecContext& ctx);
@@ -52,6 +53,9 @@ struct ExactEncodeResult {
   /// Covering-solver proof of minimality (false if the node budget ran out,
   /// in which case `encoding` is still valid but possibly not minimum).
   bool minimal = true;
+  /// Uniform truncation shape (see docs/API.md): `truncated` always mirrors
+  /// `truncation != Truncation::kNone`.
+  bool truncated = false;
   /// Why the pipeline stopped early or lost the optimality proof: set with
   /// kPrimeLimit (term/work/deadline/cancel during prime generation) and
   /// alongside `minimal == false` (node budget or shared-budget expiry in
@@ -69,10 +73,11 @@ struct ExactEncodeResult {
 /// P-2: exact minimum-length encoding satisfying all input and output
 /// constraints (distance-2 and non-face constraints are handled by
 /// encode_with_extensions in extensions.h; this routine ignores them).
-/// The two-argument form is a thin wrapper over the Solver facade
-/// (core/solver.h); the three-argument form is the budget/stats-aware
+/// The two-argument form is a deprecated thin wrapper over the Solver
+/// facade (core/solver.h); the three-argument form is the budget/stats-aware
 /// implementation, deterministic for any `ctx.num_threads` under work/term/
 /// node budgets (wall-clock deadlines excepted).
+[[deprecated("use Solver(cs).encode() — see docs/API.md")]]
 ExactEncodeResult exact_encode(const ConstraintSet& cs,
                                const ExactEncodeOptions& opts = {});
 ExactEncodeResult exact_encode(const ConstraintSet& cs,

@@ -138,6 +138,7 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
         generate_prime_dichotomies(d, opts.prime_options, stage.ctx());
     if (pg.truncated) {
       res.status = ExtensionEncodeResult::Status::kPrimeLimit;
+      res.truncated = true;
       res.truncation = pg.truncation;
       stage.set_truncation(pg.truncation);
       return res;
@@ -239,6 +240,7 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
 
   if (!stage.ctx().poll()) {
     res.status = ExtensionEncodeResult::Status::kPrimeLimit;
+    res.truncated = true;
     res.truncation = stage.ctx().reason();
     stage.set_truncation(res.truncation);
     return res;
@@ -254,6 +256,7 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
   res.status = ExtensionEncodeResult::Status::kEncoded;
   res.minimal = sol.optimal;
   if (!sol.optimal) {
+    res.truncated = true;
     res.truncation = Truncation::kNodeLimit;
     stage.set_truncation(res.truncation);
   }

@@ -30,6 +30,9 @@ struct ExtensionEncodeResult {
   Status status = Status::kInfeasible;
   Encoding encoding;
   bool minimal = false;
+  /// Uniform truncation shape (see docs/API.md): `truncated` always mirrors
+  /// `truncation != Truncation::kNone`.
+  bool truncated = false;
   /// Why the run truncated or lost its optimality proof (kNone otherwise).
   Truncation truncation = Truncation::kNone;
   std::size_t num_candidates = 0;
@@ -39,9 +42,11 @@ struct ExtensionEncodeResult {
 
 /// Minimum-length encoding satisfying face, dominance, disjunctive,
 /// extended disjunctive, distance-2 and non-face constraints. The
-/// two-argument form is a thin wrapper over the Solver facade
+/// two-argument form is a deprecated thin wrapper over the Solver facade
 /// (core/solver.h); the three-argument form is the budget/stats-aware
 /// implementation.
+[[deprecated(
+    "use Solver(cs).encode() with Pipeline::kExtensions — see docs/API.md")]]
 ExtensionEncodeResult encode_with_extensions(
     const ConstraintSet& cs, const ExtensionEncodeOptions& opts = {});
 ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,

@@ -1,44 +1,102 @@
 #include "core/primes.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <numeric>
 
+#include "util/term_arena.h"
 #include "util/thread_pool.h"
 
 namespace encodesat {
 
 namespace {
 
+// The working SOP of the fold: arena refs with cached popcounts and folded
+// containment signatures in parallel arrays, so the containment scans read
+// contiguous memory and only touch the full terms on signature survivors.
+// The vectors are reused across folds; after the first few folds the loop
+// performs no heap allocation at all.
+struct TermList {
+  std::vector<TermRef> refs;
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint64_t> sigs;
+
+  std::size_t size() const { return refs.size(); }
+  void clear() {
+    refs.clear();
+    counts.clear();
+    sigs.clear();
+  }
+  void push(TermRef r, std::uint32_t c, std::uint64_t s) {
+    refs.push_back(r);
+    counts.push_back(c);
+    sigs.push_back(s);
+  }
+  void swap(TermList& o) {
+    refs.swap(o.refs);
+    counts.swap(o.counts);
+    sigs.swap(o.sigs);
+  }
+};
+
 // Keeps only the minimal terms (no kept term is a superset of another):
 // absorption x + xy = x for a unate SOP, i.e. single-cube containment.
-// Duplicates are removed by hashing first; the quadratic subset scan then
-// only runs on distinct terms, smallest first.
-void keep_minimal_terms(std::vector<Bitset>& terms) {
-  {
-    std::unordered_set<Bitset, BitsetHash> seen;
-    std::vector<Bitset> unique;
-    unique.reserve(terms.size());
-    for (Bitset& t : terms)
-      if (seen.insert(t).second) unique.push_back(std::move(t));
-    terms = std::move(unique);
-  }
-  std::sort(terms.begin(), terms.end(),
-            [](const Bitset& a, const Bitset& b) {
-              return a.count() < b.count();
+// Terms are sorted by (popcount, word-lex); adjacent duplicates are
+// released, and the subset scan for a term only runs over kept terms of
+// strictly smaller popcount (an equal-count absorber would equal the
+// deduplicated term) that also pass the folded-signature test — most
+// candidate pairs are rejected on the popcount bucket or the one-word
+// signature without touching the full terms. Output is count-ascending.
+void keep_minimal_terms(TermArena& arena, TermList& terms,
+                        std::vector<std::uint32_t>& order, TermList& out) {
+  const std::size_t n = terms.size();
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (terms.counts[a] != terms.counts[b])
+                return terms.counts[a] < terms.counts[b];
+              // One-word signature compare settles most ties; the full
+              // word-lex order is only consulted on signature collisions,
+              // so duplicates (equal count *and* signature) stay adjacent.
+              if (terms.sigs[a] != terms.sigs[b])
+                return terms.sigs[a] < terms.sigs[b];
+              return arena.less(terms.refs[a], terms.refs[b]);
             });
-  std::vector<Bitset> kept;
-  kept.reserve(terms.size());
-  for (const Bitset& t : terms) {
+
+  out.clear();
+  std::size_t eq_start = 0;  // first kept index with the current popcount
+  std::uint32_t run_count = ~0u;
+  bool have_prev = false;
+  TermRef prev = 0;
+  for (std::uint32_t i : order) {
+    const TermRef r = terms.refs[i];
+    const std::uint32_t c = terms.counts[i];
+    const std::uint64_t s = terms.sigs[i];
+    // Duplicates are adjacent in the sort order.
+    if (have_prev && c == run_count && arena.equal(prev, r)) {
+      arena.release(r);
+      continue;
+    }
+    if (c != run_count) {
+      eq_start = out.size();
+      run_count = c;
+    }
+    have_prev = true;
+    prev = r;
     bool absorbed = false;
-    for (const Bitset& k : kept) {
-      if (k.is_subset_of(t)) {
+    for (std::size_t j = 0; j < eq_start; ++j) {
+      if ((out.sigs[j] & ~s) != 0) continue;
+      if (arena.is_subset(out.refs[j], r)) {
         absorbed = true;
         break;
       }
     }
-    if (!absorbed) kept.push_back(t);
+    if (absorbed)
+      arena.release(r);
+    else
+      out.push(r, c, s);
   }
-  terms = std::move(kept);
+  terms.swap(out);
 }
 
 }  // namespace
@@ -48,7 +106,8 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
                                            bool* truncated,
                                            std::uint64_t max_work,
                                            const ExecContext& ctx,
-                                           Truncation* reason) {
+                                           Truncation* reason,
+                                           SopFoldStats* fold_stats) {
   const std::size_t m = incompat.size();
   if (truncated) *truncated = false;
   if (reason) *reason = Truncation::kNone;
@@ -91,65 +150,164 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
   // Fold back: SOP := ps(x_expr, SOP) from the innermost split outwards.
   // x_expr = x + Π neighbours(x), so each term either gains {x} or gains
   // the neighbour set; single-cube containment keeps the result minimal.
-  std::vector<Bitset> sop;
-  {
-    Bitset empty(m);
-    sop.push_back(empty);  // cs of the empty expression is the constant 1
-  }
+  //
+  // The working terms live in a flat TermArena (util/term_arena.h): one
+  // contiguous buffer, O(1) free-list reuse, popcounts and folded
+  // signatures cached in parallel arrays. The Bitset vectors at this
+  // function's boundary are conversion shims only.
+  TermArena arena(m, /*reserve_terms=*/256);
+  TermList sop, with_nbrs, scratch, d_half;
+  std::vector<std::uint32_t> order, d_idx;
+  sop.push(arena.alloc(), 0, 0);  // cs of the empty expression: constant 1
+
   std::uint64_t work = 0;
   const std::uint64_t words = (m + 63) / 64;
+  auto truncate_fold = [&](Truncation why) {
+    if (fold_stats) fold_stats->peak_arena_bytes = arena.peak_bytes();
+    return truncate(why);
+  };
   for (auto it = splits.rbegin(); it != splits.rend(); ++it) {
     const std::size_t x = it->first;
-    const Bitset& nbrs = it->second;
     // Work accounting (in bitset word operations, upper bound): the
-    // absorption scans below cost about |B|^2/2 + |A|*|B| pairwise subset
-    // checks of `words` words each for this fold.
+    // absorption scans below cost at most |B|^2/2 + |A|*|B| pairwise subset
+    // checks of `words` words each for this fold. The signature/popcount
+    // pruning makes the *measured* cost much lower, but the charged units
+    // keep the pre-arena scale so budget trip points stay comparable.
     const std::uint64_t fold_work =
         (static_cast<std::uint64_t>(sop.size()) * sop.size() * 3 / 2) * words;
     work += fold_work;
-    if (work > max_work) return truncate(Truncation::kWorkBudget);
+    if (fold_stats) {
+      fold_stats->work = work;
+      ++fold_stats->folds;
+    }
+    if (work > max_work) return truncate_fold(Truncation::kWorkBudget);
     // The shared budget sees the same work units; its deadline and
     // cancellation flag are polled once per fold, bounding the latency of a
     // truncated return by one absorption scan.
-    if (!ctx.charge(fold_work)) return truncate(ctx.reason());
-    if (!ctx.poll()) return truncate(ctx.reason());
+    if (!ctx.charge(fold_work)) return truncate_fold(ctx.reason());
+    if (!ctx.poll()) return truncate_fold(ctx.reason());
     // Bail out before paying the absorption scan on a hopeless blow-up:
     // absorption at most halves the set, so 2x over budget cannot recover.
-    if (sop.size() > max_terms) return truncate(Truncation::kTermLimit);
+    if (sop.size() > max_terms) return truncate_fold(Truncation::kTermLimit);
+
+    const TermRef nbr = arena.from_bitset(it->second);
+    const std::uint64_t nbr_sig = arena.signature(nbr);
+    const std::uint32_t nbr_count =
+        static_cast<std::uint32_t>(arena.count(nbr));
+    const std::uint64_t x_bit = std::uint64_t{1} << (x & 63);
+
     // next = {t ∪ {x}} ∪ {t ∪ N}. Structure exploited for absorption:
     // terms never contain x before this fold (x was peeled first), so the
     // {t ∪ {x}} half inherits the SOP's pairwise incomparability verbatim
     // and no term of it can absorb a {t ∪ N} term (those lack x). Only the
-    // {t ∪ N} half needs internal minimization, after which its terms are
-    // checked against the {t ∪ {x}} half.
-    std::vector<Bitset> with_nbrs;
-    with_nbrs.reserve(sop.size());
-    for (const Bitset& t : sop) {
-      Bitset b = t;
-      b |= nbrs;
-      with_nbrs.push_back(std::move(b));
+    // {t ∪ N} half needs internal minimization — and since *every* term of
+    // that half contains N, t1 ∪ N ⊆ t2 ∪ N iff t1\N ⊆ t2\N: minimize the
+    // stripped terms {t \ N} instead and OR N back into the survivors.
+    //
+    // Stripping changes only terms that intersect N. Because the old SOP is
+    // pairwise incomparable, an absorber among the stripped terms must have
+    // *lost* elements (t1\N ⊆ t2\N with t1 ⊄ t2 forces t1 ∩ N ≠ ∅), so
+    // N-disjoint terms never absorb anything and are never duplicates —
+    // the quadratic minimization runs over the touched subset only, and
+    // each N-disjoint term just needs one absorbed-by-kept-touched scan.
+    with_nbrs.clear();
+    d_idx.clear();
+    for (std::size_t i = 0; i < sop.size(); ++i) {
+      if ((sop.sigs[i] & nbr_sig) != 0 &&
+          arena.intersects(sop.refs[i], nbr)) {
+        const TermRef w = arena.alloc();
+        arena.andnot_of(w, sop.refs[i], nbr);
+        with_nbrs.push(w, static_cast<std::uint32_t>(arena.count(w)),
+                       arena.signature(w));
+      } else {
+        d_idx.push_back(static_cast<std::uint32_t>(i));
+      }
     }
-    keep_minimal_terms(with_nbrs);
+    keep_minimal_terms(arena, with_nbrs, order, scratch);
 
-    std::vector<Bitset> next;
-    next.reserve(sop.size() + with_nbrs.size());
-    for (const Bitset& t : sop) {
-      Bitset a = t;
-      a.set(x);
+    // Surviving N-disjoint terms join the {t ∪ N} half as clones (their
+    // originals are still needed for the {t ∪ {x}} half below). An absorber
+    // with equal count would equal the term, which stripping rules out, so
+    // the ≤-count scan bound is exact.
+    d_half.clear();
+    for (std::uint32_t i : d_idx) {
+      const TermRef t = sop.refs[i];
+      const std::uint32_t c = sop.counts[i];
+      const std::uint64_t s = sop.sigs[i];
       bool absorbed = false;
-      for (const Bitset& b : with_nbrs) {
-        if (b.is_subset_of(a)) {
+      for (std::size_t j = 0;
+           j < with_nbrs.size() && with_nbrs.counts[j] <= c; ++j) {
+        if ((with_nbrs.sigs[j] & ~s) != 0) continue;
+        if (arena.is_subset(with_nbrs.refs[j], t)) {
           absorbed = true;
           break;
         }
       }
-      if (!absorbed) next.push_back(std::move(a));
+      if (!absorbed) d_half.push(arena.clone(t), c, s);
     }
-    for (Bitset& b : with_nbrs) next.push_back(std::move(b));
-    if (next.size() > max_terms) return truncate(Truncation::kTermLimit);
-    sop = std::move(next);
+
+    // The {t ∪ {x}} half, built by mutating the old SOP terms in place.
+    // Since x is in no {t ∪ N} term, b ⊆ t ∪ {x} iff b ⊆ t; and every
+    // b = sb ∪ N contains N, so b ⊆ t requires N ⊆ t — one signature test
+    // plus one subset check gates the whole scan per term, and in the
+    // common case (t misses some neighbour of x) nothing is scanned.
+    // Under the gate, b ⊆ t iff sb ⊆ t with |sb| ≤ |t| - |N| (sb ∩ N = ∅),
+    // so the count-ascending stripped list is scanned only up to that
+    // bound (b == t, i.e. sb = t\N, absorbs too and sits at the bound).
+    // d_half never absorbs here: its sb is itself an old SOP term, and
+    // sb ⊆ t contradicts the old SOP's pairwise incomparability.
+    scratch.clear();
+    for (std::size_t i = 0; i < sop.size(); ++i) {
+      const TermRef t = sop.refs[i];
+      const std::uint32_t c = sop.counts[i];
+      const std::uint64_t s = sop.sigs[i];
+      bool absorbed = false;
+      if ((nbr_sig & ~s) == 0 && arena.is_subset(nbr, t)) {
+        const std::uint32_t limit = c - nbr_count;
+        for (std::size_t j = 0;
+             j < with_nbrs.size() && with_nbrs.counts[j] <= limit; ++j) {
+          if ((with_nbrs.sigs[j] & ~s) != 0) continue;
+          if (arena.is_subset(with_nbrs.refs[j], t)) {
+            absorbed = true;
+            break;
+          }
+        }
+      }
+      if (absorbed) {
+        arena.release(t);
+        continue;
+      }
+      arena.set(t, x);
+      scratch.push(t, c + 1, s | x_bit);
+    }
+    // Reconstitute the {t ∪ N} half from the kept stripped terms.
+    for (std::size_t j = 0; j < with_nbrs.size(); ++j) {
+      const TermRef w = with_nbrs.refs[j];
+      arena.or_into(w, nbr);
+      scratch.push(w, with_nbrs.counts[j] + nbr_count,
+                   with_nbrs.sigs[j] | nbr_sig);
+    }
+    for (std::size_t j = 0; j < d_half.size(); ++j) {
+      const TermRef w = d_half.refs[j];
+      arena.or_into(w, nbr);
+      scratch.push(w, d_half.counts[j] + nbr_count,
+                   d_half.sigs[j] | nbr_sig);
+    }
+    with_nbrs.clear();
+    d_half.clear();
+    arena.release(nbr);
+    if (scratch.size() > max_terms) return truncate_fold(Truncation::kTermLimit);
+    sop.swap(scratch);
   }
-  return sop;
+
+  if (fold_stats) {
+    fold_stats->num_terms = sop.size();
+    fold_stats->peak_arena_bytes = arena.peak_bytes();
+  }
+  std::vector<Bitset> result;
+  result.reserve(sop.size());
+  for (TermRef r : sop.refs) result.push_back(arena.to_bitset(r));
+  return result;
 }
 
 PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
@@ -178,7 +336,8 @@ PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
   const std::uint64_t work_before = ctx.budget ? ctx.budget->work_used() : 0;
   std::vector<Bitset> sop =
       two_cnf_to_minimal_sop(incompat, opts.max_terms, &truncated,
-                             opts.max_work, stage.ctx(), &reason);
+                             opts.max_work, stage.ctx(), &reason,
+                             &result.fold);
   if (ctx.budget) stage.add_work(ctx.budget->work_used() - work_before);
   if (truncated) {
     result.truncated = true;

@@ -31,16 +31,32 @@ struct PrimeGenOptions {
   std::uint64_t max_work = 500'000'000'000;
 };
 
+/// Metrics of one cs/ps fold run, surfaced for the benchmark regression
+/// harness (bench_primes emits them into BENCH_primes.json).
+struct SopFoldStats {
+  /// Word-operation units charged by the fold (same scale as Budget work).
+  std::uint64_t work = 0;
+  /// High-water mark of the term arena backing the fold, in bytes.
+  std::size_t peak_arena_bytes = 0;
+  /// Terms in the returned SOP (0 when truncated).
+  std::size_t num_terms = 0;
+  /// Variable splits folded back (one per peeled variable with edges).
+  std::size_t folds = 0;
+};
+
 struct PrimeGenResult {
   /// Maximal-compatible unions, deduplicated; empty if truncated.
   std::vector<Dichotomy> primes;
+  /// Uniform truncation shape (see docs/API.md): `truncated` mirrors
+  /// `truncation != Truncation::kNone`. Term/work limits of PrimeGenOptions
+  /// report kTermLimit/kWorkBudget; a shared Budget adds deadline and
+  /// cancellation reasons.
   bool truncated = false;
-  /// Why the run truncated (kNone when it completed). Term/work limits of
-  /// PrimeGenOptions report kTermLimit/kWorkBudget; a shared Budget adds
-  /// deadline/cancellation reasons.
   Truncation truncation = Truncation::kNone;
   /// Number of terms in the final SOP (= number of maximal compatibles).
   std::size_t num_terms = 0;
+  /// Fold-level metrics of the cs/ps rewrite.
+  SopFoldStats fold;
 };
 
 /// Generates all prime encoding-dichotomies of `ds` (which must all share
@@ -56,12 +72,16 @@ PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
 /// adjacency sets (edge {i,j} iff incompat[i].test(j)) into the minimal SOP
 /// term list via the cs/ps recursion. Terms are Bitsets over num_vars.
 /// `ctx.budget` is charged with the fold work and polled once per fold;
-/// `reason` (optional) reports why the run truncated.
+/// `reason` (optional) reports why the run truncated; `fold_stats`
+/// (optional) receives the fold metrics of SopFoldStats. The fold itself
+/// runs on a TermArena (util/term_arena.h) — the Bitset vectors at this
+/// boundary are conversion shims, not the working representation.
 std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
                                            std::size_t max_terms,
                                            bool* truncated,
                                            std::uint64_t max_work = ~0ull,
                                            const ExecContext& ctx = {},
-                                           Truncation* reason = nullptr);
+                                           Truncation* reason = nullptr,
+                                           SopFoldStats* fold_stats = nullptr);
 
 }  // namespace encodesat

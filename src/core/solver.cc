@@ -79,6 +79,7 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
   if (out.status == SolveResult::Status::kTruncated &&
       out.truncation == Truncation::kNone)
     out.truncation = budget.reason();
+  out.truncated = out.truncation != Truncation::kNone;
   out.stats.work = budget.work_used();
   out.stats.truncation = out.truncation;
   out.stats.elapsed_seconds =
@@ -137,8 +138,12 @@ std::vector<BoundedEncodeResult> bounded_encode_lengths(
 
 // ---------------------------------------------------------------------------
 // Legacy entry points, reimplemented as thin wrappers over the facade so
-// existing callers keep compiling (and pick up the staged pipeline).
+// existing callers keep compiling (and pick up the staged pipeline). They
+// are declared [[deprecated]]; defining them must not warn.
 // ---------------------------------------------------------------------------
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 FeasibilityResult check_feasible(const ConstraintSet& cs) {
   return Solver(cs).feasibility();
@@ -164,6 +169,7 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
   }
   out.encoding = std::move(r.encoding);
   out.minimal = r.minimal;
+  out.truncated = r.truncated;
   out.truncation = r.truncation;
   out.num_initial = r.num_initial;
   out.num_raised = r.num_raised;
@@ -196,11 +202,14 @@ ExtensionEncodeResult encode_with_extensions(
   }
   out.encoding = std::move(r.encoding);
   out.minimal = r.minimal;
+  out.truncated = r.truncated;
   out.truncation = r.truncation;
   out.num_candidates = r.num_candidates;
   out.num_aux_columns = r.num_aux_columns;
   out.nodes_explored = r.nodes_explored;
   return out;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace encodesat

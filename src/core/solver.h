@@ -72,8 +72,12 @@ struct SolveResult {
   Encoding encoding;
   /// True when minimality was proved within every budget.
   bool minimal = false;
-  /// First budget/limit that tripped (kNone on a clean run). Also set with
-  /// status kEncoded when only the optimality proof was cut short.
+  /// Uniform truncation shape (see docs/API.md): `truncated` always mirrors
+  /// `truncation != Truncation::kNone`. A truncated result can still be
+  /// encoded — status kEncoded with `truncated` means only the optimality
+  /// proof was cut short.
+  bool truncated = false;
+  /// First budget/limit that tripped (kNone on a clean run).
   Truncation truncation = Truncation::kNone;
   /// Initial dichotomies no valid raised dichotomy covers (infeasible
   /// exact-pipeline runs only; indexes the generated initial list).

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "util/term_arena.h"
 #include "util/thread_pool.h"
 
 namespace encodesat {
@@ -18,10 +19,21 @@ int column_weight(const UnateCoverProblem& p, std::size_t c) {
 // Search state shared across the branch-and-bound recursion. Rows are
 // immutable; a node is characterized by the set of excluded columns and the
 // set of still-uncovered rows.
+//
+// All working sets live in two TermArenas (util/term_arena.h): `col_sets`
+// holds column sets (the immutable row→columns table, the exclusion set and
+// the per-node available-column sets), `row_sets` holds row sets (the
+// covered-rows mask). Each solve() frame owns the refs it receives and the
+// per-node scratch it allocates; TermGuard returns them to the free list on
+// every exit path, so the recursion performs no per-node heap allocation
+// for set data — the arena high-water mark is O(depth · active rows).
 struct Search {
   const UnateCoverProblem& p;
   const UnateCoverOptions& opts;
   ExecContext ctx;
+  TermArena col_sets;
+  TermArena row_sets;
+  std::vector<TermRef> row_cols;  // row -> its column set (immutable)
   std::uint64_t nodes = 0;
   bool budget_exhausted = false;
   Truncation truncation = Truncation::kNone;
@@ -30,13 +42,13 @@ struct Search {
 
   Search(const UnateCoverProblem& problem, const UnateCoverOptions& options,
          const ExecContext& context)
-      : p(problem), opts(options), ctx(context) {}
-
-  // Columns of row r still available under the exclusion set.
-  Bitset available(std::size_t r, const Bitset& excluded) const {
-    Bitset b = p.rows[r];
-    b.subtract(excluded);
-    return b;
+      : p(problem),
+        opts(options),
+        ctx(context),
+        col_sets(problem.num_columns, problem.rows.size() + 64),
+        row_sets(problem.rows.size(), 64) {
+    row_cols.reserve(p.rows.size());
+    for (const Bitset& r : p.rows) row_cols.push_back(col_sets.from_bitset(r));
   }
 
   void record(const std::vector<std::size_t>& selected, int cost) {
@@ -48,23 +60,23 @@ struct Search {
 
   // Greedy maximal-independent-set lower bound: a set of pairwise
   // column-disjoint uncovered rows; any cover pays at least the cheapest
-  // column of each row in the set.
-  int lower_bound(const std::vector<std::size_t>& active,
-                  const std::vector<Bitset>& avail) const {
+  // column of each row in the set. `acount` caches the avail popcounts.
+  int lower_bound(const std::vector<TermRef>& avail,
+                  const std::vector<std::uint32_t>& acount,
+                  std::vector<std::size_t>& order, TermRef used) {
     // Consider short rows first: they are more likely to be independent and
     // carry tighter bounds.
-    std::vector<std::size_t> order(active.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    order.resize(avail.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return avail[a].count() < avail[b].count();
+      return acount[a] < acount[b];
     });
-    Bitset used(p.num_columns);
     int bound = 0;
     for (std::size_t i : order) {
-      if (avail[i].intersects(used)) continue;
-      used |= avail[i];
+      if (col_sets.intersects(avail[i], used)) continue;
+      col_sets.or_into(used, avail[i]);
       int cheapest = std::numeric_limits<int>::max();
-      avail[i].for_each([&](std::size_t c) {
+      col_sets.for_each(avail[i], [&](std::size_t c) {
         cheapest = std::min(cheapest, column_weight(p, c));
       });
       bound += cheapest;
@@ -72,8 +84,13 @@ struct Search {
     return bound;
   }
 
-  void solve(Bitset excluded, Bitset covered_rows,
+  // Takes ownership of `excluded` (col_sets) and `covered` (row_sets).
+  void solve(TermRef excluded, TermRef covered,
              std::vector<std::size_t> selected, int cost) {
+    TermGuard cguard(col_sets);
+    TermGuard rguard(row_sets);
+    cguard.track(excluded);
+    rguard.track(covered);
     if (budget_exhausted) return;
     if (++nodes > opts.max_nodes) {
       budget_exhausted = true;
@@ -90,23 +107,24 @@ struct Search {
     }
 
     // --- Reductions to fixpoint -----------------------------------------
+    const TermRef tmp = cguard.track(col_sets.alloc());
     bool changed = true;
     while (changed) {
       changed = false;
       for (std::size_t r = 0; r < p.rows.size(); ++r) {
-        if (covered_rows.test(r)) continue;
-        Bitset avail = available(r, excluded);
-        const std::size_t n = avail.count();
+        if (row_sets.test(covered, r)) continue;
+        col_sets.andnot_of(tmp, row_cols[r], excluded);
+        const std::size_t n = col_sets.count(tmp);
         if (n == 0) return;  // row uncoverable: dead branch
         if (n == 1) {
           // Essential column.
-          const std::size_t c = avail.first();
+          const std::size_t c = col_sets.first(tmp);
           selected.push_back(c);
           cost += column_weight(p, c);
           if (cost >= best_cost) return;
           for (std::size_t q = 0; q < p.rows.size(); ++q)
-            if (!covered_rows.test(q) && p.rows[q].test(c))
-              covered_rows.set(q);
+            if (!row_sets.test(covered, q) && p.rows[q].test(c))
+              row_sets.set(covered, q);
           changed = true;
         }
       }
@@ -114,11 +132,15 @@ struct Search {
 
     // Collect active rows and their available column sets.
     std::vector<std::size_t> active;
-    std::vector<Bitset> avail;
+    std::vector<TermRef> avail;
+    std::vector<std::uint32_t> acount;
     for (std::size_t r = 0; r < p.rows.size(); ++r) {
-      if (!covered_rows.test(r)) {
+      if (!row_sets.test(covered, r)) {
+        const TermRef a = cguard.track(col_sets.alloc());
+        col_sets.andnot_of(a, row_cols[r], excluded);
         active.push_back(r);
-        avail.push_back(available(r, excluded));
+        avail.push_back(a);
+        acount.push_back(static_cast<std::uint32_t>(col_sets.count(a)));
       }
     }
     if (active.empty()) {
@@ -134,35 +156,44 @@ struct Search {
         if (drop[i]) continue;
         for (std::size_t j = 0; j < active.size(); ++j) {
           if (i == j || drop[j]) continue;
-          if (avail[i].is_subset_of(avail[j]) &&
-              !(avail[i] == avail[j] && i > j))
+          if (acount[i] > acount[j]) continue;
+          if (col_sets.is_subset(avail[i], avail[j]) &&
+              !(acount[i] == acount[j] &&
+                col_sets.equal(avail[i], avail[j]) && i > j))
             drop[j] = true;
         }
       }
-      std::vector<std::size_t> a2;
-      std::vector<Bitset> v2;
+      std::size_t kept = 0;
       for (std::size_t i = 0; i < active.size(); ++i)
         if (!drop[i]) {
-          a2.push_back(active[i]);
-          v2.push_back(avail[i]);
+          active[kept] = active[i];
+          avail[kept] = avail[i];
+          acount[kept] = acount[i];
+          ++kept;
         }
-      active = std::move(a2);
-      avail = std::move(v2);
+      active.resize(kept);
+      avail.resize(kept);
+      acount.resize(kept);
     }
 
-    if (cost + lower_bound(active, avail) >= best_cost) return;
+    {
+      const TermRef used = cguard.track(col_sets.alloc());
+      std::vector<std::size_t> order;
+      if (cost + lower_bound(avail, acount, order, used) >= best_cost)
+        return;
+    }
 
     // Branch on the most-covering column of the shortest row.
     std::size_t pivot_row = 0;
     for (std::size_t i = 1; i < avail.size(); ++i)
-      if (avail[i].count() < avail[pivot_row].count()) pivot_row = i;
+      if (acount[i] < acount[pivot_row]) pivot_row = i;
 
     std::size_t branch_col = p.num_columns;
     std::size_t best_score = 0;
-    avail[pivot_row].for_each([&](std::size_t c) {
+    col_sets.for_each(avail[pivot_row], [&](std::size_t c) {
       std::size_t score = 0;
-      for (std::size_t i = 0; i < active.size(); ++i)
-        if (avail[i].test(c)) ++score;
+      for (std::size_t i = 0; i < avail.size(); ++i)
+        if (col_sets.test(avail[i], c)) ++score;
       if (branch_col == p.num_columns || score > best_score ||
           (score == best_score && c < branch_col)) {
         best_score = score;
@@ -173,20 +204,20 @@ struct Search {
 
     // Branch 1: select the column.
     {
-      Bitset cov = covered_rows;
+      const TermRef cov = row_sets.clone(covered);
       for (std::size_t q = 0; q < p.rows.size(); ++q)
-        if (!cov.test(q) && p.rows[q].test(branch_col)) cov.set(q);
+        if (!row_sets.test(cov, q) && p.rows[q].test(branch_col))
+          row_sets.set(cov, q);
       auto sel = selected;
       sel.push_back(branch_col);
-      solve(excluded, std::move(cov), std::move(sel),
+      solve(col_sets.clone(excluded), cov, std::move(sel),
             cost + column_weight(p, branch_col));
     }
     // Branch 2: exclude the column.
     {
-      Bitset exc = excluded;
-      exc.set(branch_col);
-      solve(std::move(exc), std::move(covered_rows), std::move(selected),
-            cost);
+      const TermRef exc = col_sets.clone(excluded);
+      col_sets.set(exc, branch_col);
+      solve(exc, row_sets.clone(covered), std::move(selected), cost);
     }
   }
 };
@@ -314,7 +345,7 @@ UnateCoverSolution solve_reduced(const UnateCoverProblem& q,
     Search search(q, options, ctx);
     search.best_cost = greedy.cost;
     search.best_columns = greedy.columns;
-    search.solve(Bitset(q.num_columns), Bitset(q.rows.size()), {}, 0);
+    search.solve(search.col_sets.alloc(), search.row_sets.alloc(), {}, 0);
     sol.optimal = !search.budget_exhausted;
     sol.truncation = search.truncation;
     sol.columns = search.best_columns;
@@ -428,6 +459,7 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
 
   for (auto& c : sol.columns) c = reduced.column_map[c];
   std::sort(sol.columns.begin(), sol.columns.end());
+  sol.truncated = sol.truncation != Truncation::kNone;
   stage.add_items(sol.nodes_explored);
   stage.set_truncation(sol.truncation);
   return sol;

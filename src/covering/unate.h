@@ -43,6 +43,9 @@ struct UnateCoverSolution {
   std::size_t columns_after_reduction = 0;
   /// Independent connected components the root decomposed the search into.
   std::size_t components = 1;
+  /// Uniform truncation shape (see docs/API.md): `truncated` always mirrors
+  /// `truncation != Truncation::kNone`.
+  bool truncated = false;
   /// Why optimality was not proved (kNone when `optimal`): kNodeLimit for
   /// the node budget, kDeadline/kWorkBudget/kCancelled for a shared Budget.
   Truncation truncation = Truncation::kNone;

@@ -6,6 +6,7 @@
 
 #include "logic/espresso.h"
 #include "logic/urp.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -204,7 +205,7 @@ ConstraintSet generate_mixed_constraints(const Fsm& fsm,
   auto feasible_now = [&]() {
     if (!opts.enforce_feasibility) return true;
     --checks_left;
-    return check_feasible(cs).feasible;
+    return check_feasible(cs, ExecContext{}).feasible;
   };
 
   int disj = 0;

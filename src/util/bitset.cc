@@ -1,7 +1,8 @@
 #include "util/bitset.h"
 
 #include <bit>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace encodesat {
 
@@ -10,6 +11,23 @@ namespace {
 std::uint64_t tail_mask(std::size_t size) {
   const std::size_t rem = size & 63;
   return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+}
+
+// Binary set operations are only meaningful over a shared universe; a
+// mismatch is always a caller bug, so it throws in every build mode (the
+// word loops below would otherwise silently truncate or read out of range).
+// Kept out of line and cold so the callers — some sit in O(n²) loops —
+// pay only a predictable compare on the match path.
+[[gnu::cold, gnu::noinline]] void throw_universe_mismatch(std::size_t a,
+                                                          std::size_t b,
+                                                          const char* op) {
+  throw std::invalid_argument(std::string("Bitset::") + op +
+                              ": universe mismatch (" + std::to_string(a) +
+                              " vs " + std::to_string(b) + ")");
+}
+
+inline void check_same_universe(std::size_t a, std::size_t b, const char* op) {
+  if (a != b) throw_universe_mismatch(a, b, op);
 }
 }  // namespace
 
@@ -54,25 +72,25 @@ std::size_t Bitset::next(std::size_t i) const {
 }
 
 Bitset& Bitset::operator|=(const Bitset& o) {
-  assert(size_ == o.size_);
+  check_same_universe(size_, o.size_, "operator|=");
   for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= o.words_[k];
   return *this;
 }
 
 Bitset& Bitset::operator&=(const Bitset& o) {
-  assert(size_ == o.size_);
+  check_same_universe(size_, o.size_, "operator&=");
   for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= o.words_[k];
   return *this;
 }
 
 Bitset& Bitset::operator^=(const Bitset& o) {
-  assert(size_ == o.size_);
+  check_same_universe(size_, o.size_, "operator^=");
   for (std::size_t k = 0; k < words_.size(); ++k) words_[k] ^= o.words_[k];
   return *this;
 }
 
 Bitset& Bitset::subtract(const Bitset& o) {
-  assert(size_ == o.size_);
+  check_same_universe(size_, o.size_, "subtract");
   for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= ~o.words_[k];
   return *this;
 }
@@ -85,14 +103,14 @@ bool Bitset::operator<(const Bitset& o) const {
 }
 
 bool Bitset::is_subset_of(const Bitset& o) const {
-  assert(size_ == o.size_);
+  check_same_universe(size_, o.size_, "is_subset_of");
   for (std::size_t k = 0; k < words_.size(); ++k)
     if ((words_[k] & ~o.words_[k]) != 0) return false;
   return true;
 }
 
 bool Bitset::intersects(const Bitset& o) const {
-  assert(size_ == o.size_);
+  check_same_universe(size_, o.size_, "intersects");
   for (std::size_t k = 0; k < words_.size(); ++k)
     if ((words_[k] & o.words_[k]) != 0) return true;
   return false;

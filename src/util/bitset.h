@@ -16,7 +16,9 @@ namespace encodesat {
 /// A set over the universe {0, ..., size()-1}, packed 64 elements per word.
 ///
 /// All binary operations require both operands to have the same universe
-/// size; this is asserted in debug builds. The value semantics are cheap
+/// size; a mismatch throws std::invalid_argument in every build mode (a
+/// mismatched universe is always a caller bug, and the word loops would
+/// otherwise silently truncate). The value semantics are cheap
 /// enough for the problem sizes in this domain (tens to a few thousand
 /// elements), which keeps the algorithm code free of aliasing concerns.
 class Bitset {

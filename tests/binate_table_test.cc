@@ -4,6 +4,7 @@
 
 #include "core/binate_table.h"
 #include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "util/rng.h"
 
@@ -118,15 +119,15 @@ TEST_P(OracleCrossCheck, ExactMatchesBinateOracle) {
   const ConstraintSet cs = random_constraints(rng, n, GetParam() % 2 == 0);
 
   const auto oracle = binate_table_encode(cs);
-  const auto exact = exact_encode(cs);
-  ASSERT_NE(exact.status, ExactEncodeResult::Status::kPrimeLimit);
+  const SolveResult exact = Solver(cs).encode();
+  ASSERT_NE(exact.status, SolveResult::Status::kTruncated);
 
   if (!oracle.feasible) {
-    EXPECT_EQ(exact.status, ExactEncodeResult::Status::kInfeasible)
+    EXPECT_EQ(exact.status, SolveResult::Status::kInfeasible)
         << cs.to_string();
     return;
   }
-  ASSERT_EQ(exact.status, ExactEncodeResult::Status::kEncoded)
+  ASSERT_EQ(exact.status, SolveResult::Status::kEncoded)
       << cs.to_string();
   EXPECT_TRUE(verify_encoding(exact.encoding, cs).empty()) << cs.to_string();
   ASSERT_TRUE(oracle.minimal);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 namespace encodesat {
 namespace {
@@ -114,6 +115,35 @@ TEST(Bitset, HashDiffersForDifferentSets) {
   EXPECT_NE(a.hash(), b.hash());
   Bitset c = a;
   EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(Bitset, MismatchedUniverseBinaryOpsThrow) {
+  // Every binary set operation hard-errors on a universe mismatch in all
+  // build modes, not just under debug asserts (see util/bitset.h).
+  Bitset a(10), b(11);
+  a.set(3);
+  b.set(3);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+  EXPECT_THROW((void)a.is_subset_of(b), std::invalid_argument);
+  EXPECT_THROW((void)a.intersects(b), std::invalid_argument);
+  EXPECT_THROW((void)(a | b), std::invalid_argument);
+  EXPECT_THROW((void)(a & b), std::invalid_argument);
+  EXPECT_THROW((void)(a ^ b), std::invalid_argument);
+  // The failed operation must not corrupt the left operand.
+  EXPECT_EQ(a.to_string(), "{3}");
+  EXPECT_EQ(a.size(), 10u);
+  // Word-count-equal but size-unequal universes still throw (the same word
+  // loop would otherwise "work" silently).
+  Bitset c(64), d(65);
+  EXPECT_THROW(c |= d, std::invalid_argument);
+  // Matching universes keep working after a failed attempt.
+  Bitset e(10);
+  e.set(4);
+  a |= e;
+  EXPECT_EQ(a.to_string(), "{3,4}");
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "core/bounded.h"
 #include "core/cost.h"
 #include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "logic/exact_minimize.h"
 #include "util/rng.h"
@@ -56,8 +57,8 @@ TEST(Cost, Section7FourBitSolutionSatisfiesAll) {
 
 TEST(Cost, Section7NeedsFourBits) {
   // "To satisfy all the constraints, a code-length of 4 bits is required."
-  const auto res = exact_encode(section7_constraints());
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(section7_constraints()).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.bits, 4);
 }
 

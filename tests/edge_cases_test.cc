@@ -6,6 +6,7 @@
 #include "core/encoder.h"
 #include "core/extensions.h"
 #include "core/primes.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "logic/espresso.h"
 #include "logic/urp.h"
@@ -32,18 +33,20 @@ TEST(PrimeBudget, ExactEncodeReportsPrimeLimit) {
   // Many unconstrained symbols: 2^(n-1) - 1 primes, beyond a tiny budget.
   ConstraintSet cs;
   for (int i = 0; i < 14; ++i) cs.symbols().intern("s" + std::to_string(i));
-  ExactEncodeOptions opts;
+  SolveOptions opts;
   opts.prime_options.max_terms = 50;
-  const auto res = exact_encode(cs, opts);
-  EXPECT_EQ(res.status, ExactEncodeResult::Status::kPrimeLimit);
+  const SolveResult res = Solver(cs).encode(opts);
+  EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
+  EXPECT_TRUE(res.truncated);
+  EXPECT_EQ(res.truncation, Truncation::kTermLimit);
 }
 
 TEST(ExactEncode, TwoSymbols) {
   ConstraintSet cs;
   cs.symbols().intern("a");
   cs.symbols().intern("b");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.bits, 1);
   EXPECT_NE(res.encoding.codes[0], res.encoding.codes[1]);
 }
@@ -52,8 +55,8 @@ TEST(ExactEncode, FaceCoveringAllSymbolsIsVacuous) {
   // A face containing every symbol generates no dichotomies; only
   // uniqueness remains.
   const ConstraintSet cs = parse_constraints("face a b c");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.bits, 2);
 }
 
@@ -67,7 +70,7 @@ TEST(ExactEncode, EqualCodesForcedByMutualDominanceIsInfeasible) {
   ConstraintSet cs;
   cs.add_dominance("a", "b");
   cs.add_dominance("b", "a");
-  EXPECT_FALSE(check_feasible(cs).feasible);
+  EXPECT_FALSE(Solver(cs).feasible());
 }
 
 TEST(ExactEncode, DominanceChainStillEncodable) {
@@ -76,8 +79,8 @@ TEST(ExactEncode, DominanceChainStillEncodable) {
     dominance b c
     dominance c d
   )");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   // A chain a > b > c > d is satisfiable with nested codes.
   const auto& codes = res.encoding.codes;
   EXPECT_EQ(codes[0] & codes[1], codes[1]);
@@ -90,8 +93,8 @@ TEST(ExactEncode, DisjunctiveWithManyChildren) {
     disjunctive p a b c d
     face a b
   )");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   std::uint64_t orv = 0;
   const auto& sym = cs.symbols();
   for (const char* c : {"a", "b", "c", "d"})
@@ -103,10 +106,11 @@ TEST(Extensions, PrimeLimitPropagates) {
   ConstraintSet cs;
   for (int i = 0; i < 14; ++i) cs.symbols().intern("s" + std::to_string(i));
   cs.add_distance2("s0", "s1");
-  ExtensionEncodeOptions opts;
+  SolveOptions opts;
   opts.prime_options.max_terms = 20;
-  const auto res = encode_with_extensions(cs, opts);
-  EXPECT_EQ(res.status, ExtensionEncodeResult::Status::kPrimeLimit);
+  const SolveResult res = Solver(cs).encode(opts);
+  EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
+  EXPECT_TRUE(res.truncated);
 }
 
 TEST(BinateTable, OutputOnlyProblem) {

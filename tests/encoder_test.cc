@@ -10,6 +10,7 @@
 
 #include "core/encoder.h"
 #include "core/local_check.h"
+#include "core/solver.h"
 #include "core/verify.h"
 
 namespace encodesat {
@@ -41,7 +42,7 @@ ConstraintSet figure4_constraints() {
 
 TEST(Feasibility, Figure4IsInfeasible) {
   const ConstraintSet cs = figure4_constraints();
-  const FeasibilityResult res = check_feasible(cs);
+  const FeasibilityResult res = Solver(cs).feasibility();
   EXPECT_FALSE(res.feasible);
   // The paper reports (s0; s1 s5) and (s1 s5; s0) as the uncovered initial
   // dichotomies.
@@ -85,7 +86,7 @@ TEST(Feasibility, SatisfiableMixedSet) {
     dominance a c
     disjunctive a b d
   )");
-  EXPECT_TRUE(check_feasible(cs).feasible);
+  EXPECT_TRUE(Solver(cs).feasible());
 }
 
 TEST(ExactEncode, AbstractExampleTwoBits) {
@@ -100,8 +101,8 @@ TEST(ExactEncode, AbstractExampleTwoBits) {
     dominance a c
     disjunctive a b d
   )");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(res.minimal);
   EXPECT_EQ(res.encoding.bits, 2);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
@@ -114,8 +115,8 @@ TEST(ExactEncode, Figure8TwoBits) {
     dominance s1 s2
     disjunctive s0 s1 s3
   )");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.bits, 2);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
   // The paper's raised set yields 4 valid prime encoding-dichotomies.
@@ -131,8 +132,8 @@ TEST(ExactEncode, Figure3InputOnly) {
     face s1 s2 s3
     face s1 s3 s4
   )");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(res.minimal);
   EXPECT_EQ(res.encoding.bits, 4);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
@@ -148,8 +149,8 @@ TEST(ExactEncode, Section81DontCares) {
     face a b [c d] e
     symbol f
   )");
-  const auto res_dc = exact_encode(with_dc);
-  ASSERT_EQ(res_dc.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res_dc = Solver(with_dc).encode();
+  ASSERT_EQ(res_dc.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res_dc.encoding.bits, 3);
   EXPECT_TRUE(verify_encoding(res_dc.encoding, with_dc).empty());
 
@@ -160,8 +161,8 @@ TEST(ExactEncode, Section81DontCares) {
     face a b c d e
     symbol f
   )");
-  const auto res_in = exact_encode(forced_in);
-  ASSERT_EQ(res_in.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res_in = Solver(forced_in).encode();
+  ASSERT_EQ(res_in.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res_in.encoding.bits, 4);
 
   const ConstraintSet forced_out = parse_constraints(R"(
@@ -171,16 +172,16 @@ TEST(ExactEncode, Section81DontCares) {
     face a b e
     symbol f
   )");
-  const auto res_out = exact_encode(forced_out);
-  ASSERT_EQ(res_out.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res_out = Solver(forced_out).encode();
+  ASSERT_EQ(res_out.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res_out.encoding.bits, 4);
 }
 
 TEST(ExactEncode, UnconstrainedSymbolsGetMinimumLength) {
   ConstraintSet cs;
   for (const char* s : {"a", "b", "c", "d", "e"}) cs.symbols().intern(s);
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.bits, 3);  // ceil(log2 5)
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
 }
@@ -190,16 +191,16 @@ TEST(ExactEncode, InfeasibleDominanceCycleReported) {
     dominance a b
     dominance b a
   )");
-  const auto res = exact_encode(cs);
-  EXPECT_EQ(res.status, ExactEncodeResult::Status::kInfeasible);
+  const SolveResult res = Solver(cs).encode();
+  EXPECT_EQ(res.status, SolveResult::Status::kInfeasible);
   EXPECT_FALSE(res.uncovered.empty());
 }
 
 TEST(ExactEncode, SingleSymbol) {
   ConstraintSet cs;
   cs.symbols().intern("only");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.codes.size(), 1u);
 }
 
@@ -208,8 +209,8 @@ TEST(ExactEncode, ExtendedDisjunctiveSatisfied) {
     face a b
     extdisjunctive a : b c | d e
   )");
-  const auto res = exact_encode(cs);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
 }
 

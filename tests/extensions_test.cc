@@ -3,10 +3,19 @@
 #include <gtest/gtest.h>
 
 #include "core/extensions.h"
+#include "core/solver.h"
 #include "core/verify.h"
 
 namespace encodesat {
 namespace {
+
+// All extension behaviour is exercised through the Solver facade, pinned to
+// the extension pipeline (kAuto would route plain sets to the exact one).
+SolveResult solve_ext(const ConstraintSet& cs) {
+  SolveOptions so;
+  so.pipeline = SolveOptions::Pipeline::kExtensions;
+  return Solver(cs).encode(so);
+}
 
 TEST(Extensions, MatchesExactOnPlainProblems) {
   const ConstraintSet cs = parse_constraints(R"(
@@ -15,8 +24,8 @@ TEST(Extensions, MatchesExactOnPlainProblems) {
     dominance s1 s2
     disjunctive s0 s1 s3
   )");
-  const auto res = encode_with_extensions(cs);
-  ASSERT_EQ(res.status, ExtensionEncodeResult::Status::kEncoded);
+  const SolveResult res = solve_ext(cs);
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_EQ(res.encoding.bits, 2);  // same as Figure 8's exact answer
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
 }
@@ -28,8 +37,8 @@ TEST(Extensions, Distance2IsEnforced) {
     symbol c
     symbol d
   )");
-  const auto res = encode_with_extensions(cs);
-  ASSERT_EQ(res.status, ExtensionEncodeResult::Status::kEncoded);
+  const SolveResult res = solve_ext(cs);
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
   // Distance-2 between face partners forces at least 3 bits... actually at
   // least one extra splitting column beyond the minimum 2.
@@ -42,8 +51,8 @@ TEST(Extensions, Distance2WithoutFace) {
     distance2 c d
     symbol e
   )");
-  const auto res = encode_with_extensions(cs);
-  ASSERT_EQ(res.status, ExtensionEncodeResult::Status::kEncoded);
+  const SolveResult res = solve_ext(cs);
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
 }
 
@@ -57,8 +66,8 @@ TEST(Extensions, Section83NonFaceExample) {
     face d f
     nonface a b e
   )");
-  const auto res = encode_with_extensions(cs);
-  ASSERT_EQ(res.status, ExtensionEncodeResult::Status::kEncoded);
+  const SolveResult res = solve_ext(cs);
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
 }
 
@@ -68,16 +77,16 @@ TEST(Extensions, NonFaceAloneForcesSharing) {
     symbol c
     symbol d
   )");
-  const auto res = encode_with_extensions(cs);
-  ASSERT_EQ(res.status, ExtensionEncodeResult::Status::kEncoded);
+  const SolveResult res = solve_ext(cs);
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
 }
 
 TEST(Extensions, NonFaceWithNoOutsiderIsInfeasible) {
   // Every symbol is in the non-face set: nobody can intrude.
   const ConstraintSet cs = parse_constraints("nonface a b");
-  const auto res = encode_with_extensions(cs);
-  EXPECT_EQ(res.status, ExtensionEncodeResult::Status::kInfeasible);
+  const SolveResult res = solve_ext(cs);
+  EXPECT_EQ(res.status, SolveResult::Status::kInfeasible);
 }
 
 TEST(Extensions, InfeasibleOutputConstraintsDetected) {
@@ -86,8 +95,8 @@ TEST(Extensions, InfeasibleOutputConstraintsDetected) {
     dominance b a
     distance2 a b
   )");
-  const auto res = encode_with_extensions(cs);
-  EXPECT_EQ(res.status, ExtensionEncodeResult::Status::kInfeasible);
+  const SolveResult res = solve_ext(cs);
+  EXPECT_EQ(res.status, SolveResult::Status::kInfeasible);
 }
 
 TEST(Extensions, ConflictingFaceAndNonFace) {
@@ -99,8 +108,8 @@ TEST(Extensions, ConflictingFaceAndNonFace) {
     symbol c
     symbol d
   )");
-  const auto res = encode_with_extensions(cs);
-  EXPECT_EQ(res.status, ExtensionEncodeResult::Status::kInfeasible);
+  const SolveResult res = solve_ext(cs);
+  EXPECT_EQ(res.status, SolveResult::Status::kInfeasible);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/encoder.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "fsm/constraints_gen.h"
 #include "fsm/encode_fsm.h"
@@ -98,7 +99,7 @@ TEST(MixedConstraints, FeasibleByConstruction) {
   const Fsm fsm = make_mcnc_like(benchmark_spec("dk512"));
   ConstraintGenOptions opts;
   const ConstraintSet cs = generate_mixed_constraints(fsm, opts);
-  EXPECT_TRUE(check_feasible(cs).feasible);
+  EXPECT_TRUE(Solver(cs).feasible());
   EXPECT_EQ(cs.num_symbols(), fsm.num_states());
 }
 
@@ -177,10 +178,10 @@ TEST(Pipeline, GenerateEncodeVerify) {
   // exactly, verify, and build the encoded PLA.
   const Fsm fsm = make_mcnc_like(benchmark_spec("dk512"));
   const ConstraintSet cs = generate_mixed_constraints(fsm);
-  ExactEncodeOptions opts;
+  SolveOptions opts;
   opts.cover_options.max_nodes = 20000;  // best-effort cover is enough here
-  const auto res = exact_encode(cs, opts);
-  ASSERT_EQ(res.status, ExactEncodeResult::Status::kEncoded);
+  const SolveResult res = Solver(cs).encode(opts);
+  ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());
   const auto stats = minimized_fsm_stats(fsm, res.encoding);
   EXPECT_GT(stats.cubes, 0);

@@ -3,6 +3,7 @@
 
 #include "core/encoder.h"
 #include "core/normalize.h"
+#include "core/solver.h"
 #include "util/rng.h"
 
 namespace encodesat {
@@ -60,7 +61,7 @@ TEST(Normalize, DominanceCycleKept) {
   ConstraintSet cs = parse_constraints("dominance a b\ndominance b a");
   normalize_constraints(cs);
   EXPECT_EQ(cs.dominances().size(), 2u);
-  EXPECT_FALSE(check_feasible(cs).feasible);
+  EXPECT_FALSE(Solver(cs).feasible());
 }
 
 TEST(Normalize, DuplicateDominanceAndDisjunctive) {
@@ -99,13 +100,14 @@ TEST_P(NormalizePreserves, FeasibilityAndMinimumLengthUnchanged) {
   ConstraintSet normalized = cs;
   normalize_constraints(normalized);
 
-  const auto before = exact_encode(cs);
-  const auto after = exact_encode(normalized);
-  ASSERT_NE(before.status, ExactEncodeResult::Status::kPrimeLimit);
+  const SolveResult before = Solver(cs).encode();
+  const SolveResult after = Solver(normalized).encode();
+  ASSERT_NE(before.status, SolveResult::Status::kTruncated);
   EXPECT_EQ(before.status, after.status);
-  if (before.status == ExactEncodeResult::Status::kEncoded &&
-      before.minimal && after.minimal)
+  if (before.status == SolveResult::Status::kEncoded &&
+      before.minimal && after.minimal) {
     EXPECT_EQ(before.encoding.bits, after.encoding.bits) << cs.to_string();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NormalizePreserves, ::testing::Range(0, 25));

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/extensions.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "util/rng.h"
 
@@ -78,11 +79,13 @@ TEST_P(ExtensionsOracle, SoundAgainstBruteForce) {
   const int max_bits = 4;
 
   const int oracle = brute_force_min_bits(cs, max_bits);
-  const auto res = encode_with_extensions(cs);
+  SolveOptions so;
+  so.pipeline = SolveOptions::Pipeline::kExtensions;
+  const SolveResult res = Solver(cs).encode(so);
 
   // Soundness: anything the solver emits must verify, and it can never
   // beat the brute-force optimum length.
-  if (res.status == ExtensionEncodeResult::Status::kEncoded) {
+  if (res.status == SolveResult::Status::kEncoded) {
     EXPECT_TRUE(verify_encoding(res.encoding, cs).empty()) << cs.to_string();
     if (oracle >= 0)
       EXPECT_GE(res.encoding.bits, oracle) << cs.to_string();
@@ -107,8 +110,10 @@ TEST(ExtensionsOracle, CompletenessRateIsBounded) {
     const int oracle = brute_force_min_bits(cs, 4);
     if (oracle < 0) continue;
     ++feasible_cases;
-    const auto res = encode_with_extensions(cs);
-    if (res.status != ExtensionEncodeResult::Status::kEncoded)
+    SolveOptions so;
+    so.pipeline = SolveOptions::Pipeline::kExtensions;
+    const SolveResult res = Solver(cs).encode(so);
+    if (res.status != SolveResult::Status::kEncoded)
       ++disagreements;
   }
   EXPECT_GT(feasible_cases, 10);

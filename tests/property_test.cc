@@ -6,6 +6,7 @@
 #include "core/extensions.h"
 #include "core/generate.h"
 #include "core/output_rules.h"
+#include "core/solver.h"
 #include "core/verify.h"
 #include "logic/espresso.h"
 #include "logic/urp.h"
@@ -50,15 +51,15 @@ TEST_P(ExactAlwaysVerifies, FeasibleMeansVerifiedInfeasibleMeansUncovered) {
   const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(6));
   const ConstraintSet cs = random_mixed(rng, n);
 
-  const FeasibilityResult feas = check_feasible(cs);
-  const auto res = exact_encode(cs);
-  ASSERT_NE(res.status, ExactEncodeResult::Status::kPrimeLimit);
+  const FeasibilityResult feas = Solver(cs).feasibility();
+  const SolveResult res = Solver(cs).encode();
+  ASSERT_NE(res.status, SolveResult::Status::kTruncated);
 
   // Feasibility check and exact encoder must agree (Theorem 6.1).
   EXPECT_EQ(feas.feasible,
-            res.status == ExactEncodeResult::Status::kEncoded)
+            res.status == SolveResult::Status::kEncoded)
       << cs.to_string();
-  if (res.status == ExactEncodeResult::Status::kEncoded) {
+  if (res.status == SolveResult::Status::kEncoded) {
     const auto v = verify_encoding(res.encoding, cs);
     EXPECT_TRUE(v.empty()) << cs.to_string() << "\nfirst: "
                            << (v.empty() ? "" : v[0].detail);
@@ -110,8 +111,10 @@ TEST_P(ExtensionsVerify, EncodedResultsAlwaysVerify) {
     if (members.size() >= 2 && members.size() < n)
       cs.nonfaces().push_back(NonFaceConstraint{std::move(members)});
   }
-  const auto res = encode_with_extensions(cs);
-  if (res.status != ExtensionEncodeResult::Status::kEncoded) return;
+  SolveOptions so;
+  so.pipeline = SolveOptions::Pipeline::kExtensions;
+  const SolveResult res = Solver(cs).encode(so);
+  if (res.status != SolveResult::Status::kEncoded) return;
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty()) << cs.to_string();
 }
 
@@ -163,8 +166,8 @@ TEST(BoundedVsExact, HeuristicAtExactLengthIsValidEncoding) {
       if (members.size() >= 2 && members.size() < n)
         cs.add_face_ids(std::move(members));
     }
-    const auto exact = exact_encode(cs);
-    ASSERT_EQ(exact.status, ExactEncodeResult::Status::kEncoded);
+    const SolveResult exact = Solver(cs).encode();
+    ASSERT_EQ(exact.status, SolveResult::Status::kEncoded);
     // At the exact minimum length the heuristic must produce unique codes;
     // at the exact's length it cannot beat zero violations.
     BoundedEncodeOptions opts;

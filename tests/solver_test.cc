@@ -18,6 +18,10 @@
 #include "core/solver.h"
 #include "covering/unate.h"
 
+// This file deliberately exercises the deprecated legacy wrappers to pin
+// their facade-equivalence contract.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace encodesat {
 namespace {
 
