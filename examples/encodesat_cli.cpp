@@ -12,6 +12,13 @@
 //   encodesat_cli solve       <constraints.txt>
 //       minimum-length encoding of a constraint file via the Solver facade;
 //       prints the code table to stdout
+//   encodesat_cli fuzz        [--seed S] [--cases N] [--mix M] [--minimize]
+//                             [--out DIR]
+//       differential fuzzing: random constraint sets through the exact
+//       solver, the local check, the baselines and the verify_encoding
+//       oracle, cross-checked by the agreement rules of
+//       src/fuzz/differential.h; exits 0 iff zero divergences. --minimize
+//       delta-debugs each divergent case; --out writes reproducer files
 //
 // Shared budget/observability flags (encode and solve):
 //   --timeout SECS   wall-clock budget; expiry yields a truncated result,
@@ -21,6 +28,7 @@
 //
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,6 +38,9 @@
 #include "core/solver.h"
 #include "core/verify.h"
 #include "fsm/analyze.h"
+#include "fuzz/differential.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/reproducer.h"
 #include "fsm/constraints_gen.h"
 #include "fsm/encode_fsm.h"
 #include "fsm/reachability.h"
@@ -56,9 +67,12 @@ int usage(const char* argv0) {
                "usage: %s analyze|constraints|encode <machine.kiss2> "
                "[--bits K] [--cost violated|cubes|literals] [--exact]\n"
                "       %s solve <constraints.txt>\n"
+               "       %s fuzz [--seed S] [--cases N] "
+               "[--mix default|input|output|extensions|infeasible] "
+               "[--minimize] [--out DIR]\n"
                "  common flags: [--timeout SECS] [--threads N] "
                "[--stats-json]\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -231,11 +245,110 @@ bool parse_int(const char* flag, const char* text, int* out) {
   return true;
 }
 
+bool parse_u64(const char* flag, const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 1000;
+  FuzzRunOptions opts;
+  bool minimize = false;
+  std::string out_dir;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      if (!parse_u64("--seed", argv[++i], &seed)) return 2;
+    } else if (!std::strcmp(argv[i], "--cases") && i + 1 < argc) {
+      if (!parse_u64("--cases", argv[++i], &cases)) return 2;
+    } else if (!std::strcmp(argv[i], "--mix") && i + 1 < argc) {
+      const auto mix = generator_mix(argv[++i]);
+      if (!mix) {
+        std::fprintf(stderr, "--mix: unknown mix '%s'\n", argv[i]);
+        return 2;
+      }
+      opts.generator = *mix;
+    } else if (!std::strcmp(argv[i], "--minimize"))
+      minimize = true;
+    else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      if (!parse_int("--threads", argv[++i], &opts.threads)) return 2;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      out_dir = argv[++i];
+    else
+      return usage(argv[0]);
+  }
+
+  const FuzzReport report = run_fuzz(seed, cases, opts);
+  for (const FuzzDivergentCase& dc : report.divergent) {
+    std::fprintf(stderr, "divergence: case %llu (seed %llu)\n",
+                 static_cast<unsigned long long>(dc.index),
+                 static_cast<unsigned long long>(dc.case_seed));
+    for (const FuzzDivergence& d : dc.result.divergences)
+      std::fprintf(stderr, "  %s: %s\n", fuzz_rule_name(d.rule),
+                   d.detail.c_str());
+
+    FuzzReproducer repro;
+    repro.run_seed = seed;
+    repro.case_index = dc.index;
+    repro.rule = fuzz_rule_name(dc.result.divergences.front().rule);
+    repro.detail = dc.result.divergences.front().detail;
+    ParseError err;
+    const auto cs = parse_constraints(dc.constraints_text, &err);
+    if (!cs) {
+      std::fprintf(stderr, "  internal: case does not re-parse (%s)\n",
+                   err.to_string().c_str());
+      continue;
+    }
+    repro.constraints = *cs;
+    if (minimize) {
+      const auto pred = rule_predicate(dc.result.divergences.front().rule,
+                                       opts.differential);
+      const MinimizeResult min = minimize_divergence(*cs, pred);
+      std::fprintf(stderr,
+                   "  minimized: -%d constraints, -%d elements, -%d symbols "
+                   "(%d probes)\n",
+                   min.removed_constraints, min.removed_elements,
+                   min.removed_symbols, min.probes);
+      repro.constraints = min.constraints;
+      repro.minimized = true;
+    }
+    if (!out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      const std::string path = out_dir + "/" + reproducer_filename(repro);
+      if (write_reproducer_file(path, repro))
+        std::fprintf(stderr, "  reproducer: %s\n", path.c_str());
+      else
+        std::fprintf(stderr, "  cannot write reproducer %s\n", path.c_str());
+    } else {
+      std::fputs(reproducer_to_text(repro).c_str(), stdout);
+    }
+  }
+  std::printf("%s\n", report.summary().c_str());
+  return report.divergent.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
+  if (argc < 2) return usage(argv[0]);
   const std::string cmd = argv[1];
+  if (cmd == "fuzz") {
+    try {
+      return cmd_fuzz(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc < 3) return usage(argv[0]);
   CliOptions cli;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--bits") && i + 1 < argc) {

@@ -1,5 +1,6 @@
 #include "core/constraints.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -76,6 +77,36 @@ std::string ConstraintSet::to_string() const {
   auto emit_names = [&](const std::vector<std::uint32_t>& ids) {
     for (std::uint32_t id : ids) out << ' ' << symbols_.name(id);
   };
+  // Symbols no constraint mentions still shape the problem (they need
+  // distinct codes and can intrude into faces), so declare them explicitly
+  // to keep write -> parse a faithful round trip.
+  std::vector<bool> referenced(symbols_.size(), false);
+  auto mark = [&](const std::vector<std::uint32_t>& ids) {
+    for (std::uint32_t id : ids) referenced[id] = true;
+  };
+  for (const auto& f : faces_) {
+    mark(f.members);
+    mark(f.dontcares);
+  }
+  for (const auto& d : dominances_) {
+    referenced[d.dominator] = true;
+    referenced[d.dominated] = true;
+  }
+  for (const auto& d : disjunctives_) {
+    referenced[d.parent] = true;
+    mark(d.children);
+  }
+  for (const auto& e : extended_) {
+    referenced[e.parent] = true;
+    for (const auto& conj : e.conjunctions) mark(conj);
+  }
+  for (const auto& d : distance2s_) {
+    referenced[d.a] = true;
+    referenced[d.b] = true;
+  }
+  for (const auto& nf : nonfaces_) mark(nf.members);
+  for (std::uint32_t id = 0; id < symbols_.size(); ++id)
+    if (!referenced[id]) out << "symbol " << symbols_.name(id) << '\n';
   for (const auto& f : faces_) {
     out << "face";
     emit_names(f.members);
@@ -176,6 +207,15 @@ ConstraintSet parse_impl(const std::string& text) {
       if (in_dc) parse_error(line_no, "unterminated '['");
       if (members.size() < 2)
         parse_error(line_no, "face needs at least two (non-don't-care) members");
+      // A symbol listed twice (as member, don't-care, or both) makes the
+      // face semantics ambiguous downstream (span vs intruder checks).
+      std::vector<std::string> all(members);
+      all.insert(all.end(), dontcares.begin(), dontcares.end());
+      std::sort(all.begin(), all.end());
+      if (std::adjacent_find(all.begin(), all.end()) != all.end())
+        parse_error(line_no, "duplicate symbol '" +
+                                 *std::adjacent_find(all.begin(), all.end()) +
+                                 "' in face constraint");
       cs.add_face(members, dontcares);
     } else if (kind == "dominance") {
       if (args.size() != 2) parse_error(line_no, "dominance takes two names");
@@ -184,6 +224,10 @@ ConstraintSet parse_impl(const std::string& text) {
     } else if (kind == "disjunctive") {
       if (args.size() < 3)
         parse_error(line_no, "disjunctive takes a parent and >= 2 children");
+      for (std::size_t i = 1; i < args.size(); ++i)
+        if (args[i] == args[0])
+          parse_error(line_no,
+                      "disjunctive parent '" + args[0] + "' in its own RHS");
       cs.add_disjunctive(args[0], {args.begin() + 1, args.end()});
     } else if (kind == "extdisjunctive") {
       if (args.size() < 3 || args[1] != ":")

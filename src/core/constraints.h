@@ -127,6 +127,8 @@ class ConstraintSet {
                            std::vector<std::uint32_t> children);
 
   /// Render in the text grammar above (round-trips through parse).
+  /// Symbols no constraint references are declared with `symbol` lines so
+  /// the symbol universe survives the round trip.
   std::string to_string() const;
 
  private:
@@ -151,7 +153,11 @@ struct ParseError {
 };
 
 /// Parses the text grammar; throws std::runtime_error with a line number on
-/// malformed input. Symbols appear in order of first mention.
+/// malformed input. Symbols appear in order of first mention. Degenerate
+/// lines are rejected like malformed ones: self-dominance (`dominance a a`),
+/// a symbol listed twice within one face constraint (member or don't-care),
+/// a disjunctive parent appearing in its own RHS, and an empty
+/// extended-disjunctive conjunction.
 ConstraintSet parse_constraints(const std::string& text);
 
 /// Non-throwing variant: returns std::nullopt on malformed input and fills

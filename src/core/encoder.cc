@@ -195,4 +195,33 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
   return res;
 }
 
+bool verify_infeasibility_witness(const ConstraintSet& cs,
+                                  const FeasibilityResult& result,
+                                  std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (result.feasible) return fail("result is feasible; nothing to witness");
+  if (result.uncovered.empty())
+    return fail("infeasible verdict carries no uncovered witness");
+  for (std::size_t i : result.uncovered) {
+    if (i >= result.initial.size())
+      return fail("witness index " + std::to_string(i) +
+                  " out of range (initial has " +
+                  std::to_string(result.initial.size()) + ")");
+    const Dichotomy& want = result.initial[i].dichotomy;
+    for (std::size_t j = 0; j < result.raised.size(); ++j)
+      if (result.raised[j].covers(want))
+        return fail("raised dichotomy " + std::to_string(j) +
+                    " covers 'uncovered' initial dichotomy " +
+                    std::to_string(i));
+  }
+  for (std::size_t j = 0; j < result.raised.size(); ++j)
+    if (!dichotomy_valid(result.raised[j], cs))
+      return fail("raised dichotomy " + std::to_string(j) +
+                  " violates an output constraint");
+  return true;
+}
+
 }  // namespace encodesat

@@ -37,6 +37,17 @@ FeasibilityResult check_feasible(const ConstraintSet& cs);
 FeasibilityResult check_feasible(const ConstraintSet& cs,
                                  const ExecContext& ctx);
 
+/// Machine-checks an infeasibility verdict against its own evidence: the
+/// result must be infeasible with a non-empty `uncovered` witness, every
+/// witness index must name an initial dichotomy, no dichotomy in `raised`
+/// may cover it (Theorem 6.1's feasibility condition), and every raised
+/// dichotomy must itself be valid. Returns false (and fills `*why` when
+/// non-null) if the evidence does not support the verdict — the fuzz
+/// differential driver treats that as a solver bug.
+bool verify_infeasibility_witness(const ConstraintSet& cs,
+                                  const FeasibilityResult& result,
+                                  std::string* why = nullptr);
+
 struct ExactEncodeOptions {
   PrimeGenOptions prime_options;
   UnateCoverOptions cover_options;

@@ -40,6 +40,24 @@ bool in_face(const Face& f, std::uint64_t code) {
 
 }  // namespace
 
+const char* violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kDuplicateCode: return "duplicate_code";
+    case Violation::Kind::kFace: return "face";
+    case Violation::Kind::kDominance: return "dominance";
+    case Violation::Kind::kDisjunctive: return "disjunctive";
+    case Violation::Kind::kExtendedDisjunctive: return "extended_disjunctive";
+    case Violation::Kind::kDistance2: return "distance2";
+    case Violation::Kind::kNonFace: return "nonface";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string() const {
+  return std::string(violation_kind_name(kind)) + "[" +
+         std::to_string(index) + "]: " + detail;
+}
+
 bool face_satisfied(const Encoding& enc, const ConstraintSet& cs,
                     const FaceConstraint& f) {
   const Face face = span_face(enc, f.members);

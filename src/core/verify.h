@@ -28,7 +28,15 @@ struct Violation {
   /// duplicate codes, encoded as index = a * n + b).
   std::size_t index;
   std::string detail;
+
+  /// "kind[index]: detail" — one line, stable across runs, suitable for
+  /// fuzz-divergence reports and reproducer files.
+  std::string to_string() const;
 };
+
+/// Stable lower-case name of a violation kind ("duplicate_code", "face",
+/// "dominance", ...), for machine-readable divergence reports.
+const char* violation_kind_name(Violation::Kind kind);
 
 /// Returns all violations (empty means the encoding satisfies everything).
 /// `require_unique_codes` adds the all-pairs distinctness check, which is

@@ -1,0 +1,300 @@
+#include "fuzz/differential.h"
+
+#include <algorithm>
+
+#include "baseline/annealing.h"
+#include "baseline/nova.h"
+#include "core/bounded.h"
+#include "core/local_check.h"
+#include "core/solver.h"
+#include "core/verify.h"
+#include "util/thread_pool.h"
+
+namespace encodesat {
+
+namespace {
+
+// Serializes the deterministic part of a stats tree (name, work, items,
+// truncation — wall-clock excluded) for run-to-run comparison. Covers the
+// arena fold counters, which the prime-generation stage reports as work.
+void stats_fingerprint(const StageStats& s, std::string& out) {
+  out += s.name;
+  out += '{';
+  out += std::to_string(s.work);
+  out += ',';
+  out += std::to_string(s.items);
+  out += ',';
+  out += truncation_name(s.truncation);
+  for (const StageStats& c : s.children) {
+    out += ';';
+    stats_fingerprint(c, out);
+  }
+  out += '}';
+}
+
+std::string stats_fingerprint(const StageStats& s) {
+  std::string out;
+  stats_fingerprint(s, out);
+  return out;
+}
+
+const char* status_name(SolveResult::Status s) {
+  switch (s) {
+    case SolveResult::Status::kEncoded: return "encoded";
+    case SolveResult::Status::kInfeasible: return "infeasible";
+    case SolveResult::Status::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
+SolveOptions solve_options(const DifferentialOptions& opts, int threads) {
+  SolveOptions so;
+  so.threads = threads;
+  so.max_work = opts.max_work_per_case;
+  so.cover_options.max_nodes = opts.max_cover_nodes;
+  so.extension_cover_options.max_nodes = opts.max_cover_nodes;
+  return so;
+}
+
+bool counters_equal(const SolveResult& a, const SolveResult& b) {
+  return a.num_initial == b.num_initial && a.num_raised == b.num_raised &&
+         a.num_primes == b.num_primes &&
+         a.num_valid_primes == b.num_valid_primes &&
+         a.num_candidates == b.num_candidates &&
+         a.num_aux_columns == b.num_aux_columns &&
+         a.nodes_explored == b.nodes_explored;
+}
+
+std::size_t count_kind(const std::vector<Violation>& vs, Violation::Kind k) {
+  return static_cast<std::size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.kind == k; }));
+}
+
+}  // namespace
+
+const char* fuzz_rule_name(FuzzRule rule) {
+  switch (rule) {
+    case FuzzRule::kOracle: return "oracle";
+    case FuzzRule::kFeasibility: return "feasibility";
+    case FuzzRule::kLocalUnsound: return "local_unsound";
+    case FuzzRule::kWitness: return "witness";
+    case FuzzRule::kThreads: return "threads";
+    case FuzzRule::kStats: return "stats";
+    case FuzzRule::kBaselineFeasible: return "baseline_feasible";
+    case FuzzRule::kBaselineCodes: return "baseline_codes";
+    case FuzzRule::kMinimality: return "minimality";
+    case FuzzRule::kBoundedCodes: return "bounded_codes";
+    case FuzzRule::kCost: return "cost";
+  }
+  return "unknown";
+}
+
+bool fuzz_rule_from_name(const std::string& name, FuzzRule* rule) {
+  static constexpr FuzzRule kAll[] = {
+      FuzzRule::kOracle,       FuzzRule::kFeasibility,
+      FuzzRule::kLocalUnsound, FuzzRule::kWitness,
+      FuzzRule::kThreads,      FuzzRule::kStats,
+      FuzzRule::kBaselineFeasible, FuzzRule::kBaselineCodes,
+      FuzzRule::kMinimality,   FuzzRule::kBoundedCodes,
+      FuzzRule::kCost,
+  };
+  for (FuzzRule r : kAll)
+    if (name == fuzz_rule_name(r)) {
+      if (rule) *rule = r;
+      return true;
+    }
+  return false;
+}
+
+FuzzCaseResult run_differential_case(const ConstraintSet& cs,
+                                     const DifferentialOptions& opts) {
+  FuzzCaseResult out;
+  const std::uint32_t n = cs.num_symbols();
+  if (n < 2) return out;
+  auto diverge = [&](FuzzRule rule, std::string detail) {
+    out.divergences.push_back(FuzzDivergence{rule, std::move(detail)});
+  };
+
+  // P-1 feasibility with evidence, and the local necessary-conditions
+  // check it subsumes.
+  Solver solver(cs);
+  const FeasibilityResult feas = solver.feasibility();
+  out.feasible = feas.feasible;
+  if (!local_consistency_feasible(cs) && feas.feasible)
+    diverge(FuzzRule::kLocalUnsound,
+            "local necessary conditions fail but exact check says feasible");
+  if (!feas.feasible) {
+    std::string why;
+    if (!verify_infeasibility_witness(cs, feas, &why))
+      diverge(FuzzRule::kWitness, why);
+  }
+
+  // Exact / extension encode, sequential and threaded.
+  const SolveResult a = solver.encode(solve_options(opts, 1));
+  const SolveResult b = solver.encode(solve_options(opts, opts.alt_threads));
+  out.truncated = a.truncated || b.truncated;
+  out.encoded = a.status == SolveResult::Status::kEncoded;
+
+  if (!a.truncated && !b.truncated) {
+    if (a.status != b.status || a.encoding.bits != b.encoding.bits ||
+        a.encoding.codes != b.encoding.codes || !counters_equal(a, b))
+      diverge(FuzzRule::kThreads,
+              std::string("threads=1 -> ") + status_name(a.status) + " " +
+                  std::to_string(a.encoding.bits) + " bits, threads=" +
+                  std::to_string(opts.alt_threads) + " -> " +
+                  status_name(b.status) + " " +
+                  std::to_string(b.encoding.bits) + " bits");
+    if (stats_fingerprint(a.stats) != stats_fingerprint(b.stats))
+      diverge(FuzzRule::kStats,
+              "stage-stats fingerprints differ between thread counts");
+  }
+
+  const bool has_extensions = !cs.distance2s().empty() || !cs.nonfaces().empty();
+  if (!a.truncated) {
+    if (out.encoded) {
+      const auto violations = verify_encoding(a.encoding, cs);
+      if (!violations.empty())
+        diverge(FuzzRule::kOracle,
+                "encoding fails oracle: " + violations.front().to_string() +
+                    (violations.size() > 1
+                         ? " (+" + std::to_string(violations.size() - 1) +
+                               " more)"
+                         : ""));
+    }
+    // P-1 models face/output constraints only; with §8 extension
+    // constraints present it stays necessary but not sufficient.
+    if (!has_extensions && out.encoded != feas.feasible)
+      diverge(FuzzRule::kFeasibility,
+              std::string("feasibility says ") +
+                  (feas.feasible ? "feasible" : "infeasible") +
+                  " but encode returned " + status_name(a.status));
+    if (has_extensions && !feas.feasible &&
+        a.status == SolveResult::Status::kEncoded)
+      diverge(FuzzRule::kFeasibility,
+              "P-1 infeasible but the extension pipeline encoded");
+  }
+
+  const int minlen = minimum_code_length(n);
+  const bool exact_infeasible =
+      !a.truncated && a.status == SolveResult::Status::kInfeasible;
+
+  if (opts.run_baselines && minlen <= 12) {
+    NovaOptions nopts;
+    nopts.seed = opts.nova_seed;
+    const Encoding nova = nova_encode(cs, minlen, nopts);
+    AnnealOptions aopts;
+    aopts.seed = opts.anneal_seed;
+    aopts.cost = CostKind::kViolatedFaces;
+    aopts.temperature_points = 12;
+    aopts.moves_per_temperature = 5;
+    const Encoding anneal = anneal_encode(cs, minlen, aopts).encoding;
+
+    const auto nova_violations = verify_encoding(nova, cs);
+    const auto anneal_violations = verify_encoding(anneal, cs);
+    if (count_kind(nova_violations, Violation::Kind::kDuplicateCode) > 0)
+      diverge(FuzzRule::kBaselineCodes, "nova produced duplicate codes");
+    if (count_kind(anneal_violations, Violation::Kind::kDuplicateCode) > 0)
+      diverge(FuzzRule::kBaselineCodes, "annealing produced duplicate codes");
+    // Infeasible means no encoding of any length satisfies everything, so
+    // a violation-free baseline encoding refutes the verdict outright.
+    if (exact_infeasible && nova_violations.empty())
+      diverge(FuzzRule::kBaselineFeasible,
+              "exact says infeasible but nova satisfied every constraint at " +
+                  std::to_string(minlen) + " bits");
+    if (exact_infeasible && anneal_violations.empty())
+      diverge(FuzzRule::kBaselineFeasible,
+              "exact says infeasible but annealing satisfied every "
+              "constraint at " +
+                  std::to_string(minlen) + " bits");
+  }
+
+  // A violation-free encoding below the proved-minimal length refutes the
+  // minimality proof (exact pipeline only; the extension pipeline's
+  // `minimal` is relative to its candidate column set).
+  if (opts.check_minimality && !a.truncated && out.encoded && a.minimal &&
+      !has_extensions && a.encoding.bits > minlen && a.encoding.bits <= 12) {
+    NovaOptions nopts;
+    nopts.seed = opts.nova_seed;
+    for (int bits = minlen; bits < a.encoding.bits; ++bits) {
+      const Encoding alt = nova_encode(cs, bits, nopts);
+      if (verify_encoding(alt, cs).empty()) {
+        diverge(FuzzRule::kMinimality,
+                "exact proved minimality at " +
+                    std::to_string(a.encoding.bits) +
+                    " bits but nova satisfied every constraint at " +
+                    std::to_string(bits));
+        break;
+      }
+    }
+  }
+
+  if (opts.run_bounded && minlen <= 12) {
+    BoundedEncodeOptions bo;
+    bo.cost = CostKind::kViolatedFaces;
+    bo.polish_passes = 1;
+    const BoundedEncodeResult br = bounded_encode(cs, minlen, bo);
+    const auto violations = verify_encoding(br.encoding, cs);
+    if (count_kind(violations, Violation::Kind::kDuplicateCode) > 0)
+      diverge(FuzzRule::kBoundedCodes,
+              "bounded_encode produced duplicate codes");
+    const std::size_t oracle_faces =
+        count_kind(violations, Violation::Kind::kFace);
+    if (static_cast<std::size_t>(br.cost.violated_faces) != oracle_faces)
+      diverge(FuzzRule::kCost,
+              "bounded cost reports " +
+                  std::to_string(br.cost.violated_faces) +
+                  " violated faces, oracle counts " +
+                  std::to_string(oracle_faces));
+  }
+
+  return out;
+}
+
+std::string FuzzReport::summary() const {
+  std::string s = "fuzz: seed " + std::to_string(seed) + ", " +
+                  std::to_string(cases) + " cases, " +
+                  std::to_string(feasible) + " feasible / " +
+                  std::to_string(infeasible) + " infeasible, " +
+                  std::to_string(truncated) + " truncated, " +
+                  std::to_string(divergent.size()) + " divergences";
+  return s;
+}
+
+FuzzReport run_fuzz(std::uint64_t seed, std::uint64_t cases,
+                    const FuzzRunOptions& opts) {
+  FuzzReport report;
+  report.seed = seed;
+  report.cases = cases;
+
+  // Per-case seeds make the stream independent of scheduling; results are
+  // collected into index-addressed slots and aggregated in order, so the
+  // report is bit-identical for every driver thread count.
+  std::vector<FuzzCaseResult> results(cases);
+  parallel_for(cases, resolve_threads(opts.threads), [&](std::size_t i) {
+    const ConstraintSet cs =
+        generate_case(fuzz_case_seed(seed, i), opts.generator);
+    results[i] = run_differential_case(cs, opts.differential);
+  });
+
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const FuzzCaseResult& r = results[i];
+    if (r.truncated) ++report.truncated;
+    if (r.feasible)
+      ++report.feasible;
+    else
+      ++report.infeasible;
+    if (!r.ok()) {
+      FuzzDivergentCase d;
+      d.index = i;
+      d.case_seed = fuzz_case_seed(seed, i);
+      d.result = r;
+      d.constraints_text =
+          generate_case(d.case_seed, opts.generator).to_string();
+      report.divergent.push_back(std::move(d));
+    }
+  }
+  return report;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,231 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+
+namespace encodesat {
+
+namespace {
+
+// Marks every symbol some constraint references.
+std::vector<bool> referenced_symbols(const ConstraintSet& cs) {
+  std::vector<bool> used(cs.num_symbols(), false);
+  auto mark = [&](const std::vector<std::uint32_t>& ids) {
+    for (std::uint32_t id : ids) used[id] = true;
+  };
+  for (const auto& f : cs.faces()) {
+    mark(f.members);
+    mark(f.dontcares);
+  }
+  for (const auto& d : cs.dominances()) {
+    used[d.dominator] = true;
+    used[d.dominated] = true;
+  }
+  for (const auto& d : cs.disjunctives()) {
+    used[d.parent] = true;
+    mark(d.children);
+  }
+  for (const auto& e : cs.extended_disjunctives()) {
+    used[e.parent] = true;
+    for (const auto& conj : e.conjunctions) mark(conj);
+  }
+  for (const auto& d : cs.distance2s()) {
+    used[d.a] = true;
+    used[d.b] = true;
+  }
+  for (const auto& nf : cs.nonfaces()) mark(nf.members);
+  return used;
+}
+
+// Tries each whole-constraint removal once; commits those that keep the
+// predicate true. Returns the number of constraints removed.
+int remove_constraints_pass(ConstraintSet& cs,
+                            const DivergencePredicate& pred, int* probes) {
+  int removed = 0;
+  auto try_erase = [&](auto member) {
+    auto& vec = (cs.*member)();
+    for (std::size_t i = vec.size(); i-- > 0;) {
+      ConstraintSet candidate = cs;
+      auto& cvec = (candidate.*member)();
+      cvec.erase(cvec.begin() + static_cast<long>(i));
+      ++*probes;
+      if (pred(candidate)) {
+        cs = std::move(candidate);
+        ++removed;
+      }
+    }
+  };
+  // Non-const accessor member-function pointers, one per class.
+  try_erase(static_cast<std::vector<FaceConstraint>& (ConstraintSet::*)()>(
+      &ConstraintSet::faces));
+  try_erase(
+      static_cast<std::vector<DominanceConstraint>& (ConstraintSet::*)()>(
+          &ConstraintSet::dominances));
+  try_erase(
+      static_cast<std::vector<DisjunctiveConstraint>& (ConstraintSet::*)()>(
+          &ConstraintSet::disjunctives));
+  try_erase(static_cast<std::vector<ExtendedDisjunctiveConstraint>& (
+                ConstraintSet::*)()>(&ConstraintSet::extended_disjunctives));
+  try_erase(
+      static_cast<std::vector<Distance2Constraint>& (ConstraintSet::*)()>(
+          &ConstraintSet::distance2s));
+  try_erase(static_cast<std::vector<NonFaceConstraint>& (ConstraintSet::*)()>(
+      &ConstraintSet::nonfaces));
+  return removed;
+}
+
+// Tries dropping single elements inside constraints (respecting arity
+// minimums so the result stays parseable). Returns elements removed.
+int shrink_elements_pass(ConstraintSet& cs, const DivergencePredicate& pred,
+                         int* probes) {
+  int removed = 0;
+  auto attempt = [&](ConstraintSet&& candidate) {
+    ++*probes;
+    if (pred(candidate)) {
+      cs = std::move(candidate);
+      ++removed;
+      return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < cs.faces().size(); ++i) {
+    for (std::size_t m = cs.faces()[i].members.size();
+         m-- > 0 && cs.faces()[i].members.size() > 2;) {
+      ConstraintSet candidate = cs;
+      auto& v = candidate.faces()[i].members;
+      v.erase(v.begin() + static_cast<long>(m));
+      attempt(std::move(candidate));
+    }
+    for (std::size_t m = cs.faces()[i].dontcares.size(); m-- > 0;) {
+      ConstraintSet candidate = cs;
+      auto& v = candidate.faces()[i].dontcares;
+      v.erase(v.begin() + static_cast<long>(m));
+      attempt(std::move(candidate));
+    }
+  }
+  for (std::size_t i = 0; i < cs.disjunctives().size(); ++i)
+    for (std::size_t m = cs.disjunctives()[i].children.size();
+         m-- > 0 && cs.disjunctives()[i].children.size() > 2;) {
+      ConstraintSet candidate = cs;
+      auto& v = candidate.disjunctives()[i].children;
+      v.erase(v.begin() + static_cast<long>(m));
+      attempt(std::move(candidate));
+    }
+  for (std::size_t i = 0; i < cs.extended_disjunctives().size(); ++i) {
+    for (std::size_t m = cs.extended_disjunctives()[i].conjunctions.size();
+         m-- > 0 && cs.extended_disjunctives()[i].conjunctions.size() > 1;) {
+      ConstraintSet candidate = cs;
+      auto& v = candidate.extended_disjunctives()[i].conjunctions;
+      v.erase(v.begin() + static_cast<long>(m));
+      attempt(std::move(candidate));
+    }
+    for (std::size_t m = 0;
+         m < cs.extended_disjunctives()[i].conjunctions.size(); ++m)
+      for (std::size_t k = cs.extended_disjunctives()[i].conjunctions[m].size();
+           k-- > 0 &&
+           cs.extended_disjunctives()[i].conjunctions[m].size() > 1;) {
+        ConstraintSet candidate = cs;
+        auto& v = candidate.extended_disjunctives()[i].conjunctions[m];
+        v.erase(v.begin() + static_cast<long>(k));
+        attempt(std::move(candidate));
+      }
+  }
+  for (std::size_t i = 0; i < cs.nonfaces().size(); ++i)
+    for (std::size_t m = cs.nonfaces()[i].members.size();
+         m-- > 0 && cs.nonfaces()[i].members.size() > 2;) {
+      ConstraintSet candidate = cs;
+      auto& v = candidate.nonfaces()[i].members;
+      v.erase(v.begin() + static_cast<long>(m));
+      attempt(std::move(candidate));
+    }
+  return removed;
+}
+
+// Tries removing symbols no constraint references, one at a time (removal
+// still changes verdicts — distinct-code pressure, face intrusion — so
+// each is re-validated).
+int remove_symbols_pass(ConstraintSet& cs, const DivergencePredicate& pred,
+                        int* probes) {
+  int removed = 0;
+  for (std::uint32_t id = cs.num_symbols(); id-- > 0;) {
+    if (referenced_symbols(cs)[id]) continue;
+    ConstraintSet candidate = remove_unreferenced_symbol(cs, id);
+    ++*probes;
+    if (pred(candidate)) {
+      cs = std::move(candidate);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+ConstraintSet remove_unreferenced_symbol(const ConstraintSet& cs,
+                                         std::uint32_t id) {
+  ConstraintSet out;
+  for (std::uint32_t s = 0; s < cs.num_symbols(); ++s)
+    if (s != id) out.symbols().intern(cs.symbols().name(s));
+  auto remap = [&](std::uint32_t s) { return s > id ? s - 1 : s; };
+  auto remap_all = [&](const std::vector<std::uint32_t>& ids) {
+    std::vector<std::uint32_t> v;
+    v.reserve(ids.size());
+    for (std::uint32_t s : ids) v.push_back(remap(s));
+    return v;
+  };
+  for (const auto& f : cs.faces())
+    out.faces().push_back(
+        FaceConstraint{remap_all(f.members), remap_all(f.dontcares)});
+  for (const auto& d : cs.dominances())
+    out.dominances().push_back(
+        DominanceConstraint{remap(d.dominator), remap(d.dominated)});
+  for (const auto& d : cs.disjunctives())
+    out.disjunctives().push_back(
+        DisjunctiveConstraint{remap(d.parent), remap_all(d.children)});
+  for (const auto& e : cs.extended_disjunctives()) {
+    ExtendedDisjunctiveConstraint x;
+    x.parent = remap(e.parent);
+    for (const auto& conj : e.conjunctions)
+      x.conjunctions.push_back(remap_all(conj));
+    out.extended_disjunctives().push_back(std::move(x));
+  }
+  for (const auto& d : cs.distance2s())
+    out.distance2s().push_back(Distance2Constraint{remap(d.a), remap(d.b)});
+  for (const auto& nf : cs.nonfaces())
+    out.nonfaces().push_back(NonFaceConstraint{remap_all(nf.members)});
+  return out;
+}
+
+MinimizeResult minimize_divergence(const ConstraintSet& cs,
+                                   const DivergencePredicate& still_diverges) {
+  MinimizeResult res;
+  res.constraints = cs;
+  ++res.probes;
+  if (!still_diverges(res.constraints)) return res;
+
+  for (;;) {
+    int changed = 0;
+    changed += remove_constraints_pass(res.constraints, still_diverges,
+                                       &res.probes);
+    res.removed_constraints += changed;
+    const int elements =
+        shrink_elements_pass(res.constraints, still_diverges, &res.probes);
+    res.removed_elements += elements;
+    const int symbols =
+        remove_symbols_pass(res.constraints, still_diverges, &res.probes);
+    res.removed_symbols += symbols;
+    if (changed + elements + symbols == 0) break;
+  }
+  return res;
+}
+
+DivergencePredicate rule_predicate(FuzzRule rule,
+                                   const DifferentialOptions& opts) {
+  return [rule, opts](const ConstraintSet& cs) {
+    const FuzzCaseResult r = run_differential_case(cs, opts);
+    return std::any_of(
+        r.divergences.begin(), r.divergences.end(),
+        [&](const FuzzDivergence& d) { return d.rule == rule; });
+  };
+}
+
+}  // namespace encodesat

@@ -1,0 +1,103 @@
+#include "fuzz/reproducer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace encodesat {
+
+namespace {
+
+// Strips one "# key: value" metadata line; false when the line is not a
+// comment or carries no key.
+bool parse_meta_line(const std::string& raw, std::string* key,
+                     std::string* value) {
+  std::string line{trim(raw)};
+  if (line.empty() || line[0] != '#') return false;
+  line = std::string{trim(line.substr(1))};
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  *key = std::string{trim(line.substr(0, colon))};
+  *value = std::string{trim(line.substr(colon + 1))};
+  return !key->empty();
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  try {
+    return std::stoull(s);
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+std::string reproducer_to_text(const FuzzReproducer& r) {
+  std::ostringstream out;
+  out << "# encodesat-fuzz-reproducer v1\n";
+  out << "# seed: " << r.run_seed << "\n";
+  out << "# case: " << r.case_index << "\n";
+  if (!r.rule.empty()) out << "# rule: " << r.rule << "\n";
+  if (!r.detail.empty()) {
+    // The detail must stay one comment line to keep the body parseable.
+    std::string d = r.detail;
+    for (char& c : d)
+      if (c == '\n' || c == '\r') c = ' ';
+    out << "# detail: " << d << "\n";
+  }
+  out << "# minimized: " << (r.minimized ? "yes" : "no") << "\n";
+  out << r.constraints.to_string();
+  return out.str();
+}
+
+std::optional<FuzzReproducer> parse_reproducer(const std::string& text,
+                                               ParseError* error) {
+  FuzzReproducer r;
+  std::istringstream in(text);
+  std::string raw, key, value;
+  while (std::getline(in, raw)) {
+    if (!parse_meta_line(raw, &key, &value)) continue;
+    if (key == "seed")
+      r.run_seed = parse_u64(value);
+    else if (key == "case")
+      r.case_index = parse_u64(value);
+    else if (key == "rule")
+      r.rule = value;
+    else if (key == "detail")
+      r.detail = value;
+    else if (key == "minimized")
+      r.minimized = value == "yes";
+  }
+  auto cs = parse_constraints(text, error);
+  if (!cs) return std::nullopt;
+  r.constraints = std::move(*cs);
+  return r;
+}
+
+bool write_reproducer_file(const std::string& path, const FuzzReproducer& r) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << reproducer_to_text(r);
+  return static_cast<bool>(out);
+}
+
+std::optional<FuzzReproducer> load_reproducer_file(const std::string& path,
+                                                   ParseError* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = ParseError{0, "cannot open " + path};
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_reproducer(buf.str(), error);
+}
+
+std::string reproducer_filename(const FuzzReproducer& r) {
+  return "seed" + std::to_string(r.run_seed) + "_case" +
+         std::to_string(r.case_index) + "_" +
+         (r.rule.empty() ? "case" : r.rule) + ".repro";
+}
+
+}  // namespace encodesat

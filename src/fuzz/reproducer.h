@@ -1,0 +1,57 @@
+// Reproducer files for fuzz-found divergences.
+//
+// A reproducer is a plain constraint-grammar file with a '#'-comment
+// metadata header, so `parse_constraints` (and therefore `encodesat_cli
+// solve`) reads it unchanged while the fuzz tooling recovers the run
+// context:
+//
+//   # encodesat-fuzz-reproducer v1
+//   # seed: 1
+//   # case: 42
+//   # rule: oracle
+//   # detail: encoding fails oracle: face[0]: ...
+//   # minimized: yes
+//   face s0 s1 [ s2 ]
+//   dominance s3 s0
+//
+// Turning one into a regression test: drop the file into
+// tests/fuzz_corpus/ — tests/fuzz_regression_test.cc re-runs the
+// differential driver over every corpus file and fails on any divergence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/constraints.h"
+
+namespace encodesat {
+
+struct FuzzReproducer {
+  std::uint64_t run_seed = 0;
+  std::uint64_t case_index = 0;
+  std::string rule;    ///< fuzz_rule_name of the diverged rule ("" = none)
+  std::string detail;  ///< first divergence detail, single line
+  bool minimized = false;
+  ConstraintSet constraints;
+};
+
+/// Renders the header + constraint text shown above.
+std::string reproducer_to_text(const FuzzReproducer& r);
+
+/// Parses a reproducer (or any constraint file — missing metadata keys
+/// default to zero/empty). Returns std::nullopt and fills `*error` on
+/// malformed constraint lines.
+std::optional<FuzzReproducer> parse_reproducer(const std::string& text,
+                                               ParseError* error = nullptr);
+
+/// File helpers; load returns std::nullopt on I/O or parse failure.
+bool write_reproducer_file(const std::string& path, const FuzzReproducer& r);
+std::optional<FuzzReproducer> load_reproducer_file(const std::string& path,
+                                                   ParseError* error = nullptr);
+
+/// "seed<seed>_case<index>_<rule>.repro" — stable, collision-free within
+/// one run.
+std::string reproducer_filename(const FuzzReproducer& r);
+
+}  // namespace encodesat

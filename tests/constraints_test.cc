@@ -50,6 +50,40 @@ TEST(Parse, Errors) {
   EXPECT_THROW(parse_constraints("extdisjunctive a : b |"), std::runtime_error);
 }
 
+TEST(Parse, RejectsDegenerateInputs) {
+  // Self-dominance a > a is vacuous/contradictory depending on reading.
+  EXPECT_THROW(parse_constraints("dominance a a"), std::runtime_error);
+  // Duplicate symbols within one face constraint, in either section or
+  // across the member/don't-care split.
+  EXPECT_THROW(parse_constraints("face a b a"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("face a b [c c]"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("face a b [a]"), std::runtime_error);
+  // A disjunctive parent in its own RHS makes the constraint vacuous.
+  EXPECT_THROW(parse_constraints("disjunctive a a b"), std::runtime_error);
+  EXPECT_THROW(parse_constraints("disjunctive a b a"), std::runtime_error);
+  // Empty extended-disjunctive conjunction.
+  EXPECT_THROW(parse_constraints("extdisjunctive a : b |"),
+               std::runtime_error);
+  EXPECT_THROW(parse_constraints("extdisjunctive a : | b"),
+               std::runtime_error);
+  // The reported message names the duplicate.
+  ParseError err;
+  EXPECT_EQ(parse_constraints("face a b a", &err), std::nullopt);
+  EXPECT_NE(err.to_string().find("duplicate symbol 'a'"), std::string::npos);
+}
+
+TEST(Parse, ToStringKeepsUnreferencedSymbols) {
+  // Symbols no constraint references still shape every verdict (distinct
+  // codes, face intrusion), so to_string must emit them for a faithful
+  // round trip — this is what makes fuzz reproducer files replayable.
+  const ConstraintSet cs = parse_constraints("face a b c\nsymbol zzz");
+  const std::string text = cs.to_string();
+  EXPECT_NE(text.find("symbol zzz"), std::string::npos);
+  const ConstraintSet again = parse_constraints(text);
+  EXPECT_EQ(again.num_symbols(), cs.num_symbols());
+  EXPECT_EQ(again.to_string(), text);
+}
+
 TEST(Parse, RoundTripThroughToString) {
   const std::string text = R"(face a b [c ] e
 dominance a b

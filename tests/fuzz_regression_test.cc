@@ -1,0 +1,62 @@
+// Regression table over tests/fuzz_corpus/: every reproducer file is run
+// through the full differential driver and must report zero divergences.
+//
+// The corpus starts as 20 generator-stratified cases (4 per --mix preset,
+// run seed 2026). When a fuzz run finds a real divergence, minimize it
+// (`encodesat_cli fuzz ... --minimize --out DIR`) and drop the .repro file
+// here — this test then pins the fix forever.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.h"
+#include "fuzz/reproducer.h"
+
+namespace encodesat {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir = ENCODESAT_FUZZ_CORPUS_DIR;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".repro")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzRegression, CorpusIsPresent) {
+  EXPECT_GE(corpus_files().size(), 20u);
+}
+
+TEST(FuzzRegression, EveryCorpusCaseIsDivergenceFree) {
+  for (const std::string& path : corpus_files()) {
+    ParseError err;
+    const auto repro = load_reproducer_file(path, &err);
+    ASSERT_TRUE(repro.has_value()) << path << ": " << err.to_string();
+    const FuzzCaseResult r = run_differential_case(repro->constraints);
+    for (const FuzzDivergence& d : r.divergences)
+      ADD_FAILURE() << path << ": " << fuzz_rule_name(d.rule) << ": "
+                    << d.detail;
+  }
+}
+
+TEST(FuzzRegression, CorpusFilesRoundTrip) {
+  // Reproducer files must survive a load -> render -> load cycle so that
+  // minimizing or re-saving a case never silently changes it.
+  for (const std::string& path : corpus_files()) {
+    const auto repro = load_reproducer_file(path);
+    ASSERT_TRUE(repro.has_value()) << path;
+    const auto again = parse_reproducer(reproducer_to_text(*repro));
+    ASSERT_TRUE(again.has_value()) << path;
+    EXPECT_EQ(again->constraints.to_string(),
+              repro->constraints.to_string())
+        << path;
+  }
+}
+
+}  // namespace
+}  // namespace encodesat

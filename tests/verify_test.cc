@@ -1,6 +1,8 @@
 // Tests for the independent encoding verifier.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/verify.h"
 
 namespace encodesat {
@@ -112,6 +114,61 @@ TEST(Verify, NonFaceNeedsIntruder) {
   const auto v2 = verify_encoding(codes(2, {0b00, 0b01, 0b11}), nf);
   ASSERT_EQ(v2.size(), 1u);
   EXPECT_EQ(v2[0].kind, Violation::Kind::kNonFace);
+}
+
+TEST(Verify, DontCareHandlingAgreesBetweenPaths) {
+  // Section 8.1: the don't-care symbol d may land inside the face of
+  // {a,b,c} without violating it. The predicate path (`face_satisfied`)
+  // and the violation path (`verify_encoding`) must give the same answer
+  // on every placement of d and of the genuine outsider e.
+  // Intern order is members before don't-cares: a, b, c, d, e.
+  const ConstraintSet cs = parse_constraints("face a b [d] c\nsymbol e");
+  const auto& f = cs.faces()[0];
+  for (std::uint64_t d = 0; d < 8; ++d)
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      const Encoding enc = codes(3, {0b000, 0b001, 0b010, d, e});
+      const auto violations =
+          verify_encoding(enc, cs, /*require_unique_codes=*/false);
+      const bool face_ok =
+          std::none_of(violations.begin(), violations.end(),
+                       [](const Violation& v) {
+                         return v.kind == Violation::Kind::kFace;
+                       });
+      EXPECT_EQ(face_satisfied(enc, cs, f), face_ok)
+          << "d=" << d << " e=" << e;
+      // The face of {a,b,c} is the x2=0 half: only e decides.
+      EXPECT_EQ(face_ok, e >= 4) << "d=" << d << " e=" << e;
+    }
+}
+
+TEST(Verify, ExtendedDisjunctiveThroughOracle) {
+  // Every conjunction falls short on some bit of the parent => violation
+  // indexed to the constraint; the second extended constraint is satisfied
+  // and must not be reported.
+  const ConstraintSet cs = parse_constraints(R"(
+    extdisjunctive a : b c | d e
+    extdisjunctive b : d e
+  )");
+  // a=11; (b&c)=00, (d&e)=10, OR=10 — bit 0 of a is uncovered. The second
+  // constraint holds: d&e=10 >= b=00 bitwise.
+  const auto v =
+      verify_encoding(codes(2, {0b11, 0b00, 0b01, 0b10, 0b11}), cs,
+                      /*require_unique_codes=*/false);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, Violation::Kind::kExtendedDisjunctive);
+  EXPECT_EQ(v[0].index, 0u);
+}
+
+TEST(Verify, ViolationToStringAndKindNames) {
+  const ConstraintSet cs = parse_constraints("dominance a b");
+  const auto v = verify_encoding(codes(2, {0b01, 0b10}), cs);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_STREQ(violation_kind_name(v[0].kind), "dominance");
+  EXPECT_NE(v[0].to_string().find("dominance[0]"), std::string::npos);
+  EXPECT_STREQ(violation_kind_name(Violation::Kind::kDuplicateCode),
+               "duplicate_code");
+  EXPECT_STREQ(violation_kind_name(Violation::Kind::kExtendedDisjunctive),
+               "extended_disjunctive");
 }
 
 TEST(Verify, CountSatisfiedFaces) {
