@@ -6,9 +6,13 @@
 //
 //   bench_primes [--reps N] [--out FILE] [--quick]
 //
-// Schema (encodesat-bench-primes-v1): one record per case with the minimum
+// Schema (encodesat-bench-primes-v2): one record per case with the minimum
 // wall time over N repetitions plus the deterministic fold metrics (work
-// units, peak arena bytes, term count) that must not drift silently.
+// units, peak arena bytes, term count) that must not drift silently. v2
+// adds a per-case "counters" object (arena allocs/reuses, signature-prune
+// hits) so compare_bench.py can flag *work* regressions — e.g. the free
+// list no longer being hit, or the subset-prune losing effectiveness —
+// independent of wall-clock noise.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,6 +37,19 @@ struct CaseResult {
   std::size_t num_terms = 0;
   std::size_t folds = 0;
   bool truncated = false;
+  // Deterministic work counters (the v2 "counters" object).
+  std::uint64_t arena_allocs = 0;
+  std::uint64_t arena_reuses = 0;
+  std::uint64_t prune_sig_hits = 0;
+
+  void take_fold_counters(const SopFoldStats& fold) {
+    work_units = fold.work;
+    peak_arena_bytes = fold.peak_arena_bytes;
+    folds = fold.folds;
+    arena_allocs = fold.arena_allocs;
+    arena_reuses = fold.arena_reuses;
+    prune_sig_hits = fold.prune_sig_hits;
+  }
 };
 
 // --- 2-CNF instance builders (deterministic) -------------------------------
@@ -92,10 +109,8 @@ CaseResult run_sop_case(const std::string& name, const std::vector<Bitset>& adj,
                                             &fold);
     const double secs = t.elapsed_seconds();
     if (secs < out.wall_seconds) out.wall_seconds = secs;
-    out.work_units = fold.work;
-    out.peak_arena_bytes = fold.peak_arena_bytes;
+    out.take_fold_counters(fold);
     out.num_terms = sop.size();
-    out.folds = fold.folds;
     out.truncated = truncated;
   }
   return out;
@@ -123,28 +138,31 @@ CaseResult run_machine_case(const char* machine, int reps) {
     const PrimeGenResult pg = generate_prime_dichotomies(feas.raised, popts);
     const double secs = t.elapsed_seconds();
     if (secs < out.wall_seconds) out.wall_seconds = secs;
-    out.work_units = pg.fold.work;
-    out.peak_arena_bytes = pg.fold.peak_arena_bytes;
+    out.take_fold_counters(pg.fold);
     out.num_terms = pg.fold.num_terms;
-    out.folds = pg.fold.folds;
     out.truncated = pg.truncated;
   }
   return out;
 }
 
 void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
-  std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-primes-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-primes-v2\",\n");
   std::fprintf(f, "  \"cases\": [\n");
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const CaseResult& c = cases[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
                  "\"work_units\": %llu, \"peak_arena_bytes\": %zu, "
-                 "\"num_terms\": %zu, \"folds\": %zu, \"truncated\": %s}%s\n",
+                 "\"num_terms\": %zu, \"folds\": %zu, \"truncated\": %s, "
+                 "\"counters\": {\"arena_allocs\": %llu, "
+                 "\"arena_reuses\": %llu, \"prune_sig_hits\": %llu}}%s\n",
                  c.name.c_str(), c.wall_seconds,
                  static_cast<unsigned long long>(c.work_units),
                  c.peak_arena_bytes, c.num_terms, c.folds,
                  c.truncated ? "true" : "false",
+                 static_cast<unsigned long long>(c.arena_allocs),
+                 static_cast<unsigned long long>(c.arena_reuses),
+                 static_cast<unsigned long long>(c.prune_sig_hits),
                  i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

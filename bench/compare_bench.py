@@ -6,11 +6,13 @@ Usage:
 
 Checks, per case name present in BOTH files:
 
-  * determinism guard — `work_units`, `folds`, `num_terms` and `truncated`
-    must match the baseline exactly.  These are pure functions of the
-    algorithm (no wall-clock dependence), so any drift means the fold
-    changed behaviour, not just speed.  This is a hard failure regardless
-    of timing.
+  * determinism guard — `work_units`, `folds`, `num_terms`, `truncated`
+    and the v2 `counters` object (arena allocs/reuses, signature-prune
+    hits) must match the baseline exactly.  These are pure functions of
+    the algorithm (no wall-clock dependence), so any drift means the fold
+    changed behaviour — did more work, stopped reusing the free list,
+    lost prune effectiveness — not just speed.  This is a hard failure
+    regardless of timing.
   * wall-time regression — `wall_seconds` may not exceed the baseline by
     more than --max-regress percent (default 20).  Cases whose baseline
     time is below MIN_SECONDS (0.05 s) are exempt: at microsecond scale
@@ -29,7 +31,7 @@ import json
 import sys
 
 MIN_SECONDS = 0.05
-SCHEMA = "encodesat-bench-primes-v1"
+SCHEMA = "encodesat-bench-primes-v2"
 
 
 def load(path):
@@ -78,6 +80,13 @@ def main(argv):
             if b.get(key) != c.get(key):
                 print(f"  FAIL  {name}: {key} {b.get(key)} -> {c.get(key)} "
                       "(determinism guard: algorithm output changed)")
+                failures += 1
+        bc, cc = b.get("counters", {}), c.get("counters", {})
+        for key in sorted(set(bc) | set(cc)):
+            if bc.get(key) != cc.get(key):
+                print(f"  FAIL  {name}: counters.{key} {bc.get(key)} -> "
+                      f"{cc.get(key)} (determinism guard: work profile "
+                      "changed)")
                 failures += 1
         bt, ct = b["wall_seconds"], c["wall_seconds"]
         if bt < MIN_SECONDS:

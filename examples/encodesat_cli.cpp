@@ -20,17 +20,24 @@
 //       src/fuzz/differential.h; exits 0 iff zero divergences. --minimize
 //       delta-debugs each divergent case; --out writes reproducer files
 //
-// Shared budget/observability flags (encode and solve):
-//   --timeout SECS   wall-clock budget; expiry yields a truncated result,
-//                    never a hang
-//   --threads N      worker threads (0 = all hardware threads)
-//   --stats-json     per-stage StageStats tree as JSON on stdout
+// Shared budget/observability flags (encode, solve and fuzz):
+//   --timeout SECS    wall-clock budget; expiry yields a truncated result,
+//                     never a hang (encode/solve only)
+//   --threads N       worker threads (0 = all hardware threads)
+//   --stats-out DEST  "encodesat-telemetry-v1" report (stage stats, work
+//                     counters, counter fingerprint, trace totals) written
+//                     to DEST; '-' means stderr
+//   --trace-out FILE  Chrome trace-event JSON ("encodesat-trace-v1") of the
+//                     pipeline spans, loadable in chrome://tracing/Perfetto
+//   --stats-json      deprecated alias for --stats-out - (telemetry now
+//                     goes to stderr, keeping stdout for the result)
 //
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "core/bounded.h"
@@ -46,6 +53,9 @@
 #include "fsm/reachability.h"
 #include "fsm/simulate.h"
 #include "logic/espresso.h"
+#include "obs/counters.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -59,8 +69,52 @@ struct CliOptions {
   bool exact = false;
   double timeout_seconds = 0;
   int threads = 1;
+  /// Deprecated bare flag; behaves as `--stats-out -`.
   bool stats_json = false;
+  /// Telemetry destination: empty = off, "-" = stderr, else a file path.
+  std::string stats_out;
+  /// Chrome-trace output file; empty disables tracing entirely.
+  std::string trace_out;
 };
+
+// Writes one observability artifact to a --stats-out style destination
+// ("-" = stderr, else a file path). Failures warn but do not change the
+// command's exit status — the solve result is the contract.
+void write_text_to(const std::string& dest, const std::string& text,
+                   const char* what) {
+  if (dest == "-") {
+    std::fprintf(stderr, "%s\n", text.c_str());
+    return;
+  }
+  std::ofstream out(dest);
+  if (!out)
+    std::fprintf(stderr, "cannot write %s to %s\n", what, dest.c_str());
+  else
+    out << text << '\n';
+}
+
+// Emits the telemetry report and/or the Chrome trace per the CLI flags.
+void emit_observability(const CliOptions& cli, const char* tool,
+                        const StageStats* stats,
+                        const MetricsRegistry* metrics, Tracer* tracer) {
+  if (cli.stats_json || !cli.stats_out.empty()) {
+    TelemetryOptions topts;
+    topts.tool = tool;
+    topts.stats = stats;
+    topts.metrics = metrics;
+    topts.tracer = tracer;
+    write_text_to(cli.stats_out.empty() ? "-" : cli.stats_out,
+                  telemetry_to_json(topts), "telemetry");
+  }
+  if (tracer && !cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out);
+    if (!out)
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   cli.trace_out.c_str());
+    else
+      tracer->write_chrome_trace(out);
+  }
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -71,7 +125,9 @@ int usage(const char* argv0) {
                "[--mix default|input|output|extensions|infeasible] "
                "[--minimize] [--out DIR]\n"
                "  common flags: [--timeout SECS] [--threads N] "
-               "[--stats-json]\n",
+               "[--stats-out DEST] [--trace-out FILE]\n"
+               "  ('-' as DEST means stderr; --stats-json is a deprecated "
+               "alias for --stats-out -)\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -125,11 +181,16 @@ int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
                cs.disjunctives().size());
   Timer t;
   Encoding enc;
+  std::unique_ptr<Tracer> tracer;
+  if (!cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
+  MetricsRegistry metrics;
   if (cli.exact) {
     SolveOptions opts = to_solve_options(cli);
     opts.cover_options.max_nodes = 200000;
+    opts.tracer = tracer.get();
+    opts.metrics = &metrics;
     const SolveResult res = Solver(cs).encode(opts);
-    if (cli.stats_json) std::printf("%s\n", res.stats.to_json().c_str());
+    emit_observability(cli, "encode", &res.stats, &metrics, tracer.get());
     if (!res.encoded()) {
       std::fprintf(stderr, "exact encoding failed (%s)\n",
                    res.status == SolveResult::Status::kTruncated
@@ -149,9 +210,10 @@ int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
     if (cli.timeout_seconds > 0)
       budget.set_deadline_after(cli.timeout_seconds);
     StageStats stats("solve");
-    const ExecContext ctx{&budget, &stats, resolve_threads(cli.threads)};
+    const ExecContext ctx{&budget, &stats, resolve_threads(cli.threads),
+                          tracer.get(), &metrics};
     const auto res = bounded_encode(cs, bits, opts, ctx);
-    if (cli.stats_json) std::printf("%s\n", stats.to_json().c_str());
+    emit_observability(cli, "encode", &stats, &metrics, tracer.get());
     enc = res.encoding;
     std::fprintf(stderr,
                  "heuristic: %d bits, %d faces violated, %d cubes, "
@@ -198,8 +260,14 @@ int cmd_solve(const char* path, const CliOptions& cli) {
   }
 
   Timer t;
-  const SolveResult res = Solver(*cs).encode(to_solve_options(cli));
-  if (cli.stats_json) std::printf("%s\n", res.stats.to_json().c_str());
+  std::unique_ptr<Tracer> tracer;
+  if (!cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
+  MetricsRegistry metrics;
+  SolveOptions opts = to_solve_options(cli);
+  opts.tracer = tracer.get();
+  opts.metrics = &metrics;
+  const SolveResult res = Solver(*cs).encode(opts);
+  emit_observability(cli, "solve", &res.stats, &metrics, tracer.get());
   switch (res.status) {
     case SolveResult::Status::kInfeasible:
       std::printf("INFEASIBLE\n");
@@ -263,6 +331,7 @@ int cmd_fuzz(int argc, char** argv) {
   FuzzRunOptions opts;
   bool minimize = false;
   std::string out_dir;
+  CliOptions obs_cli;  // observability flags only
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       if (!parse_u64("--seed", argv[++i], &seed)) return 2;
@@ -281,9 +350,24 @@ int cmd_fuzz(int argc, char** argv) {
       if (!parse_int("--threads", argv[++i], &opts.threads)) return 2;
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
       out_dir = argv[++i];
-    else
+    else if (!std::strcmp(argv[i], "--stats-out") && i + 1 < argc)
+      obs_cli.stats_out = argv[++i];
+    else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+      obs_cli.trace_out = argv[++i];
+    else if (!std::strcmp(argv[i], "--stats-json")) {
+      obs_cli.stats_json = true;
+      std::fprintf(stderr,
+                   "note: --stats-json is deprecated; use --stats-out FILE "
+                   "('-' for stderr)\n");
+    } else
       return usage(argv[0]);
   }
+
+  std::unique_ptr<Tracer> tracer;
+  if (!obs_cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
+  MetricsRegistry metrics;
+  opts.tracer = tracer.get();
+  opts.differential.metrics = &metrics;
 
   const FuzzReport report = run_fuzz(seed, cases, opts);
   for (const FuzzDivergentCase& dc : report.divergent) {
@@ -331,6 +415,15 @@ int cmd_fuzz(int argc, char** argv) {
       std::fputs(reproducer_to_text(repro).c_str(), stdout);
     }
   }
+  // Run-level counters land next to the per-case pipeline totals the
+  // differential driver merged into `metrics`.
+  metrics.counter("fuzz.cases")->add(report.cases);
+  metrics.counter("fuzz.feasible")->add(report.feasible);
+  metrics.counter("fuzz.infeasible")->add(report.infeasible);
+  metrics.counter("fuzz.truncated")->add(report.truncated);
+  metrics.counter("fuzz.divergences")->add(report.divergent.size());
+  emit_observability(obs_cli, "fuzz", nullptr, &metrics, tracer.get());
+
   std::printf("%s\n", report.summary().c_str());
   return report.divergent.empty() ? 0 : 1;
 }
@@ -360,8 +453,15 @@ int main(int argc, char** argv) {
         return 2;
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       if (!parse_int("--threads", argv[++i], &cli.threads)) return 2;
-    } else if (!std::strcmp(argv[i], "--stats-json"))
+    } else if (!std::strcmp(argv[i], "--stats-json")) {
       cli.stats_json = true;
+      std::fprintf(stderr,
+                   "note: --stats-json is deprecated; use --stats-out FILE "
+                   "('-' for stderr)\n");
+    } else if (!std::strcmp(argv[i], "--stats-out") && i + 1 < argc)
+      cli.stats_out = argv[++i];
+    else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+      cli.trace_out = argv[++i];
     else if (!std::strcmp(argv[i], "--cost") && i + 1 < argc) {
       const std::string c = argv[++i];
       if (c == "violated") cli.cost = CostKind::kViolatedFaces;

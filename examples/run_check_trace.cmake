@@ -1,0 +1,15 @@
+# Helper for the check_trace test (see CMakeLists.txt here): runs the CLI
+# with --trace-out, then tools/check_trace.py on the result. Expects CLI,
+# CONSTRAINTS, PYTHON, CHECKER, OUT_TRACE.
+execute_process(
+  COMMAND ${CLI} solve ${CONSTRAINTS} --threads 4 --trace-out ${OUT_TRACE}
+  RESULT_VARIABLE solve_rc)
+if(NOT solve_rc EQUAL 0)
+  message(FATAL_ERROR "encodesat_cli solve exited with ${solve_rc}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT_TRACE}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the trace (rc=${check_rc})")
+endif()

@@ -7,6 +7,8 @@
 
 #include "core/dichotomy.h"
 #include "core/verify.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace encodesat {
@@ -523,7 +525,11 @@ BoundedEncodeResult bounded_encode(const ConstraintSet& cs, int code_length,
   for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
 
   RecursiveEncoder enc(cs, opts, stage.ctx());
-  std::vector<Dichotomy> columns = enc.encode_subset(all, code_length, 1);
+  std::vector<Dichotomy> columns;
+  {
+    TRACE_SCOPE(stage.ctx(), "bounded_recurse");
+    columns = enc.encode_subset(all, code_length, 1);
+  }
 
   // Pad with empty columns if the recursion returned fewer than requested
   // (possible for tiny subsets); codes stay unique.
@@ -541,9 +547,14 @@ BoundedEncodeResult bounded_encode(const ConstraintSet& cs, int code_length,
       if (columns[j].in_right(s))
         res.encoding.codes[s] |= std::uint64_t{1} << j;
 
-  polish_by_swaps(res.encoding, cs, opts, stage.ctx());
+  {
+    TRACE_SCOPE(stage.ctx(), "bounded_polish");
+    polish_by_swaps(res.encoding, cs, opts, stage.ctx());
+  }
 
   res.cost = evaluate_encoding_cost(res.encoding, cs, /*fast=*/false);
+  metric_add(stage.ctx(), "bounded.evals",
+             static_cast<std::uint64_t>(enc.eval.evals));
   stage.ctx().poll();
   if (stage.ctx().exhausted()) {
     res.truncation = stage.ctx().reason();

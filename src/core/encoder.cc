@@ -5,6 +5,8 @@
 
 #include "core/output_rules.h"
 #include "core/verify.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace encodesat {
@@ -27,6 +29,7 @@ int threads_for(const ExecContext& ctx, std::size_t n) {
 std::vector<Dichotomy> valid_raised_set(
     const std::vector<InitialDichotomy>& initial, const ConstraintSet& cs,
     const ExecContext& ctx) {
+  TRACE_SCOPE(ctx, "raise_pass");
   std::vector<std::optional<Dichotomy>> slots(initial.size());
   parallel_for(initial.size(), threads_for(ctx, initial.size()),
                [&](std::size_t i) {
@@ -42,12 +45,17 @@ std::vector<Dichotomy> valid_raised_set(
   for (auto& s : slots)
     if (s) d.push_back(std::move(*s));
   dedupe_dichotomies(d);
+  // Raising is per-item and the slot merge is order-preserving, so both
+  // values are thread-count invariant (fingerprint-safe).
+  metric_add(ctx, "raise.attempts", initial.size());
+  metric_add(ctx, "raise.kept", d.size());
   return d;
 }
 
 std::vector<std::size_t> uncovered_initials(
     const std::vector<InitialDichotomy>& initial,
     const std::vector<Dichotomy>& d, const ExecContext& ctx) {
+  TRACE_SCOPE(ctx, "coverage_check");
   std::vector<char> covered(initial.size(), 0);
   parallel_for(initial.size(), threads_for(ctx, initial.size()),
                [&](std::size_t i) {
@@ -144,6 +152,8 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
     for (auto& s : slots)
       if (s) candidates.push_back(std::move(*s));
     res.num_valid_primes = candidates.size();
+    metric_add(stage.ctx(), "primes.validate_attempts", pg.primes.size());
+    metric_add(stage.ctx(), "primes.validate_kept", candidates.size());
     // Safety net: the valid maximally raised dichotomies themselves remain
     // legal columns (Theorem 6.1 proves they suffice for feasibility), so a
     // prime lost to post-union validity filtering never costs us a solution.
@@ -173,6 +183,8 @@ ExactEncodeResult exact_encode(const ConstraintSet& cs,
                    problem.rows[i] = std::move(row);
                  });
     stage.add_items(initial.size());
+    metric_add(stage.ctx(), "cover.table_rows", problem.rows.size());
+    metric_add(stage.ctx(), "cover.table_columns", problem.num_columns);
   }
   const UnateCoverSolution cover =
       solve_unate_cover(problem, opts.cover_options, ctx);

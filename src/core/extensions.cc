@@ -4,6 +4,7 @@
 
 #include "core/generate.h"
 #include "core/output_rules.h"
+#include "obs/counters.h"
 
 namespace encodesat {
 
@@ -172,6 +173,8 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
       if (!inside.test(t)) aux.emplace_back(i, t);
   }
   res.num_aux_columns = aux.size();
+  metric_add(stage.ctx(), "extend.candidates", res.num_candidates);
+  metric_add(stage.ctx(), "extend.aux_columns", res.num_aux_columns);
 
   BinateCoverProblem problem;
   problem.num_columns = patterns.size() + aux.size();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/term_arena.h"
 #include "util/thread_pool.h"
 
@@ -47,7 +49,8 @@ struct TermList {
 // candidate pairs are rejected on the popcount bucket or the one-word
 // signature without touching the full terms. Output is count-ascending.
 void keep_minimal_terms(TermArena& arena, TermList& terms,
-                        std::vector<std::uint32_t>& order, TermList& out) {
+                        std::vector<std::uint32_t>& order, TermList& out,
+                        std::uint64_t& sig_hits) {
   const std::size_t n = terms.size();
   order.resize(n);
   std::iota(order.begin(), order.end(), 0u);
@@ -85,7 +88,10 @@ void keep_minimal_terms(TermArena& arena, TermList& terms,
     prev = r;
     bool absorbed = false;
     for (std::size_t j = 0; j < eq_start; ++j) {
-      if ((out.sigs[j] & ~s) != 0) continue;
+      if ((out.sigs[j] & ~s) != 0) {
+        ++sig_hits;
+        continue;
+      }
       if (arena.is_subset(out.refs[j], r)) {
         absorbed = true;
         break;
@@ -161,12 +167,21 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
   sop.push(arena.alloc(), 0, 0);  // cs of the empty expression: constant 1
 
   std::uint64_t work = 0;
+  std::uint64_t sig_hits = 0;
   const std::uint64_t words = (m + 63) / 64;
+  auto fill_fold_stats = [&] {
+    if (!fold_stats) return;
+    fold_stats->peak_arena_bytes = arena.peak_bytes();
+    fold_stats->arena_allocs = arena.total_allocs();
+    fold_stats->arena_reuses = arena.total_reuses();
+    fold_stats->prune_sig_hits = sig_hits;
+  };
   auto truncate_fold = [&](Truncation why) {
-    if (fold_stats) fold_stats->peak_arena_bytes = arena.peak_bytes();
+    fill_fold_stats();
     return truncate(why);
   };
   for (auto it = splits.rbegin(); it != splits.rend(); ++it) {
+    TRACE_SCOPE(ctx, "sop_fold");
     const std::size_t x = it->first;
     // Work accounting (in bitset word operations, upper bound): the
     // absorption scans below cost at most |B|^2/2 + |A|*|B| pairwise subset
@@ -223,7 +238,7 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
         d_idx.push_back(static_cast<std::uint32_t>(i));
       }
     }
-    keep_minimal_terms(arena, with_nbrs, order, scratch);
+    keep_minimal_terms(arena, with_nbrs, order, scratch, sig_hits);
 
     // Surviving N-disjoint terms join the {t ∪ N} half as clones (their
     // originals are still needed for the {t ∪ {x}} half below). An absorber
@@ -237,7 +252,10 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
       bool absorbed = false;
       for (std::size_t j = 0;
            j < with_nbrs.size() && with_nbrs.counts[j] <= c; ++j) {
-        if ((with_nbrs.sigs[j] & ~s) != 0) continue;
+        if ((with_nbrs.sigs[j] & ~s) != 0) {
+          ++sig_hits;
+          continue;
+        }
         if (arena.is_subset(with_nbrs.refs[j], t)) {
           absorbed = true;
           break;
@@ -266,7 +284,10 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
         const std::uint32_t limit = c - nbr_count;
         for (std::size_t j = 0;
              j < with_nbrs.size() && with_nbrs.counts[j] <= limit; ++j) {
-          if ((with_nbrs.sigs[j] & ~s) != 0) continue;
+          if ((with_nbrs.sigs[j] & ~s) != 0) {
+            ++sig_hits;
+            continue;
+          }
           if (arena.is_subset(with_nbrs.refs[j], t)) {
             absorbed = true;
             break;
@@ -300,10 +321,8 @@ std::vector<Bitset> two_cnf_to_minimal_sop(const std::vector<Bitset>& incompat,
     sop.swap(scratch);
   }
 
-  if (fold_stats) {
-    fold_stats->num_terms = sop.size();
-    fold_stats->peak_arena_bytes = arena.peak_bytes();
-  }
+  if (fold_stats) fold_stats->num_terms = sop.size();
+  fill_fold_stats();
   std::vector<Bitset> result;
   result.reserve(sop.size());
   for (TermRef r : sop.refs) result.push_back(arena.to_bitset(r));
@@ -322,14 +341,17 @@ PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
   // triangle of its own row, so the fan-out is race-free and the mirrored
   // result is independent of the thread count.
   std::vector<Bitset> incompat(m, Bitset(m));
-  parallel_for(m, m >= 128 ? ctx.num_threads : 1, [&](std::size_t i) {
-    for (std::size_t j = i + 1; j < m; ++j)
-      if (!ds[i].compatible(ds[j])) incompat[i].set(j);
-  });
-  for (std::size_t i = 0; i < m; ++i)
-    incompat[i].for_each([&](std::size_t j) {
-      if (j > i) incompat[j].set(i);
+  {
+    TRACE_SCOPE(stage.ctx(), "incompat_matrix");
+    parallel_for(m, m >= 128 ? ctx.num_threads : 1, [&](std::size_t i) {
+      for (std::size_t j = i + 1; j < m; ++j)
+        if (!ds[i].compatible(ds[j])) incompat[i].set(j);
     });
+    for (std::size_t i = 0; i < m; ++i)
+      incompat[i].for_each([&](std::size_t j) {
+        if (j > i) incompat[j].set(i);
+      });
+  }
 
   bool truncated = false;
   Truncation reason = Truncation::kNone;
@@ -339,6 +361,15 @@ PrimeGenResult generate_prime_dichotomies(const std::vector<Dichotomy>& ds,
                              opts.max_work, stage.ctx(), &reason,
                              &result.fold);
   if (ctx.budget) stage.add_work(ctx.budget->work_used() - work_before);
+  // Fold counters are deterministic: the fold is a sequential stage, so the
+  // values are thread-count invariant and safe for the fingerprint.
+  metric_add(ctx, "primes.folds", result.fold.folds);
+  metric_add(ctx, "primes.fold_work", result.fold.work);
+  metric_add(ctx, "primes.arena_allocs", result.fold.arena_allocs);
+  metric_add(ctx, "primes.arena_reuses", result.fold.arena_reuses);
+  metric_add(ctx, "primes.prune_sig_hits", result.fold.prune_sig_hits);
+  metric_add(ctx, "primes.sop_terms", result.fold.num_terms);
+  metric_max(ctx, "primes.peak_arena_bytes", result.fold.peak_arena_bytes);
   if (truncated) {
     result.truncated = true;
     result.truncation = reason;

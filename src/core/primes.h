@@ -42,6 +42,13 @@ struct SopFoldStats {
   std::size_t num_terms = 0;
   /// Variable splits folded back (one per peeled variable with edges).
   std::size_t folds = 0;
+  /// Fresh arena slot creations (bump appends) across the fold.
+  std::uint64_t arena_allocs = 0;
+  /// Arena allocations served from the free list (no heap growth).
+  std::uint64_t arena_reuses = 0;
+  /// Candidate containment pairs rejected by the one-word folded signature
+  /// before touching the full terms — the subset-prune hit count.
+  std::uint64_t prune_sig_hits = 0;
 };
 
 struct PrimeGenResult {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace encodesat {
@@ -40,7 +42,11 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
   SolveResult out;
   out.stats = StageStats("solve");
   const Budget::Clock::time_point start = Budget::Clock::now();
-  const ExecContext ctx{&budget, &out.stats, threads};
+  const ExecContext ctx{&budget, &out.stats, threads, opts.tracer,
+                        opts.metrics};
+  // Root span matching the "solve" stats root; stage scopes below add the
+  // child spans.
+  TRACE_SCOPE(ctx, "solve");
 
   const bool extended =
       opts.pipeline == SolveOptions::Pipeline::kExtensions ||
@@ -80,6 +86,9 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
       out.truncation == Truncation::kNone)
     out.truncation = budget.reason();
   out.truncated = out.truncation != Truncation::kNone;
+  metric_add(ctx, "solve.runs", 1);
+  metric_add(ctx, "solve.work_units", budget.work_used());
+  metric_add(ctx, "budget.truncations", out.truncated ? 1 : 0);
   out.stats.work = budget.work_used();
   out.stats.truncation = out.truncation;
   out.stats.elapsed_seconds =
@@ -128,10 +137,14 @@ std::vector<SolveResult> encode_batch(const std::vector<ConstraintSet>& sets,
 
 std::vector<BoundedEncodeResult> bounded_encode_lengths(
     const ConstraintSet& cs, const std::vector<int>& lengths,
-    const BoundedEncodeOptions& opts, int threads) {
+    const BoundedEncodeOptions& opts, int threads,
+    const ExecContext& ctx) {
   std::vector<BoundedEncodeResult> out(lengths.size());
+  TRACE_SCOPE(ctx, "bounded_lengths");
   parallel_for(lengths.size(), resolve_threads(threads), [&](std::size_t i) {
+    TRACE_SCOPE(ctx, "bounded_length");
     out[i] = bounded_encode(cs, lengths[i], opts);
+    metric_add(ctx, "bounded.lengths_tried", 1);
   });
   return out;
 }

@@ -56,6 +56,13 @@ struct SolveOptions {
   /// Borrowed; must outlive the call.
   CancelToken* cancel = nullptr;
 
+  /// Optional span sink (obs/trace.h Tracer): every pipeline stage emits a
+  /// begin/end span. Borrowed; must outlive the call.
+  TraceSink* tracer = nullptr;
+  /// Optional counter registry (obs/counters.h): stages report work
+  /// counters whose fingerprint is thread-count invariant. Borrowed.
+  MetricsRegistry* metrics = nullptr;
+
   PrimeGenOptions prime_options;
   UnateCoverOptions cover_options;
   /// Used only when the extension pipeline is taken.
@@ -130,9 +137,11 @@ std::vector<SolveResult> encode_batch(const std::vector<ConstraintSet>& sets,
 
 /// P-3 sweep: bounded_encode at every candidate code length, fanned out
 /// over `threads` workers; results in input order, identical to calling
-/// bounded_encode per length.
+/// bounded_encode per length. `ctx` carries the optional tracer/metrics
+/// (budget and stats are per-length, not taken from ctx).
 std::vector<BoundedEncodeResult> bounded_encode_lengths(
     const ConstraintSet& cs, const std::vector<int>& lengths,
-    const BoundedEncodeOptions& opts = {}, int threads = 1);
+    const BoundedEncodeOptions& opts = {}, int threads = 1,
+    const ExecContext& ctx = {});
 
 }  // namespace encodesat

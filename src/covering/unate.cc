@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/term_arena.h"
 #include "util/thread_pool.h"
 
@@ -333,6 +335,7 @@ namespace {
 UnateCoverSolution solve_reduced(const UnateCoverProblem& q,
                                  const UnateCoverOptions& options,
                                  const ExecContext& ctx) {
+  TRACE_SCOPE(ctx, "unate_component");
   UnateCoverSolution greedy = greedy_unate_cover(q);
   if (!greedy.feasible) return greedy;
 
@@ -351,6 +354,12 @@ UnateCoverSolution solve_reduced(const UnateCoverProblem& q,
     sol.columns = search.best_columns;
     sol.cost = search.best_cost;
     sol.nodes_explored = search.nodes;
+    sol.arena_allocs =
+        search.col_sets.total_allocs() + search.row_sets.total_allocs();
+    sol.arena_reuses =
+        search.col_sets.total_reuses() + search.row_sets.total_reuses();
+    sol.peak_arena_bytes =
+        search.col_sets.peak_bytes() + search.row_sets.peak_bytes();
   } else {
     // Greedy only, by configuration: no optimality proof was attempted.
     sol.truncation = Truncation::kNodeLimit;
@@ -376,7 +385,11 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
   for (const Bitset& r : p.rows)
     if (r.empty()) return UnateCoverSolution{};  // infeasible
 
-  const ReducedProblem reduced = reduce_columns(p);
+  ReducedProblem reduced;
+  {
+    TRACE_SCOPE(stage.ctx(), "reduce_columns");
+    reduced = reduce_columns(p);
+  }
   const UnateCoverProblem& q = reduced.problem;
 
   // Independent-subproblem fan-out: rows that share no columns (after
@@ -406,8 +419,9 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
 
   UnateCoverSolution sol;
   if (num_components <= 1) {
-    sol = solve_reduced(q, options,
-                        ExecContext{ctx.budget, nullptr, 1});
+    sol = solve_reduced(
+        q, options,
+        ExecContext{ctx.budget, nullptr, 1, ctx.tracer, ctx.metrics});
   } else {
     // Build one subproblem per component (columns and rows renumbered).
     std::vector<UnateCoverProblem> subs(num_components);
@@ -437,7 +451,8 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
     // so the merged outcome is bit-identical for every thread count (only
     // wall-clock deadlines can break the tie, by design).
     std::vector<UnateCoverSolution> results(num_components);
-    const ExecContext sub_ctx{ctx.budget, nullptr, 1};
+    const ExecContext sub_ctx{ctx.budget, nullptr, 1, ctx.tracer,
+                              ctx.metrics};
     parallel_for(num_components, ctx.num_threads, [&](std::size_t k) {
       results[k] = solve_reduced(subs[k], options, sub_ctx);
     });
@@ -449,6 +464,10 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
       if (!r.feasible) return UnateCoverSolution{};
       sol.cost += r.cost;
       sol.nodes_explored += r.nodes_explored;
+      sol.arena_allocs += r.arena_allocs;
+      sol.arena_reuses += r.arena_reuses;
+      sol.peak_arena_bytes = std::max(sol.peak_arena_bytes,
+                                      r.peak_arena_bytes);
       sol.optimal = sol.optimal && r.optimal;
       if (sol.truncation == Truncation::kNone) sol.truncation = r.truncation;
       for (std::size_t c : r.columns) sol.columns.push_back(col_maps[k][c]);
@@ -462,6 +481,13 @@ UnateCoverSolution solve_unate_cover(const UnateCoverProblem& p,
   sol.truncated = sol.truncation != Truncation::kNone;
   stage.add_items(sol.nodes_explored);
   stage.set_truncation(sol.truncation);
+  // Per-component node/arena totals are deterministic (private budgets,
+  // summed in component order), so they are fingerprint-safe.
+  metric_add(ctx, "cover.nodes", sol.nodes_explored);
+  metric_add(ctx, "cover.components", sol.components);
+  metric_add(ctx, "cover.arena_allocs", sol.arena_allocs);
+  metric_add(ctx, "cover.arena_reuses", sol.arena_reuses);
+  metric_max(ctx, "cover.peak_arena_bytes", sol.peak_arena_bytes);
   return sol;
 }
 

@@ -43,6 +43,13 @@ struct UnateCoverSolution {
   std::size_t columns_after_reduction = 0;
   /// Independent connected components the root decomposed the search into.
   std::size_t components = 1;
+  /// Search-arena traffic, summed over components (col_sets + row_sets):
+  /// fresh slot creations and free-list reuses. Deterministic across thread
+  /// counts — each component runs single-threaded with a private budget.
+  std::uint64_t arena_allocs = 0;
+  std::uint64_t arena_reuses = 0;
+  /// Largest single-component arena footprint in bytes.
+  std::size_t peak_arena_bytes = 0;
   /// Uniform truncation shape (see docs/API.md): `truncated` always mirrors
   /// `truncation != Truncation::kNone`.
   bool truncated = false;

@@ -8,6 +8,8 @@
 #include "core/local_check.h"
 #include "core/solver.h"
 #include "core/verify.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace encodesat {
@@ -86,6 +88,7 @@ const char* fuzz_rule_name(FuzzRule rule) {
     case FuzzRule::kMinimality: return "minimality";
     case FuzzRule::kBoundedCodes: return "bounded_codes";
     case FuzzRule::kCost: return "cost";
+    case FuzzRule::kCounters: return "counters";
   }
   return "unknown";
 }
@@ -97,7 +100,7 @@ bool fuzz_rule_from_name(const std::string& name, FuzzRule* rule) {
       FuzzRule::kThreads,      FuzzRule::kStats,
       FuzzRule::kBaselineFeasible, FuzzRule::kBaselineCodes,
       FuzzRule::kMinimality,   FuzzRule::kBoundedCodes,
-      FuzzRule::kCost,
+      FuzzRule::kCost,         FuzzRule::kCounters,
   };
   for (FuzzRule r : kAll)
     if (name == fuzz_rule_name(r)) {
@@ -130,9 +133,15 @@ FuzzCaseResult run_differential_case(const ConstraintSet& cs,
       diverge(FuzzRule::kWitness, why);
   }
 
-  // Exact / extension encode, sequential and threaded.
-  const SolveResult a = solver.encode(solve_options(opts, 1));
-  const SolveResult b = solver.encode(solve_options(opts, opts.alt_threads));
+  // Exact / extension encode, sequential and threaded, each with a private
+  // counter registry so the structural fingerprints can be compared.
+  MetricsRegistry ma, mb;
+  SolveOptions sa = solve_options(opts, 1);
+  sa.metrics = &ma;
+  SolveOptions sb = solve_options(opts, opts.alt_threads);
+  sb.metrics = &mb;
+  const SolveResult a = solver.encode(sa);
+  const SolveResult b = solver.encode(sb);
   out.truncated = a.truncated || b.truncated;
   out.encoded = a.status == SolveResult::Status::kEncoded;
 
@@ -148,7 +157,19 @@ FuzzCaseResult run_differential_case(const ConstraintSet& cs,
     if (stats_fingerprint(a.stats) != stats_fingerprint(b.stats))
       diverge(FuzzRule::kStats,
               "stage-stats fingerprints differ between thread counts");
+    // Twelfth rule: the counter registries must be structurally identical
+    // (same names, same values). Gated on neither run truncating — a
+    // deadline or cancellation trips at scheduling-dependent points, and
+    // counters accumulated up to the trip legitimately differ.
+    if (ma.fingerprint() != mb.fingerprint())
+      diverge(FuzzRule::kCounters,
+              "counter fingerprints differ between thread counts: threads=1 "
+              "-> " +
+                  std::to_string(ma.fingerprint_hash()) + ", threads=" +
+                  std::to_string(opts.alt_threads) + " -> " +
+                  std::to_string(mb.fingerprint_hash()));
   }
+  if (opts.metrics) opts.metrics->merge_from(ma);
 
   const bool has_extensions = !cs.distance2s().empty() || !cs.nonfaces().empty();
   if (!a.truncated) {
@@ -272,6 +293,7 @@ FuzzReport run_fuzz(std::uint64_t seed, std::uint64_t cases,
   // report is bit-identical for every driver thread count.
   std::vector<FuzzCaseResult> results(cases);
   parallel_for(cases, resolve_threads(opts.threads), [&](std::size_t i) {
+    TraceScope span(opts.tracer, "fuzz_case");
     const ConstraintSet cs =
         generate_case(fuzz_case_seed(seed, i), opts.generator);
     results[i] = run_differential_case(cs, opts.differential);

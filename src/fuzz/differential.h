@@ -28,6 +28,10 @@
 //   bounded_codes     the bounded-length heuristic produced duplicate codes
 //   cost              bounded_encode's violated-faces cost disagrees with
 //                     the oracle's face-violation count
+//   counters          the MetricsRegistry structural fingerprint (sorted
+//                     counter names + values; obs/counters.h) differs
+//                     between the threads=1 and threads=N runs — the
+//                     observability subsystem's own determinism check
 //
 // Every rule is deterministic: solver budgets are work-based (never
 // wall-clock), baseline seeds are fixed by DifferentialOptions, and the
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "fuzz/generator.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -56,6 +61,7 @@ enum class FuzzRule {
   kMinimality,
   kBoundedCodes,
   kCost,
+  kCounters,
 };
 
 /// Stable lower-case rule name as listed above.
@@ -97,6 +103,12 @@ struct DifferentialOptions {
   bool run_baselines = true;
   bool run_bounded = true;
   bool check_minimality = true;
+
+  /// Optional aggregate counter registry (obs/counters.h): each case's
+  /// threads=1 run merges its counters in, so a fuzz run reports pipeline
+  /// totals in its telemetry. Shared across driver threads (atomic adds);
+  /// borrowed, must outlive the run.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs every agreement rule over one constraint set.
@@ -130,6 +142,10 @@ struct FuzzRunOptions {
   /// Driver fan-out width over cases (0 = all hardware threads). The
   /// report is identical for every value.
   int threads = 1;
+  /// Optional span sink: each case is wrapped in a "fuzz_case" span (the
+  /// solver spans inside a case are not traced — per-case registries stay
+  /// private to the divergence check). Borrowed, must outlive the run.
+  TraceSink* tracer = nullptr;
 };
 
 /// Generates and checks `cases` cases derived from `seed`. Deterministic:

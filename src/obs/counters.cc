@@ -1,0 +1,49 @@
+#include "obs/counters.h"
+
+#include <sstream>
+
+namespace encodesat {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::counter(const std::string& name,
+                                                  bool in_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &metrics_.try_emplace(name, in_fingerprint).first->second;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_)
+    out.push_back({name, metric.value(), metric.in_fingerprint()});
+  return out;
+}
+
+std::string MetricsRegistry::fingerprint() const {
+  std::ostringstream out;
+  for (const Sample& s : snapshot()) {
+    if (!s.in_fingerprint) continue;
+    out << s.name << '=' << s.value << ';';
+  }
+  return out.str();
+}
+
+std::uint64_t MetricsRegistry::fingerprint_hash() const {
+  return fnv1a64(fingerprint());
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const Sample& s : other.snapshot())
+    counter(s.name, s.in_fingerprint)->add(s.value);
+}
+
+}  // namespace encodesat

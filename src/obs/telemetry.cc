@@ -1,0 +1,58 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace encodesat {
+
+std::string fingerprint_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string telemetry_to_json(const TelemetryOptions& opts) {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kTelemetrySchema << "\",\"tool\":\""
+      << (opts.tool ? opts.tool : "unknown") << "\",\"stats\":";
+  if (opts.stats)
+    out << opts.stats->to_json();
+  else
+    out << "null";
+
+  out << ",\"counters\":{";
+  std::uint64_t fp_hash;
+  if (opts.metrics) {
+    bool first = true;
+    for (const MetricsRegistry::Sample& s : opts.metrics->snapshot()) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << s.name << "\":" << s.value;
+    }
+    fp_hash = opts.metrics->fingerprint_hash();
+  } else {
+    fp_hash = fnv1a64(std::string());
+  }
+  out << "},\"counter_fingerprint\":\"" << fingerprint_hex(fp_hash) << '"';
+
+  const PoolCounters pool = pool_counters();
+  out << ",\"process\":{\"parallel_calls\":" << pool.parallel_calls
+      << ",\"tasks\":" << pool.tasks
+      << ",\"workers_spawned\":" << pool.workers_spawned << '}';
+
+  out << ",\"trace\":";
+  if (opts.tracer)
+    out << "{\"events\":" << opts.tracer->event_count()
+        << ",\"dropped\":" << opts.tracer->dropped_events() << '}';
+  else
+    out << "null";
+  out << '}';
+  return out.str();
+}
+
+}  // namespace encodesat

@@ -1,0 +1,51 @@
+// Versioned telemetry report ("encodesat-telemetry-v1").
+//
+// One JSON object unifying the three observability surfaces:
+//
+//   {"schema":"encodesat-telemetry-v1",
+//    "tool":"solve",                       // emitting binary/subcommand
+//    "stats":{...} | null,                 // StageStats tree (--stats-json)
+//    "counters":{"name":value,...},        // MetricsRegistry, name-sorted
+//    "counter_fingerprint":"<16 hex>",     // FNV-1a of the fingerprint
+//    "process":{"parallel_calls":n,        // pool_counters(): scheduling-
+//               "tasks":n,                 // dependent, never fingerprinted
+//               "workers_spawned":n},
+//    "trace":{"events":n,"dropped":n} | null}
+//
+// Emitted by the solve/encode/fuzz CLI subcommands (--stats-out) and, per
+// case, by the primes benchmark (bench schema v2). Everything except the
+// "process" section and StageStats elapsed times is deterministic across
+// thread counts. See docs/OBSERVABILITY.md for the field catalog.
+#pragma once
+
+#include <string>
+
+#include "util/exec.h"
+
+namespace encodesat {
+
+class MetricsRegistry;
+class Tracer;
+
+inline constexpr const char* kTelemetrySchema = "encodesat-telemetry-v1";
+
+struct TelemetryOptions {
+  /// Name of the emitting tool/subcommand (e.g. "solve", "fuzz").
+  const char* tool = "unknown";
+  /// Stage tree to embed under "stats"; null emits `"stats":null`.
+  const StageStats* stats = nullptr;
+  /// Counter registry for "counters"/"counter_fingerprint"; null emits an
+  /// empty counters object with the fingerprint of the empty registry.
+  const MetricsRegistry* metrics = nullptr;
+  /// Tracer whose event totals go under "trace"; null emits `"trace":null`.
+  const Tracer* tracer = nullptr;
+};
+
+/// Serializes one telemetry report (single line, no trailing newline).
+std::string telemetry_to_json(const TelemetryOptions& opts);
+
+/// `fingerprint_hash()` rendered as the canonical 16-digit lowercase hex
+/// string used in telemetry and fuzz divergence messages.
+std::string fingerprint_hex(std::uint64_t hash);
+
+}  // namespace encodesat

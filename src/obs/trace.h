@@ -1,0 +1,121 @@
+// Span tracer: Chrome trace-event output for pipeline stages.
+//
+// A Tracer installed on ExecContext receives the begin/end span events that
+// every StageScope already emits (util/exec.h), so the existing stage tree
+// — solve, initial_dichotomies, raise, prime_generation, unate_cover, ... —
+// shows up in chrome://tracing / Perfetto with zero call-site changes. Hot
+// loops add finer spans explicitly with TRACE_SCOPE(ctx, "name").
+//
+// Threading model: each OS thread that emits events gets its own bounded
+// event log. The log is registered once under a mutex (first event from
+// that thread) and thereafter written only by its owner thread — no
+// locking, no atomics on the hot path. A thread-local cache maps the
+// tracer's unique id to the thread's log; ids come from a process-global
+// counter so a cache entry can never alias a destroyed tracer whose
+// address was reused.
+//
+// Overflow policy keeps spans balanced: when a thread's log is full a
+// begin event is dropped and the open-drop depth is bumped; the matching
+// end event (strict LIFO nesting, guaranteed by RAII emission) is dropped
+// too. End events for *recorded* begins are always appended, even past
+// capacity — the overshoot is bounded by the nesting depth at the moment
+// the log filled, so `spans_balanced()` holds for every trace regardless
+// of truncation. Dropped-event totals are reported in the trace footer.
+//
+// Timestamps are microseconds from tracer construction (steady clock).
+// They are wall-clock noise by nature; structural checks (span name
+// multisets, balance) are the deterministic surface tests rely on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/exec.h"
+
+namespace encodesat {
+
+class Tracer : public TraceSink {
+ public:
+  /// `capacity_per_thread` bounds recorded events per emitting thread
+  /// (begin events beyond it are dropped, balanced as described above).
+  explicit Tracer(std::size_t capacity_per_thread = kDefaultCapacity);
+  ~Tracer() override;
+
+  void begin_span(const char* name) override;
+  void end_span(const char* name) override;
+
+  /// Serializes the Chrome trace-event JSON object (schema
+  /// "encodesat-trace-v1"). Call after emitting threads have quiesced
+  /// (e.g. after run_solve returned); concurrent emission is a race.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Total recorded events across all threads.
+  std::size_t event_count() const;
+  /// Events dropped to the capacity bound (begin/end both counted).
+  std::uint64_t dropped_events() const;
+  /// Recorded begin-event count per span name — the structural multiset
+  /// that is identical across `threads` values for budget-free runs.
+  std::map<std::string, std::size_t> span_counts() const;
+  /// True iff every thread's event sequence is a balanced, properly
+  /// nested begin/end string with matching names.
+  bool spans_balanced() const;
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+ private:
+  struct Event {
+    const char* name;
+    std::int64_t ts_us;
+    char phase;  // 'B' or 'E'
+  };
+  struct ThreadLog {
+    std::vector<Event> events;
+    std::size_t open_dropped = 0;  // open spans whose begin was dropped
+    std::uint64_t dropped = 0;
+    int tid = 0;
+  };
+
+  ThreadLog* log_for_this_thread();
+  std::int64_t now_us() const;
+
+  const std::uint64_t id_;  // process-unique, never reused
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;             // guards logs_ registration
+  std::deque<ThreadLog> logs_;        // deque: stable pointers for owners
+};
+
+/// RAII span over a nullable sink: no-op when `sink` is null, so call
+/// sites need no branching. Prefer the TRACE_SCOPE macro.
+class TraceScope {
+ public:
+  TraceScope(TraceSink* sink, const char* name) : sink_(sink), name_(name) {
+    if (sink_) sink_->begin_span(name_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (sink_) sink_->end_span(name_);
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+};
+
+/// Emits a span covering the rest of the enclosing block. `name` must be a
+/// string literal (outlives the tracer); compiles to two null checks when
+/// no tracer is installed.
+#define ENCODESAT_TRACE_CAT2(a, b) a##b
+#define ENCODESAT_TRACE_CAT(a, b) ENCODESAT_TRACE_CAT2(a, b)
+#define TRACE_SCOPE(ctx, name)                                      \
+  ::encodesat::TraceScope ENCODESAT_TRACE_CAT(trace_scope_,         \
+                                              __LINE__)((ctx).tracer, name)
+
+}  // namespace encodesat

@@ -73,13 +73,17 @@ std::string StageStats::to_json() const {
 StageScope::StageScope(const ExecContext& parent, const char* stage_name)
     : ctx_{parent.budget,
            parent.stats ? parent.stats->add_child(stage_name) : nullptr,
-           parent.num_threads},
-      start_(Budget::Clock::now()) {}
+           parent.num_threads, parent.tracer, parent.metrics},
+      name_(stage_name),
+      start_(Budget::Clock::now()) {
+  if (ctx_.tracer) ctx_.tracer->begin_span(name_);
+}
 
 StageScope::~StageScope() {
   if (ctx_.stats)
     ctx_.stats->elapsed_seconds =
         std::chrono::duration<double>(Budget::Clock::now() - start_).count();
+  if (ctx_.tracer) ctx_.tracer->end_span(name_);
 }
 
 }  // namespace encodesat

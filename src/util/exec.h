@@ -26,10 +26,29 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
 namespace encodesat {
+
+/// Destination for begin/end span events. StageScope (and the TRACE_SCOPE
+/// macro of src/obs/trace.h) emit into the sink installed on ExecContext;
+/// with no sink installed the emission is a single null check. The concrete
+/// implementation is obs::Tracer (per-thread buffers flushed as Chrome
+/// trace-event JSON); this interface lives here so the util layer never
+/// depends on src/obs.
+///
+/// Contract: begin/end pairs are strictly nested per thread (RAII), and
+/// `name` must outlive the sink — pass string literals.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void begin_span(const char* name) = 0;
+  virtual void end_span(const char* name) = 0;
+};
+
+class MetricsRegistry;  // src/obs/counters.h
 
 /// Why a stage stopped before running to completion.
 enum class Truncation : std::uint8_t {
@@ -155,13 +174,17 @@ struct StageStats {
   /// Stage-specific item count (SOP terms, search nodes, covering rows...).
   std::uint64_t items = 0;
   Truncation truncation = Truncation::kNone;
-  std::vector<StageStats> children;
+  /// Deque, not vector: add_child must hand out pointers that stay valid
+  /// while later siblings are appended (StageScope holds its node across
+  /// nested stages).
+  std::deque<StageStats> children;
 
   StageStats() = default;
   explicit StageStats(std::string stage_name) : name(std::move(stage_name)) {}
 
-  /// Appends a child stage and returns it. The pointer is invalidated by
-  /// further add_child calls — pre-create all slots before parallel fills.
+  /// Appends a child stage and returns it. The pointer remains valid for
+  /// the parent's lifetime (children are deque-backed; growth never moves
+  /// existing nodes).
   StageStats* add_child(const std::string& child_name);
 
   /// Depth-first search by stage name; nullptr when absent.
@@ -180,6 +203,11 @@ struct ExecContext {
   StageStats* stats = nullptr;
   /// Worker threads for the parallel fan-out paths; <= 1 means sequential.
   int num_threads = 1;
+  /// Span sink for the tracing subsystem (src/obs/trace.h); null disables
+  /// span emission at the cost of one branch per stage.
+  TraceSink* tracer = nullptr;
+  /// Counters registry (src/obs/counters.h); null disables counters.
+  MetricsRegistry* metrics = nullptr;
 
   bool exhausted() const { return budget && budget->exhausted(); }
   /// True while within budget; polls deadline/cancellation when present.
@@ -218,6 +246,7 @@ class StageScope {
 
  private:
   ExecContext ctx_;
+  const char* name_;
   Budget::Clock::time_point start_;
 };
 

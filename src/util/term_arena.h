@@ -57,11 +57,13 @@ class TermArena {
       free_.pop_back();
       std::memset(&buf_[idx(t)], 0, words_ * sizeof(std::uint64_t));
       ++live_;
+      ++reuses_;
       return t;
     }
     const TermRef t = static_cast<TermRef>(buf_.size() / words_);
     buf_.resize(buf_.size() + words_, 0);
     ++live_;
+    ++allocs_;
     return t;
   }
 
@@ -73,6 +75,7 @@ class TermArena {
       std::memcpy(&buf_[idx(t)], &buf_[idx(src)],
                   words_ * sizeof(std::uint64_t));
       ++live_;
+      ++reuses_;
       return t;
     }
     // Append-then-copy: resize may reallocate, so re-read src afterwards.
@@ -80,6 +83,7 @@ class TermArena {
     buf_.resize(buf_.size() + words_, 0);
     std::memcpy(&buf_[idx(t)], &buf_[idx(src)], words_ * sizeof(std::uint64_t));
     ++live_;
+    ++allocs_;
     return t;
   }
 
@@ -224,6 +228,11 @@ class TermArena {
   std::size_t capacity_terms() const { return buf_.size() / words_; }
   /// Peak buffer footprint in bytes (the buffer only grows).
   std::size_t peak_bytes() const { return buf_.size() * sizeof(std::uint64_t); }
+  /// Fresh slot creations (bump appends that grew the buffer).
+  std::uint64_t total_allocs() const { return allocs_; }
+  /// Allocations satisfied from the free list without touching the heap —
+  /// the number the arena design exists to maximize.
+  std::uint64_t total_reuses() const { return reuses_; }
 
  private:
   std::size_t idx(TermRef t) const { return std::size_t{t} * words_; }
@@ -231,6 +240,8 @@ class TermArena {
   std::size_t universe_;
   std::size_t words_;
   std::size_t live_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
   std::vector<std::uint64_t> buf_;
   std::vector<TermRef> free_;
 };

@@ -8,6 +8,22 @@
 
 namespace encodesat {
 
+namespace {
+
+std::atomic<std::uint64_t> g_parallel_calls{0};
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_workers_spawned{0};
+
+}  // namespace
+
+PoolCounters pool_counters() {
+  PoolCounters c;
+  c.parallel_calls = g_parallel_calls.load(std::memory_order_relaxed);
+  c.tasks = g_tasks.load(std::memory_order_relaxed);
+  c.workers_spawned = g_workers_spawned.load(std::memory_order_relaxed);
+  return c;
+}
+
 int hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
@@ -20,6 +36,8 @@ int resolve_threads(int requested) {
 void parallel_for(std::size_t n, int num_threads,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  g_parallel_calls.fetch_add(1, std::memory_order_relaxed);
+  g_tasks.fetch_add(n, std::memory_order_relaxed);
   if (num_threads <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -27,6 +45,7 @@ void parallel_for(std::size_t n, int num_threads,
 
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(num_threads), n);
+  g_workers_spawned.fetch_add(workers - 1, std::memory_order_relaxed);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace encodesat {
@@ -27,5 +28,18 @@ int resolve_threads(int requested);
 /// after all workers have stopped (remaining indices are abandoned).
 void parallel_for(std::size_t n, int num_threads,
                   const std::function<void(std::size_t)>& fn);
+
+/// Process-global fan-out counters, maintained by parallel_for with relaxed
+/// atomic adds. They are *scheduling-dependent* (workers_spawned varies with
+/// the thread count and instance sizes), so telemetry reports them under a
+/// separate "process" section and they never enter a counter fingerprint.
+struct PoolCounters {
+  std::uint64_t parallel_calls = 0;   ///< parallel_for invocations
+  std::uint64_t tasks = 0;            ///< total indices dispatched
+  std::uint64_t workers_spawned = 0;  ///< extra std::threads created
+};
+
+/// Snapshot of the counters since process start (monotonic).
+PoolCounters pool_counters();
 
 }  // namespace encodesat

@@ -101,6 +101,25 @@ TEST(StageStats, TreeAndFind) {
   EXPECT_EQ(root.find("missing"), nullptr);
 }
 
+TEST(StageStats, ChildPointersStableAcrossGrowth) {
+  // add_child returns borrowed pointers that stage code holds across later
+  // sibling insertions (deque-backed children). A vector would invalidate
+  // them on reallocation — this pins the container choice.
+  StageStats root("solve");
+  std::vector<StageStats*> children;
+  for (int i = 0; i < 1000; ++i) {
+    StageStats* c = root.add_child("stage_" + std::to_string(i));
+    c->items = static_cast<std::uint64_t>(i);
+    children.push_back(c);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(children[static_cast<std::size_t>(i)]->name,
+              "stage_" + std::to_string(i));
+    EXPECT_EQ(children[static_cast<std::size_t>(i)]->items,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
 TEST(StageStats, JsonShape) {
   StageStats root("solve");
   root.work = 42;

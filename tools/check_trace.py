@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file written by the obs tracer.
+
+Usage:
+    check_trace.py TRACE.json [--min-events N]
+
+Checks:
+
+  * the file parses as JSON and carries the expected structure: a
+    "traceEvents" array plus otherData.schema == "encodesat-trace-v1";
+  * every event has the duration-event fields the tracer emits
+    (name, ph in {B, E}, integer ts, pid, tid);
+  * per (pid, tid) the B/E events form a balanced, properly nested
+    sequence with matching names — the tracer's drop policy guarantees
+    this even when per-thread logs overflow;
+  * otherData.events equals the actual event count (dropped_events is
+    reported, not checked — it depends on capacity);
+  * at least --min-events events are present (default 2: a solve run
+    always emits at least the outer "solve" span).
+
+Exit status 0 = valid, 1 = validation failure, 2 = usage / I/O error.
+Used by the `check_trace` ctest (ctest -L ci) over a smoke trace from
+`encodesat_cli solve --trace-out`.
+"""
+
+import json
+import sys
+
+SCHEMA = "encodesat-trace-v1"
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    return 1
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    min_events = 2
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--min-events":
+            try:
+                min_events = int(next(it))
+            except (StopIteration, ValueError):
+                print("check_trace: --min-events needs an integer",
+                      file=sys.stderr)
+                return 2
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(args[0]) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_trace: cannot read {args[0]}: {e}", file=sys.stderr)
+        return 2
+
+    if not isinstance(data, dict):
+        return fail("top level is not a JSON object")
+    other = data.get("otherData")
+    if not isinstance(other, dict):
+        return fail("missing otherData object")
+    if other.get("schema") != SCHEMA:
+        return fail(f"otherData.schema {other.get('schema')!r} != {SCHEMA!r}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("traceEvents is not an array")
+
+    stacks = {}  # (pid, tid) -> [names]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i} is not an object")
+        name, ph, ts = ev.get("name"), ev.get("ph"), ev.get("ts")
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(name, str) or not name:
+            return fail(f"event {i}: missing name")
+        if ph not in ("B", "E"):
+            return fail(f"event {i}: ph {ph!r} not in {{B, E}}")
+        if not isinstance(ts, int):
+            return fail(f"event {i}: ts {ts!r} is not an integer")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            return fail(f"event {i}: pid/tid missing or non-integer")
+        stack = stacks.setdefault((pid, tid), [])
+        if ph == "B":
+            stack.append(name)
+        else:
+            if not stack:
+                return fail(f"event {i}: E {name!r} with empty stack "
+                            f"(tid {tid})")
+            top = stack.pop()
+            if top != name:
+                return fail(f"event {i}: E {name!r} does not match open "
+                            f"B {top!r} (tid {tid})")
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            return fail(f"tid {tid}: {len(stack)} unclosed span(s), "
+                        f"innermost {stack[-1]!r}")
+
+    declared = other.get("events")
+    if declared != len(events):
+        return fail(f"otherData.events {declared!r} != actual {len(events)}")
+    if len(events) < min_events:
+        return fail(f"only {len(events)} event(s), expected >= {min_events}")
+
+    names = sorted({ev["name"] for ev in events})
+    print(f"check_trace: OK: {len(events)} events, "
+          f"{len(stacks)} thread(s), {len(names)} span name(s): "
+          f"{', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
