@@ -64,7 +64,7 @@ void BM_SolverExact(benchmark::State& state) {
   const ConstraintSet cs = dense_faces(10);
   const Solver solver(cs);
   SolveOptions opts;
-  opts.threads = threads;
+  opts.exec.threads = threads;
   for (auto _ : state) {
     const SolveResult res = solver.encode(opts);
     benchmark::DoNotOptimize(res.encoding.bits);
@@ -77,7 +77,7 @@ void BM_EncodeBatch(benchmark::State& state) {
   std::vector<ConstraintSet> sets;
   for (int i = 0; i < 8; ++i) sets.push_back(dense_faces(8 + (i & 1)));
   SolveOptions opts;
-  opts.threads = threads;
+  opts.exec.threads = threads;
   for (auto _ : state) {
     const auto results = encode_batch(sets, opts);
     benchmark::DoNotOptimize(results.size());

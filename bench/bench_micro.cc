@@ -106,7 +106,7 @@ void BM_ExactEncode(benchmark::State& state) {
   for (auto _ : state) {
     SolveOptions opts;
     opts.pipeline = SolveOptions::Pipeline::kExact;
-    opts.cover_options.max_nodes = 50000;
+    opts.exact.cover_options.max_nodes = 50000;
     benchmark::DoNotOptimize(solver.encode(opts));
   }
 }

@@ -18,8 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "cache/canonical.h"
+#include "cache/solve_cache.h"
 #include "core/encoder.h"
 #include "core/primes.h"
+#include "core/solver.h"
 #include "fsm/constraints_gen.h"
 #include "fsm/mcnc_like.h"
 #include "util/rng.h"
@@ -41,6 +44,10 @@ struct CaseResult {
   std::uint64_t arena_allocs = 0;
   std::uint64_t arena_reuses = 0;
   std::uint64_t prune_sig_hits = 0;
+  // Solve-cache counters (the solve_cache_* cases; zero elsewhere). The
+  // hit pattern is deterministic, so compare_bench.py pins it too.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   void take_fold_counters(const SopFoldStats& fold) {
     work_units = fold.work;
@@ -145,6 +152,64 @@ CaseResult run_machine_case(const char* machine, int reps) {
   return out;
 }
 
+// --- solve-cache repeat workload -------------------------------------------
+
+// Overlapping face chains (the hard_instance shape from the solver tests):
+// exact-solvable without budgets, with enough prime/cover work that a full
+// pipeline run dwarfs a canonicalize+lookup round trip.
+ConstraintSet chain_faces(int n) {
+  ConstraintSet cs;
+  for (int i = 0; i < n; ++i) cs.symbols().intern("s" + std::to_string(i));
+  auto face = [&](std::initializer_list<int> m) {
+    std::vector<std::uint32_t> ids;
+    for (int id : m) ids.push_back(static_cast<std::uint32_t>(id));
+    cs.add_face_ids(std::move(ids));
+  };
+  for (int i = 0; i + 2 < n; ++i) face({i, i + 1, i + 2});
+  for (int i = 0; i + 7 < n; i += 2) face({i, i + 7});
+  for (int i = 0; i + 11 < n; i += 3) face({i, i + 11});
+  return cs;
+}
+
+// Solves the same canonical instance under 8 symbol renamings through the
+// Solver facade — cold (cache off: 8 full pipeline runs) or cached (one
+// run plus 7 canonicalize+lookup round trips). The pair quantifies the
+// repeat-workload speedup; the deterministic 7-hits-of-8 pattern lands in
+// the counters object.
+CaseResult run_cache_case(const std::string& name, const ConstraintSet& cs,
+                          bool cached, int reps) {
+  const std::uint32_t n = cs.num_symbols();
+  std::vector<ConstraintSet> renderings;
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i) perm[i] = (i + 3 * k) % n;
+    renderings.push_back(apply_symbol_permutation(cs, perm));
+  }
+  CaseResult out;
+  out.name = name;
+  out.wall_seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    SolveCache cache;
+    SolveOptions opts;
+    if (cached) opts.cache.store = &cache;
+    std::size_t terms = 0;
+    bool truncated = false;
+    Timer t;
+    for (const ConstraintSet& rcs : renderings) {
+      const SolveResult res = Solver(rcs).encode(opts);
+      terms += res.num_primes;
+      truncated = truncated || res.truncated;
+    }
+    const double secs = t.elapsed_seconds();
+    if (secs < out.wall_seconds) out.wall_seconds = secs;
+    out.num_terms = terms;
+    out.truncated = truncated;
+    out.cache_hits = cache.stats().hits;
+    out.cache_misses = cache.stats().misses;
+  }
+  return out;
+}
+
 void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
   std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-primes-v2\",\n");
   std::fprintf(f, "  \"cases\": [\n");
@@ -155,7 +220,8 @@ void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
                  "\"work_units\": %llu, \"peak_arena_bytes\": %zu, "
                  "\"num_terms\": %zu, \"folds\": %zu, \"truncated\": %s, "
                  "\"counters\": {\"arena_allocs\": %llu, "
-                 "\"arena_reuses\": %llu, \"prune_sig_hits\": %llu}}%s\n",
+                 "\"arena_reuses\": %llu, \"prune_sig_hits\": %llu, "
+                 "\"cache_hits\": %llu, \"cache_misses\": %llu}}%s\n",
                  c.name.c_str(), c.wall_seconds,
                  static_cast<unsigned long long>(c.work_units),
                  c.peak_arena_bytes, c.num_terms, c.folds,
@@ -163,6 +229,8 @@ void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
                  static_cast<unsigned long long>(c.arena_allocs),
                  static_cast<unsigned long long>(c.arena_reuses),
                  static_cast<unsigned long long>(c.prune_sig_hits),
+                 static_cast<unsigned long long>(c.cache_hits),
+                 static_cast<unsigned long long>(c.cache_misses),
                  i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -213,6 +281,20 @@ int main(int argc, char** argv) {
   cases.push_back(run_sop_case("sop_stride_n96", stride_graph(96), 20000,
                                reps));
   cases.push_back(run_machine_case("keyb", reps));
+  {
+    // Repeat workload: the same canonical instance under 8 symbol
+    // permutations, cold vs. cached (part of the quick set so bench_check
+    // guards the 7-hits-of-8 pattern).
+    const ConstraintSet cs = chain_faces(10);
+    cases.push_back(run_cache_case("solve_cold8_chain10", cs, false, reps));
+    cases.push_back(run_cache_case("solve_cache8_chain10", cs, true, reps));
+    const CaseResult& cold = cases[cases.size() - 2];
+    const CaseResult& hot = cases[cases.size() - 1];
+    if (hot.wall_seconds > 0)
+      std::fprintf(stderr, "cache speedup: %.1fx (%llu/8 hits)\n",
+                   cold.wall_seconds / hot.wall_seconds,
+                   static_cast<unsigned long long>(hot.cache_hits));
+  }
   if (!quick) {
     // The two Table-1 blow-up machines: the fold runs until the 50000-term
     // cutoff, exactly the regime the arena is built for.

@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
     Timer t;
     SolveOptions opts;
     opts.pipeline = SolveOptions::Pipeline::kExact;
-    opts.prime_options.max_terms = 50000;
-    opts.cover_options.max_nodes = quick ? 20000 : 300000;
+    opts.exact.prime_options.max_terms = 50000;
+    opts.exact.cover_options.max_nodes = quick ? 20000 : 300000;
     const SolveResult res = Solver(cs).encode(opts);
     const double secs = t.elapsed_seconds();
 

@@ -8,11 +8,13 @@ Checks, per case name present in BOTH files:
 
   * determinism guard — `work_units`, `folds`, `num_terms`, `truncated`
     and the v2 `counters` object (arena allocs/reuses, signature-prune
-    hits) must match the baseline exactly.  These are pure functions of
-    the algorithm (no wall-clock dependence), so any drift means the fold
-    changed behaviour — did more work, stopped reusing the free list,
-    lost prune effectiveness — not just speed.  This is a hard failure
-    regardless of timing.
+    hits, and — for the solve_cache_* repeat-workload cases — the solve
+    cache's `cache_hits`/`cache_misses`) must match the baseline exactly.
+    These are pure functions of the algorithm (no wall-clock dependence),
+    so any drift means the fold changed behaviour — did more work,
+    stopped reusing the free list, lost prune effectiveness, stopped
+    recognising renamed duplicates — not just speed.  This is a hard
+    failure regardless of timing.
   * wall-time regression — `wall_seconds` may not exceed the baseline by
     more than --max-regress percent (default 20).  Cases whose baseline
     time is below MIN_SECONDS (0.05 s) are exempt: at microsecond scale

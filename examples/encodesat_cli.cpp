@@ -32,6 +32,16 @@
 //   --stats-json      deprecated alias for --stats-out - (telemetry now
 //                     goes to stderr, keeping stdout for the result)
 //
+// Solve-cache flags:
+//   --cache           encode/solve: consult the canonical-form solve cache
+//                     (src/cache/); fuzz: run the `cache` agreement rule
+//                     (on by default; --no-cache disables it)
+//   --cache-size B    cache byte budget (default 64 MiB; 0 = unlimited)
+//   --cache-load F    encode/solve: pre-load the cache from an
+//                     `encodesat-cache-v1` file (implies --cache)
+//   --cache-save F    encode/solve: save the cache to F afterwards
+//                     (implies --cache)
+//
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -69,6 +79,11 @@ struct CliOptions {
   bool exact = false;
   double timeout_seconds = 0;
   int threads = 1;
+  /// Solve cache (--cache / --cache-size / --cache-load / --cache-save).
+  bool cache = false;
+  std::uint64_t cache_size = 64u << 20;
+  std::string cache_load;
+  std::string cache_save;
   /// Deprecated bare flag; behaves as `--stats-out -`.
   bool stats_json = false;
   /// Telemetry destination: empty = off, "-" = stderr, else a file path.
@@ -126,7 +141,11 @@ int usage(const char* argv0) {
                "[--minimize] [--out DIR]\n"
                "  common flags: [--timeout SECS] [--threads N] "
                "[--stats-out DEST] [--trace-out FILE]\n"
-               "  ('-' as DEST means stderr; --stats-json is a deprecated "
+               "  cache flags:  [--cache] [--cache-size BYTES] "
+               "[--cache-load FILE] [--cache-save FILE]\n"
+               "  (fuzz takes --cache/--no-cache/--cache-size for the cache "
+               "agreement rule;\n"
+               "   '-' as DEST means stderr; --stats-json is a deprecated "
                "alias for --stats-out -)\n",
                argv0, argv0, argv0);
   return 2;
@@ -168,9 +187,51 @@ int cmd_constraints(const Fsm& fsm) {
 
 SolveOptions to_solve_options(const CliOptions& cli) {
   SolveOptions opts;
-  opts.timeout_seconds = cli.timeout_seconds;
-  opts.threads = cli.threads;
+  opts.exec.timeout_seconds = cli.timeout_seconds;
+  opts.exec.threads = cli.threads;
   return opts;
+}
+
+bool cli_wants_cache(const CliOptions& cli) {
+  return cli.cache || !cli.cache_load.empty() || !cli.cache_save.empty();
+}
+
+// Builds the CLI-owned solve cache when any cache flag was given, loading
+// --cache-load first. A load failure is fatal (exit 2 upstream) — silently
+// solving cold would mask a typo'd path.
+std::unique_ptr<SolveCache> make_cli_cache(const CliOptions& cli, bool* ok) {
+  *ok = true;
+  if (!cli_wants_cache(cli)) return nullptr;
+  CacheConfig config;
+  config.max_bytes = static_cast<std::size_t>(cli.cache_size);
+  auto cache = std::make_unique<SolveCache>(config);
+  if (!cli.cache_load.empty()) {
+    std::string err;
+    if (!cache->load(cli.cache_load, &err)) {
+      std::fprintf(stderr, "--cache-load %s: %s\n", cli.cache_load.c_str(),
+                   err.c_str());
+      *ok = false;
+      return nullptr;
+    }
+  }
+  return cache;
+}
+
+// Saves per --cache-save and reports hit/miss totals. Save failures warn
+// but keep the solve's exit status — the result already went to stdout.
+void finish_cli_cache(const CliOptions& cli, SolveCache* cache) {
+  if (!cache) return;
+  if (!cli.cache_save.empty()) {
+    std::string err;
+    if (!cache->save(cli.cache_save, &err))
+      std::fprintf(stderr, "--cache-save %s: %s\n", cli.cache_save.c_str(),
+                   err.c_str());
+  }
+  const CacheStats s = cache->stats();
+  std::fprintf(stderr,
+               "cache: %llu hits, %llu misses, %zu entries (%zu bytes)\n",
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses), s.entries, s.bytes);
 }
 
 int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
@@ -185,12 +246,17 @@ int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
   if (!cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
   MetricsRegistry metrics;
   if (cli.exact) {
+    bool cache_ok = true;
+    std::unique_ptr<SolveCache> cache = make_cli_cache(cli, &cache_ok);
+    if (!cache_ok) return 2;
     SolveOptions opts = to_solve_options(cli);
-    opts.cover_options.max_nodes = 200000;
-    opts.tracer = tracer.get();
-    opts.metrics = &metrics;
+    opts.exact.cover_options.max_nodes = 200000;
+    opts.exec.tracer = tracer.get();
+    opts.exec.metrics = &metrics;
+    opts.cache.store = cache.get();
     const SolveResult res = Solver(cs).encode(opts);
     emit_observability(cli, "encode", &res.stats, &metrics, tracer.get());
+    finish_cli_cache(cli, cache.get());
     if (!res.encoded()) {
       std::fprintf(stderr, "exact encoding failed (%s)\n",
                    res.status == SolveResult::Status::kTruncated
@@ -199,20 +265,18 @@ int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
       return 1;
     }
     enc = res.encoding;
-    std::fprintf(stderr, "exact: %d bits (%s) in %.2fs\n", enc.bits,
-                 res.minimal ? "minimal" : "upper bound", t.elapsed_seconds());
+    std::fprintf(stderr, "exact: %d bits (%s)%s in %.2fs\n", enc.bits,
+                 res.minimal ? "minimal" : "upper bound",
+                 res.from_cache ? " [cached]" : "", t.elapsed_seconds());
   } else {
     int bits = cli.bits;
     if (bits <= 0) bits = minimum_code_length(fsm.num_states());
-    BoundedEncodeOptions opts;
-    opts.cost = cli.cost;
-    Budget budget;
-    if (cli.timeout_seconds > 0)
-      budget.set_deadline_after(cli.timeout_seconds);
-    StageStats stats("solve");
-    const ExecContext ctx{&budget, &stats, resolve_threads(cli.threads),
-                          tracer.get(), &metrics};
-    const auto res = bounded_encode(cs, bits, opts, ctx);
+    SolveOptions opts = to_solve_options(cli);
+    opts.bounded.cost = cli.cost;
+    opts.exec.tracer = tracer.get();
+    opts.exec.metrics = &metrics;
+    StageStats stats;
+    const auto res = Solver(cs).encode_bounded(bits, opts, &stats);
     emit_observability(cli, "encode", &stats, &metrics, tracer.get());
     enc = res.encoding;
     std::fprintf(stderr,
@@ -263,11 +327,16 @@ int cmd_solve(const char* path, const CliOptions& cli) {
   std::unique_ptr<Tracer> tracer;
   if (!cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
   MetricsRegistry metrics;
+  bool cache_ok = true;
+  std::unique_ptr<SolveCache> cache = make_cli_cache(cli, &cache_ok);
+  if (!cache_ok) return 2;
   SolveOptions opts = to_solve_options(cli);
-  opts.tracer = tracer.get();
-  opts.metrics = &metrics;
+  opts.exec.tracer = tracer.get();
+  opts.exec.metrics = &metrics;
+  opts.cache.store = cache.get();
   const SolveResult res = Solver(*cs).encode(opts);
   emit_observability(cli, "solve", &res.stats, &metrics, tracer.get());
+  finish_cli_cache(cli, cache.get());
   switch (res.status) {
     case SolveResult::Status::kInfeasible:
       std::printf("INFEASIBLE\n");
@@ -278,9 +347,10 @@ int cmd_solve(const char* path, const CliOptions& cli) {
     case SolveResult::Status::kEncoded:
       break;
   }
-  std::fprintf(stderr, "encoded %u symbols in %d bits (%s) in %.2fs\n",
+  std::fprintf(stderr, "encoded %u symbols in %d bits (%s)%s in %.2fs\n",
                cs->num_symbols(), res.encoding.bits,
-               res.minimal ? "minimal" : "upper bound", t.elapsed_seconds());
+               res.minimal ? "minimal" : "upper bound",
+               res.from_cache ? " [cached]" : "", t.elapsed_seconds());
   std::printf("bits: %d\n", res.encoding.bits);
   for (std::uint32_t s = 0; s < cs->num_symbols(); ++s)
     std::printf("%-12s %s\n", cs->symbols().name(s).c_str(),
@@ -346,7 +416,15 @@ int cmd_fuzz(int argc, char** argv) {
       opts.generator = *mix;
     } else if (!std::strcmp(argv[i], "--minimize"))
       minimize = true;
-    else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+    else if (!std::strcmp(argv[i], "--cache"))
+      opts.differential.check_cache = true;
+    else if (!std::strcmp(argv[i], "--no-cache"))
+      opts.differential.check_cache = false;
+    else if (!std::strcmp(argv[i], "--cache-size") && i + 1 < argc) {
+      std::uint64_t bytes = 0;
+      if (!parse_u64("--cache-size", argv[++i], &bytes)) return 2;
+      opts.differential.cache_max_bytes = static_cast<std::size_t>(bytes);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       if (!parse_int("--threads", argv[++i], &opts.threads)) return 2;
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
       out_dir = argv[++i];
@@ -453,7 +531,15 @@ int main(int argc, char** argv) {
         return 2;
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       if (!parse_int("--threads", argv[++i], &cli.threads)) return 2;
-    } else if (!std::strcmp(argv[i], "--stats-json")) {
+    } else if (!std::strcmp(argv[i], "--cache"))
+      cli.cache = true;
+    else if (!std::strcmp(argv[i], "--cache-size") && i + 1 < argc) {
+      if (!parse_u64("--cache-size", argv[++i], &cli.cache_size)) return 2;
+    } else if (!std::strcmp(argv[i], "--cache-load") && i + 1 < argc)
+      cli.cache_load = argv[++i];
+    else if (!std::strcmp(argv[i], "--cache-save") && i + 1 < argc)
+      cli.cache_save = argv[++i];
+    else if (!std::strcmp(argv[i], "--stats-json")) {
       cli.stats_json = true;
       std::fprintf(stderr,
                    "note: --stats-json is deprecated; use --stats-out FILE "

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   Timer t;
   SolveOptions eopts;
   eopts.pipeline = SolveOptions::Pipeline::kExact;
-  eopts.cover_options.max_nodes = 200000;
+  eopts.exact.cover_options.max_nodes = 200000;
   const SolveResult exact = Solver(cs).encode(eopts);
   if (exact.status == SolveResult::Status::kEncoded) {
     char extra[64];

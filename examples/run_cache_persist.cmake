@@ -1,0 +1,28 @@
+# Helper for the cache_persist_smoke test (see CMakeLists.txt here):
+# exact-encode once with --cache-save, then again with --cache-load and
+# require the "[cached]" marker — the whole solve must be served from the
+# loaded cache. Expects CLI, KISS2, CACHE_FILE.
+file(REMOVE ${CACHE_FILE})
+execute_process(
+  COMMAND ${CLI} encode ${KISS2} --exact --cache-save ${CACHE_FILE}
+  RESULT_VARIABLE warm_rc
+  ERROR_VARIABLE warm_err)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm encode exited with ${warm_rc}: ${warm_err}")
+endif()
+if(NOT EXISTS ${CACHE_FILE})
+  message(FATAL_ERROR "--cache-save did not write ${CACHE_FILE}")
+endif()
+execute_process(
+  COMMAND ${CLI} encode ${KISS2} --exact --cache-load ${CACHE_FILE}
+  RESULT_VARIABLE hit_rc
+  ERROR_VARIABLE hit_err)
+if(NOT hit_rc EQUAL 0)
+  message(FATAL_ERROR "cached encode exited with ${hit_rc}: ${hit_err}")
+endif()
+if(NOT hit_err MATCHES "\\[cached\\]")
+  message(FATAL_ERROR "second encode was not served from the cache:\n${hit_err}")
+endif()
+if(NOT hit_err MATCHES "cache: 1 hits, 0 misses")
+  message(FATAL_ERROR "expected 1 hit / 0 misses, got:\n${hit_err}")
+endif()

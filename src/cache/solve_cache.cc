@@ -1,0 +1,298 @@
+#include "cache/solve_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace encodesat {
+namespace {
+
+constexpr char kFormatHeader[] = "encodesat-cache-v1";
+
+std::uint64_t key_hash64(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* status_token(int status) {
+  switch (status) {
+    case 0: return "encoded";
+    case 1: return "infeasible";
+    case 2: return "truncated";
+  }
+  return "infeasible";
+}
+
+bool status_from_token(const std::string& tok, int* out) {
+  if (tok == "encoded") *out = 0;
+  else if (tok == "infeasible") *out = 1;
+  else if (tok == "truncated") *out = 2;
+  else return false;
+  return true;
+}
+
+// Names match truncation_name() (util/exec.cc) so the file format and the
+// stats JSON agree on vocabulary.
+const char* truncation_token(int t) {
+  static const char* kNames[] = {"none",       "deadline",   "work_budget",
+                                 "term_limit", "node_limit", "cancelled"};
+  return (t >= 0 && t < 6) ? kNames[t] : "none";
+}
+
+bool truncation_from_token(const std::string& tok, int* out) {
+  static const char* kNames[] = {"none",       "deadline",   "work_budget",
+                                 "term_limit", "node_limit", "cancelled"};
+  for (int i = 0; i < 6; ++i)
+    if (tok == kNames[i]) {
+      *out = i;
+      return true;
+    }
+  return false;
+}
+
+template <typename T>
+void append_list_line(std::string& out, const char* field,
+                      const std::vector<T>& values) {
+  if (values.empty()) return;
+  out += field;
+  for (T v : values) {
+    out += ' ';
+    out += std::to_string(v);
+  }
+  out += '\n';
+}
+
+template <typename T>
+bool parse_list(std::istringstream& in, std::vector<T>* out) {
+  unsigned long long v = 0;
+  while (in >> v) out->push_back(static_cast<T>(v));
+  return in.eof();
+}
+
+}  // namespace
+
+SolveCache::SolveCache(CacheConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_ = std::vector<Shard>(config_.shards);
+}
+
+SolveCache::Shard& SolveCache::shard_for(const std::string& key) {
+  return shards_[key_hash64(key) % shards_.size()];
+}
+
+bool SolveCache::lookup(const std::string& key, CachedSolve* out) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  if (out) *out = it->second->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SolveCache::insert(const std::string& key, CachedSolve value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::size_t entry_bytes = key.size() + value.approx_bytes();
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    s.bytes -= it->second->key.size() + it->second->value.approx_bytes();
+    it->second->value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  } else {
+    s.lru.push_front(Entry{key, std::move(value)});
+    s.index.emplace(key, s.lru.begin());
+  }
+  s.bytes += entry_bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  evict_locked(s);
+}
+
+void SolveCache::evict_locked(Shard& s) {
+  const std::size_t budget = shard_budget();
+  if (budget == 0) return;  // unlimited
+  // Never evict the entry just touched: a single oversized entry stays
+  // resident (and alone) rather than making its own insert a no-op.
+  while (s.bytes > budget && s.lru.size() > 1) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= victim.key.size() + victim.value.approx_bytes();
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.entries += s.lru.size();
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+std::string SolveCache::to_text() const {
+  // Snapshot entries, then sort by key for a deterministic rendering.
+  std::vector<Entry> entries;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Entry& e : s.lru) entries.push_back(e);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+  std::string out = std::string(kFormatHeader) + "\n";
+  char hex[17];
+  for (const Entry& e : entries) {
+    const CachedSolve& v = e.value;
+    out += "entry " + e.key + "\n";
+    out += "status ";
+    out += status_token(v.status);
+    out += "\nbits " + std::to_string(v.bits) + "\n";
+    append_list_line(out, "codes", v.codes);
+    out += "minimal ";
+    out += v.minimal ? '1' : '0';
+    out += "\ntruncation ";
+    out += truncation_token(v.truncation);
+    out += '\n';
+    append_list_line(out, "uncovered", v.uncovered);
+    out += "counters " + std::to_string(v.num_initial) + ' ' +
+           std::to_string(v.num_raised) + ' ' + std::to_string(v.num_primes) +
+           ' ' + std::to_string(v.num_valid_primes) + ' ' +
+           std::to_string(v.num_candidates) + ' ' +
+           std::to_string(v.num_aux_columns) + ' ' +
+           std::to_string(v.nodes_explored) + '\n';
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(v.stats_fingerprint));
+    out += std::string("fingerprint ") + hex + "\nend\n";
+  }
+  return out;
+}
+
+bool SolveCache::from_text(const std::string& text, std::string* error) {
+  auto fail = [&](int line, const std::string& msg) {
+    if (error)
+      *error = "line " + std::to_string(line) + ": " + msg;
+    return false;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line)) return fail(1, "empty cache file");
+  ++line_no;
+  if (line != kFormatHeader)
+    return fail(1, "expected header '" + std::string(kFormatHeader) + "'");
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string word, key;
+    ls >> word;
+    if (word != "entry" || !(ls >> key))
+      return fail(line_no, "expected 'entry <key>'");
+
+    CachedSolve v;
+    bool saw_end = false;
+    while (std::getline(in, line)) {
+      ++line_no;
+      std::istringstream fs(line);
+      std::string field;
+      fs >> field;
+      if (field == "end") {
+        saw_end = true;
+        break;
+      } else if (field == "status") {
+        std::string tok;
+        if (!(fs >> tok) || !status_from_token(tok, &v.status))
+          return fail(line_no, "bad status");
+      } else if (field == "bits") {
+        if (!(fs >> v.bits) || v.bits < 0) return fail(line_no, "bad bits");
+      } else if (field == "codes") {
+        if (!parse_list(fs, &v.codes)) return fail(line_no, "bad codes");
+      } else if (field == "minimal") {
+        int b = 0;
+        if (!(fs >> b) || (b != 0 && b != 1))
+          return fail(line_no, "bad minimal");
+        v.minimal = b == 1;
+      } else if (field == "truncation") {
+        std::string tok;
+        if (!(fs >> tok) || !truncation_from_token(tok, &v.truncation))
+          return fail(line_no, "bad truncation");
+      } else if (field == "uncovered") {
+        if (!parse_list(fs, &v.uncovered))
+          return fail(line_no, "bad uncovered");
+      } else if (field == "counters") {
+        unsigned long long c[7];
+        for (int i = 0; i < 7; ++i)
+          if (!(fs >> c[i])) return fail(line_no, "bad counters");
+        v.num_initial = c[0];
+        v.num_raised = c[1];
+        v.num_primes = c[2];
+        v.num_valid_primes = c[3];
+        v.num_candidates = c[4];
+        v.num_aux_columns = c[5];
+        v.nodes_explored = c[6];
+      } else if (field == "fingerprint") {
+        std::string hex;
+        if (!(fs >> hex)) return fail(line_no, "bad fingerprint");
+        v.stats_fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
+      } else {
+        return fail(line_no, "unknown field '" + field + "'");
+      }
+    }
+    if (!saw_end) return fail(line_no, "entry without 'end'");
+    insert(key, std::move(v));
+  }
+  return true;
+}
+
+bool SolveCache::save(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << to_text();
+  out.flush();
+  if (!out) {
+    if (error) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool SolveCache::load(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "' for reading";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  if (!from_text(buf.str(), &parse_error)) {
+    if (error) *error = path + ": " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace encodesat

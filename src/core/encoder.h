@@ -29,11 +29,8 @@ struct FeasibilityResult {
 /// P-1 in time polynomial in symbols × constraints: generate I, delete
 /// invalid dichotomies, raise the survivors maximally, delete any that
 /// became invalid, and check that every i ∈ I is covered by some d ∈ D.
-/// The one-argument form is a deprecated thin wrapper over the Solver
-/// facade (core/solver.h); the two-argument form is the budget/stats-aware
-/// implementation.
-[[deprecated("use Solver(cs).feasibility() — see docs/API.md")]]
-FeasibilityResult check_feasible(const ConstraintSet& cs);
+/// Pass ExecContext{} when no budget/stats plumbing is needed, or use the
+/// Solver facade (core/solver.h).
 FeasibilityResult check_feasible(const ConstraintSet& cs,
                                  const ExecContext& ctx);
 
@@ -84,13 +81,9 @@ struct ExactEncodeResult {
 /// P-2: exact minimum-length encoding satisfying all input and output
 /// constraints (distance-2 and non-face constraints are handled by
 /// encode_with_extensions in extensions.h; this routine ignores them).
-/// The two-argument form is a deprecated thin wrapper over the Solver
-/// facade (core/solver.h); the three-argument form is the budget/stats-aware
-/// implementation, deterministic for any `ctx.num_threads` under work/term/
-/// node budgets (wall-clock deadlines excepted).
-[[deprecated("use Solver(cs).encode() — see docs/API.md")]]
-ExactEncodeResult exact_encode(const ConstraintSet& cs,
-                               const ExactEncodeOptions& opts = {});
+/// Deterministic for any `ctx.num_threads` under work/term/node budgets
+/// (wall-clock deadlines excepted). Most callers want the Solver facade
+/// (core/solver.h), which routes pipelines and can cache results.
 ExactEncodeResult exact_encode(const ConstraintSet& cs,
                                const ExactEncodeOptions& opts,
                                const ExecContext& ctx);

@@ -102,7 +102,8 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
   }
 
   // Candidate dichotomies: valid maximally raised initial set + splitter
-  // enrichments for the distance-2 pairs + the primes of all of those.
+  // enrichments for the distance-2 pairs + intruder enrichments for the
+  // non-face constraints + the primes of all of those.
   // Distance-2 needs two *distinct* columns separating a pair; the face and
   // uniqueness dichotomies alone may raise into a single separating shape,
   // so for each constrained pair we seed separators with every third symbol
@@ -121,6 +122,25 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
     }
     seeds.push_back(Dichotomy::make(n, {d2.a}, {d2.b}));
     seeds.push_back(Dichotomy::make(n, {d2.b}, {d2.a}));
+  }
+  // Non-face needs an intruder t kept *inside* the face of M: every
+  // selected column must keep t on the same side as at least one member.
+  // Raising only adds forced symbols and totalize() defaults the rest to
+  // the 1-side, so the uniqueness column ({m'}; {m}) that an intruder
+  // needs in its "t sticks with m" variant ({t, m}; {m'}) is never formed
+  // from the initial set alone — seed those variants explicitly.
+  for (const auto& nf : cs.nonfaces()) {
+    const Bitset inside = index_bitset(n, nf.members);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      if (inside.test(t)) continue;
+      for (std::uint32_t m : nf.members) {
+        for (std::uint32_t m2 : nf.members) {
+          if (m2 == m) continue;
+          seeds.push_back(Dichotomy::make(n, {t, m}, {m2}));
+          seeds.push_back(Dichotomy::make(n, {m2}, {t, m}));
+        }
+      }
+    }
   }
 
   std::vector<Dichotomy> d;

@@ -41,14 +41,9 @@ struct ExtensionEncodeResult {
 };
 
 /// Minimum-length encoding satisfying face, dominance, disjunctive,
-/// extended disjunctive, distance-2 and non-face constraints. The
-/// two-argument form is a deprecated thin wrapper over the Solver facade
-/// (core/solver.h); the three-argument form is the budget/stats-aware
-/// implementation.
-[[deprecated(
-    "use Solver(cs).encode() with Pipeline::kExtensions — see docs/API.md")]]
-ExtensionEncodeResult encode_with_extensions(
-    const ConstraintSet& cs, const ExtensionEncodeOptions& opts = {});
+/// extended disjunctive, distance-2 and non-face constraints. Pass
+/// ExecContext{} when no budget/stats plumbing is needed, or use the Solver
+/// facade (core/solver.h) with Pipeline::kExtensions.
 ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
                                              const ExtensionEncodeOptions& opts,
                                              const ExecContext& ctx);

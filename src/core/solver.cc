@@ -1,7 +1,10 @@
 #include "core/solver.h"
 
+#include <cstdio>
+#include <string>
 #include <utility>
 
+#include "cache/canonical.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -34,29 +37,16 @@ SolveResult::Status from_extension(ExtensionEncodeResult::Status s) {
   return SolveResult::Status::kInfeasible;
 }
 
-// The facade body, with the budget already configured by the caller (the
-// single-solve path sets a relative deadline, the batch path a shared
-// absolute one).
-SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
-                      Budget& budget, int threads) {
-  SolveResult out;
-  out.stats = StageStats("solve");
-  const Budget::Clock::time_point start = Budget::Clock::now();
-  const ExecContext ctx{&budget, &out.stats, threads, opts.tracer,
-                        opts.metrics};
-  // Root span matching the "solve" stats root; stage scopes below add the
-  // child spans.
-  TRACE_SCOPE(ctx, "solve");
-
+/// The pipeline dispatch: fills every result field except the root stats
+/// bookkeeping (work/elapsed/truncated), which the caller owns.
+void run_pipeline(const ConstraintSet& cs, const SolveOptions& opts,
+                  const ExecContext& ctx, SolveResult& out) {
   const bool extended =
       opts.pipeline == SolveOptions::Pipeline::kExtensions ||
       (opts.pipeline == SolveOptions::Pipeline::kAuto &&
        (!cs.distance2s().empty() || !cs.nonfaces().empty()));
   if (!extended) {
-    ExactEncodeOptions eo;
-    eo.prime_options = opts.prime_options;
-    eo.cover_options = opts.cover_options;
-    ExactEncodeResult r = exact_encode(cs, eo, ctx);
+    ExactEncodeResult r = exact_encode(cs, opts.exact, ctx);
     out.status = from_exact(r.status);
     out.encoding = std::move(r.encoding);
     out.minimal = r.status == ExactEncodeResult::Status::kEncoded && r.minimal;
@@ -69,10 +59,7 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
     if (const StageStats* cover = out.stats.find("unate_cover"))
       out.nodes_explored = cover->items;
   } else {
-    ExtensionEncodeOptions xo;
-    xo.prime_options = opts.prime_options;
-    xo.cover_options = opts.extension_cover_options;
-    ExtensionEncodeResult r = encode_with_extensions(cs, xo, ctx);
+    ExtensionEncodeResult r = encode_with_extensions(cs, opts.extensions, ctx);
     out.status = from_extension(r.status);
     out.encoding = std::move(r.encoding);
     out.minimal =
@@ -82,10 +69,142 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
     out.num_aux_columns = r.num_aux_columns;
     out.nodes_explored = r.nodes_explored;
   }
-  if (out.status == SolveResult::Status::kTruncated &&
-      out.truncation == Truncation::kNone)
-    out.truncation = budget.reason();
+}
+
+void stats_key(const StageStats& s, std::string& out) {
+  out += s.name;
+  out += ':';
+  out += std::to_string(s.work);
+  out += ':';
+  out += std::to_string(s.items);
+  out += '{';
+  for (const StageStats& c : s.children) stats_key(c, out);
+  out += '}';
+}
+
+CachedSolve to_cached(const SolveResult& r) {
+  CachedSolve v;
+  v.status = static_cast<int>(r.status);
+  v.bits = r.encoding.bits;
+  v.codes = r.encoding.codes;
+  v.minimal = r.minimal;
+  v.truncation = static_cast<int>(r.truncation);
+  v.uncovered = r.uncovered;
+  v.num_initial = r.num_initial;
+  v.num_raised = r.num_raised;
+  v.num_primes = r.num_primes;
+  v.num_valid_primes = r.num_valid_primes;
+  v.num_candidates = r.num_candidates;
+  v.num_aux_columns = r.num_aux_columns;
+  v.nodes_explored = r.nodes_explored;
+  std::string key;
+  stats_key(r.stats, key);
+  v.stats_fingerprint = fnv1a64(key);
+  return v;
+}
+
+/// Rebuilds a SolveResult from a cache entry, mapping canonical-space codes
+/// back to the original symbol order. `uncovered` stays canonical (see
+/// SolveResult docs).
+void from_cached(const CachedSolve& v, const SymbolPermutation& perm,
+                 SolveResult& out) {
+  out.status = static_cast<SolveResult::Status>(v.status);
+  out.encoding.bits = v.bits;
+  if (v.codes.size() == perm.to_canonical.size()) {
+    out.encoding.codes.resize(v.codes.size());
+    for (std::size_t i = 0; i < v.codes.size(); ++i)
+      out.encoding.codes[i] = v.codes[perm.to_canonical[i]];
+  } else {
+    out.encoding.codes = v.codes;
+  }
+  out.minimal = v.minimal;
+  out.truncation = static_cast<Truncation>(v.truncation);
   out.truncated = out.truncation != Truncation::kNone;
+  out.uncovered = v.uncovered;
+  out.num_initial = v.num_initial;
+  out.num_raised = v.num_raised;
+  out.num_primes = v.num_primes;
+  out.num_valid_primes = v.num_valid_primes;
+  out.num_candidates = v.num_candidates;
+  out.num_aux_columns = v.num_aux_columns;
+  out.nodes_explored = v.nodes_explored;
+  out.from_cache = true;
+}
+
+// Hit/miss/insert counts depend on cache history (what earlier solves
+// stored), not on this solve's inputs, so they live outside the
+// thread-count-invariant fingerprint (obs/counters.h contract).
+void cache_metric(const ExecContext& ctx, const char* name, std::uint64_t v) {
+  if (ctx.metrics) ctx.metrics->counter(name, /*in_fingerprint=*/false)->add(v);
+}
+
+// The facade body, with the budget already configured by the caller (the
+// single-solve path sets a relative deadline, the batch path a shared
+// absolute one). With `cache` non-null the *canonical* instance is solved
+// and codes are mapped back, so warm hits replay cold misses bit for bit.
+SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
+                      Budget& budget, int threads, SolveCache* cache) {
+  SolveResult out;
+  out.stats = StageStats("solve");
+  const Budget::Clock::time_point start = Budget::Clock::now();
+  const ExecContext ctx{&budget, &out.stats, threads, opts.exec.tracer,
+                        opts.exec.metrics};
+  // Root span matching the "solve" stats root; stage scopes below add the
+  // child spans.
+  TRACE_SCOPE(ctx, "solve");
+
+  bool hit = false;
+  if (cache != nullptr) {
+    Canonicalization cz;
+    {
+      // StageScope emits the trace span and stats child in one.
+      StageScope scope(ctx, "canonicalize");
+      cz = canonicalize(cs, opts.cache.max_canon_leaves);
+      scope.add_items(1);
+    }
+    char fp[20];
+    std::snprintf(fp, sizeof fp, "#%016llx",
+                  static_cast<unsigned long long>(
+                      solve_options_fingerprint(opts)));
+    const std::string key = cz.canon.key + fp;
+
+    CachedSolve entry;
+    {
+      StageScope scope(ctx, "cache_lookup");
+      hit = cache->lookup(key, &entry);
+    }
+    cache_metric(ctx, "cache.hits", hit ? 1 : 0);
+    cache_metric(ctx, "cache.misses", hit ? 0 : 1);
+    if (hit) {
+      from_cached(entry, cz.perm, out);
+      out.stats.add_child("cache_hit");
+    } else {
+      run_pipeline(cz.canon.set, opts, ctx, out);
+      // Store before permuting: entries live in canonical space. Truncated
+      // results are transient (a bigger budget would do better) and never
+      // cached.
+      if (out.truncation == Truncation::kNone &&
+          out.status != SolveResult::Status::kTruncated) {
+        cache->insert(key, to_cached(out));
+        cache_metric(ctx, "cache.inserts", 1);
+      }
+      if (out.encoding.codes.size() == cz.perm.to_canonical.size()) {
+        std::vector<std::uint64_t> codes(out.encoding.codes.size());
+        for (std::size_t i = 0; i < codes.size(); ++i)
+          codes[i] = out.encoding.codes[cz.perm.to_canonical[i]];
+        out.encoding.codes = std::move(codes);
+      }
+    }
+  } else {
+    run_pipeline(cs, opts, ctx, out);
+  }
+
+  if (!hit) {
+    if (out.status == SolveResult::Status::kTruncated &&
+        out.truncation == Truncation::kNone)
+      out.truncation = budget.reason();
+    out.truncated = out.truncation != Truncation::kNone;
+  }
   metric_add(ctx, "solve.runs", 1);
   metric_add(ctx, "solve.work_units", budget.work_used());
   metric_add(ctx, "budget.truncations", out.truncated ? 1 : 0);
@@ -97,40 +216,95 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
 }
 
 void configure_limits(Budget& budget, const SolveOptions& opts) {
-  if (opts.max_work > 0) budget.set_work_limit(opts.max_work);
-  if (opts.cancel) budget.set_cancel_token(opts.cancel);
+  if (opts.exec.max_work > 0) budget.set_work_limit(opts.exec.max_work);
+  if (opts.exec.cancel) budget.set_cancel_token(opts.exec.cancel);
 }
 
 }  // namespace
+
+std::uint64_t solve_options_fingerprint(const SolveOptions& opts) {
+  std::string s = "p" + std::to_string(static_cast<int>(opts.pipeline));
+  s += ";w" + std::to_string(opts.exec.max_work);
+  s += ";et" + std::to_string(opts.exact.prime_options.max_terms);
+  s += ";ew" + std::to_string(opts.exact.prime_options.max_work);
+  s += ";en" + std::to_string(opts.exact.cover_options.max_nodes);
+  s += ";xt" + std::to_string(opts.extensions.prime_options.max_terms);
+  s += ";xw" + std::to_string(opts.extensions.prime_options.max_work);
+  s += ";xn" + std::to_string(opts.extensions.cover_options.max_nodes);
+  return fnv1a64(s);
+}
 
 FeasibilityResult Solver::feasibility() const {
   return check_feasible(cs_, ExecContext{});
 }
 
+SolveCache* Solver::cache_for(const SolveOptions& opts) const {
+  if (opts.cache.store != nullptr) return opts.cache.store;
+  if (!opts.cache.enabled) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!owned_cache_)
+    owned_cache_ = std::make_unique<SolveCache>(
+        CacheConfig{opts.cache.shards, opts.cache.max_bytes});
+  return owned_cache_.get();
+}
+
 SolveResult Solver::encode(const SolveOptions& opts) const {
   Budget budget;
-  if (opts.timeout_seconds > 0) budget.set_deadline_after(opts.timeout_seconds);
+  if (opts.exec.timeout_seconds > 0)
+    budget.set_deadline_after(opts.exec.timeout_seconds);
   configure_limits(budget, opts);
-  return run_solve(cs_, opts, budget, resolve_threads(opts.threads));
+  return run_solve(cs_, opts, budget, resolve_threads(opts.exec.threads),
+                   cache_for(opts));
+}
+
+BoundedEncodeResult Solver::encode_bounded(int code_length,
+                                           const SolveOptions& opts,
+                                           StageStats* stats) const {
+  Budget budget;
+  if (opts.exec.timeout_seconds > 0)
+    budget.set_deadline_after(opts.exec.timeout_seconds);
+  configure_limits(budget, opts);
+  if (stats) *stats = StageStats("solve");
+  const Budget::Clock::time_point start = Budget::Clock::now();
+  const ExecContext ctx{&budget, stats, resolve_threads(opts.exec.threads),
+                        opts.exec.tracer, opts.exec.metrics};
+  BoundedEncodeResult r = bounded_encode(cs_, code_length, opts.bounded, ctx);
+  if (stats) {
+    stats->work = budget.work_used();
+    stats->truncation = r.truncation;
+    stats->elapsed_seconds =
+        std::chrono::duration<double>(Budget::Clock::now() - start).count();
+  }
+  return r;
 }
 
 std::vector<SolveResult> encode_batch(const std::vector<ConstraintSet>& sets,
                                       const SolveOptions& opts) {
   std::vector<SolveResult> out(sets.size());
+  // One cache shared by the whole batch: canonical duplicates across items
+  // hit even when no external store is supplied.
+  SolveCache* cache = opts.cache.store;
+  std::unique_ptr<SolveCache> batch_cache;
+  if (cache == nullptr && opts.cache.enabled) {
+    batch_cache = std::make_unique<SolveCache>(
+        CacheConfig{opts.cache.shards, opts.cache.max_bytes});
+    cache = batch_cache.get();
+  }
   // One absolute deadline shared by every item; work budgets stay per-item
   // so work truncation does not depend on scheduling order.
   Budget::Clock::time_point deadline{};
-  const bool has_deadline = opts.timeout_seconds > 0;
+  const bool has_deadline = opts.exec.timeout_seconds > 0;
   if (has_deadline)
     deadline = Budget::Clock::now() +
                std::chrono::duration_cast<Budget::Clock::duration>(
-                   std::chrono::duration<double>(opts.timeout_seconds));
-  parallel_for(sets.size(), resolve_threads(opts.threads),
+                   std::chrono::duration<double>(opts.exec.timeout_seconds));
+  parallel_for(sets.size(), resolve_threads(opts.exec.threads),
                [&](std::size_t i) {
                  Budget budget;
                  if (has_deadline) budget.set_deadline(deadline);
                  configure_limits(budget, opts);
-                 out[i] = run_solve(sets[i], opts, budget, /*threads=*/1);
+                 out[i] = run_solve(sets[i], opts, budget, /*threads=*/1,
+                                    cache);
                });
   return out;
 }
@@ -148,81 +322,5 @@ std::vector<BoundedEncodeResult> bounded_encode_lengths(
   });
   return out;
 }
-
-// ---------------------------------------------------------------------------
-// Legacy entry points, reimplemented as thin wrappers over the facade so
-// existing callers keep compiling (and pick up the staged pipeline). They
-// are declared [[deprecated]]; defining them must not warn.
-// ---------------------------------------------------------------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-FeasibilityResult check_feasible(const ConstraintSet& cs) {
-  return Solver(cs).feasibility();
-}
-
-ExactEncodeResult exact_encode(const ConstraintSet& cs,
-                               const ExactEncodeOptions& opts) {
-  SolveOptions so;
-  so.prime_options = opts.prime_options;
-  so.cover_options = opts.cover_options;
-  SolveResult r = Solver(cs).encode(so);
-  ExactEncodeResult out;
-  switch (r.status) {
-    case SolveResult::Status::kEncoded:
-      out.status = ExactEncodeResult::Status::kEncoded;
-      break;
-    case SolveResult::Status::kInfeasible:
-      out.status = ExactEncodeResult::Status::kInfeasible;
-      break;
-    case SolveResult::Status::kTruncated:
-      out.status = ExactEncodeResult::Status::kPrimeLimit;
-      break;
-  }
-  out.encoding = std::move(r.encoding);
-  out.minimal = r.minimal;
-  out.truncated = r.truncated;
-  out.truncation = r.truncation;
-  out.num_initial = r.num_initial;
-  out.num_raised = r.num_raised;
-  out.num_primes = r.num_primes;
-  out.num_valid_primes = r.num_valid_primes;
-  out.uncovered = std::move(r.uncovered);
-  return out;
-}
-
-ExtensionEncodeResult encode_with_extensions(
-    const ConstraintSet& cs, const ExtensionEncodeOptions& opts) {
-  // Force the extension pipeline even for plain constraint sets: callers of
-  // this entry point expect its totalized-column semantics.
-  SolveOptions so;
-  so.pipeline = SolveOptions::Pipeline::kExtensions;
-  so.prime_options = opts.prime_options;
-  so.extension_cover_options = opts.cover_options;
-  SolveResult r = Solver(cs).encode(so);
-  ExtensionEncodeResult out;
-  switch (r.status) {
-    case SolveResult::Status::kEncoded:
-      out.status = ExtensionEncodeResult::Status::kEncoded;
-      break;
-    case SolveResult::Status::kInfeasible:
-      out.status = ExtensionEncodeResult::Status::kInfeasible;
-      break;
-    case SolveResult::Status::kTruncated:
-      out.status = ExtensionEncodeResult::Status::kPrimeLimit;
-      break;
-  }
-  out.encoding = std::move(r.encoding);
-  out.minimal = r.minimal;
-  out.truncated = r.truncated;
-  out.truncation = r.truncation;
-  out.num_candidates = r.num_candidates;
-  out.num_aux_columns = r.num_aux_columns;
-  out.nodes_explored = r.nodes_explored;
-  return out;
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace encodesat

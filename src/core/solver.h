@@ -1,32 +1,54 @@
 // The unified front door of the library: one facade over the paper's whole
-// flow (P-1 feasibility, P-2 exact minimum-length encoding, the Section 8
-// extension pipeline), with one options surface for budgets, threads and
-// statistics instead of the per-stage knobs the individual entry points
-// expose.
+// flow (P-1 feasibility, P-2 exact minimum-length encoding, the P-3
+// bounded-length heuristic, the Section 8 extension pipeline), with one
+// nested options surface instead of per-stage knobs.
 //
 //   Solver solver(parse_constraints(text));
 //   if (!solver.feasible()) ...;
 //   SolveOptions opts;
-//   opts.timeout_seconds = 5;
-//   opts.threads = 4;
+//   opts.exec.timeout_seconds = 5;
+//   opts.exec.threads = 4;
+//   opts.cache.enabled = true;
 //   SolveResult r = solver.encode(opts);
 //   // r.status, r.encoding, r.stats.to_json(), ...
 //
 // encode() routes automatically: constraint sets with distance-2 or
 // non-face constraints go through the binate-covering extension pipeline,
-// everything else through the exact Fig. 7 pipeline. The legacy free
-// functions (`check_feasible`, `exact_encode`, `encode_with_extensions`)
-// are thin wrappers over this facade.
+// everything else through the exact Fig. 7 pipeline.
+//
+// Options are grouped by concern (the per-module structs keep their names
+// as the nested member types — see docs/API.md for the CLI flag → field
+// mapping table):
+//   opts.exec        budget, threads, cancellation, tracer, metrics
+//   opts.exact       exact-pipeline knobs (ExactEncodeOptions)
+//   opts.extensions  extension-pipeline knobs (ExtensionEncodeOptions)
+//   opts.bounded     encode_bounded knobs (BoundedEncodeOptions)
+//   opts.cache       solve cache (SolveOptions::Cache)
+//
+// Caching semantics: with the cache enabled, encode() canonicalizes the
+// instance (src/cache/canonical.h) and solves the *canonical* set, mapping
+// the codes back through the symbol permutation. A warm hit therefore
+// returns a bit-identical SolveResult to the cold miss that populated the
+// entry — the solver's tie-breaking runs on the same canonical instance
+// either way. The cache-off path never canonicalizes and is byte-for-byte
+// the historical behavior. Two caveats, both documented on the fields
+// below: `uncovered` indices stay in canonical space on cached paths, and
+// only untruncated results are stored.
 //
 // Determinism: for fixed options, the encoding produced is identical for
-// every `threads` value and for repeated runs — work/term/node budgets trip
-// at reproducible points. Only wall-clock deadlines and cancellation make
-// truncation timing (never validity) run-dependent.
+// every `exec.threads` value and for repeated runs — work/term/node budgets
+// trip at reproducible points. Only wall-clock deadlines and cancellation
+// make truncation timing (never validity) run-dependent. Cache hit/miss
+// counters depend on cache *history*, so they are registered outside the
+// metrics fingerprint (obs/counters.h).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "cache/solve_cache.h"
 #include "core/bounded.h"
 #include "core/constraints.h"
 #include "core/encoder.h"
@@ -43,30 +65,56 @@ struct SolveOptions {
   enum class Pipeline { kAuto, kExact, kExtensions };
   Pipeline pipeline = Pipeline::kAuto;
 
-  /// Wall-clock budget for the whole solve; 0 means unlimited.
-  double timeout_seconds = 0;
-  /// Total work budget in bitset word operations; 0 means unlimited. This
-  /// is the deterministic alternative to a deadline. Stage-local budgets
-  /// (prime_options.max_terms/max_work, cover node budgets) still apply.
-  std::uint64_t max_work = 0;
-  /// Worker threads for the parallel fan-out paths; 1 = sequential
-  /// (reference path), 0 = all hardware threads.
-  int threads = 1;
-  /// Optional cooperative cancellation, shared across threads and solves.
-  /// Borrowed; must outlive the call.
-  CancelToken* cancel = nullptr;
+  /// Execution budget and plumbing, shared by every pipeline.
+  struct Exec {
+    /// Wall-clock budget for the whole solve; 0 means unlimited.
+    double timeout_seconds = 0;
+    /// Total work budget in bitset word operations; 0 means unlimited.
+    /// This is the deterministic alternative to a deadline. Stage-local
+    /// budgets (exact.prime_options.max_terms/max_work, cover node
+    /// budgets) still apply.
+    std::uint64_t max_work = 0;
+    /// Worker threads for the parallel fan-out paths; 1 = sequential
+    /// (reference path), 0 = all hardware threads.
+    int threads = 1;
+    /// Optional cooperative cancellation, shared across threads and
+    /// solves. Borrowed; must outlive the call.
+    CancelToken* cancel = nullptr;
+    /// Optional span sink (obs/trace.h Tracer): every pipeline stage emits
+    /// a begin/end span. Borrowed; must outlive the call.
+    TraceSink* tracer = nullptr;
+    /// Optional counter registry (obs/counters.h): stages report work
+    /// counters whose fingerprint is thread-count invariant. Borrowed.
+    MetricsRegistry* metrics = nullptr;
+  };
+  Exec exec;
 
-  /// Optional span sink (obs/trace.h Tracer): every pipeline stage emits a
-  /// begin/end span. Borrowed; must outlive the call.
-  TraceSink* tracer = nullptr;
-  /// Optional counter registry (obs/counters.h): stages report work
-  /// counters whose fingerprint is thread-count invariant. Borrowed.
-  MetricsRegistry* metrics = nullptr;
+  /// Exact-pipeline knobs (prime generation + unate covering).
+  ExactEncodeOptions exact;
+  /// Extension-pipeline knobs (prime generation + binate covering).
+  ExtensionEncodeOptions extensions;
+  /// Bounded-length heuristic knobs (Solver::encode_bounded only).
+  BoundedEncodeOptions bounded;
 
-  PrimeGenOptions prime_options;
-  UnateCoverOptions cover_options;
-  /// Used only when the extension pipeline is taken.
-  BinateCoverOptions extension_cover_options;
+  /// Solve cache (src/cache/solve_cache.h). Enable with `enabled = true`
+  /// (the Solver lazily creates and owns a cache, shared by its own
+  /// subsequent solves) or point `store` at an external SolveCache to share
+  /// entries across Solver instances and persist them (`--cache-load` /
+  /// `--cache-save`); a non-null `store` implies enabled.
+  struct Cache {
+    bool enabled = false;
+    SolveCache* store = nullptr;
+    /// Byte budget / shard count for the lazily-created internal cache
+    /// (ignored when `store` is set — the store keeps its own config).
+    std::size_t max_bytes = 64u << 20;
+    std::size_t shards = 8;
+    /// Leaf budget for the canonicalization search; past it the canonical
+    /// key is inexact (still sound, may miss renamed duplicates).
+    std::size_t max_canon_leaves = 4096;
+
+    bool active() const { return enabled || store != nullptr; }
+  };
+  Cache cache;
 };
 
 struct SolveResult {
@@ -87,10 +135,16 @@ struct SolveResult {
   /// First budget/limit that tripped (kNone on a clean run).
   Truncation truncation = Truncation::kNone;
   /// Initial dichotomies no valid raised dichotomy covers (infeasible
-  /// exact-pipeline runs only; indexes the generated initial list).
+  /// exact-pipeline runs only; indexes the generated initial list). On a
+  /// cache-enabled solve these index the *canonical* instance's initial
+  /// list — the dichotomies themselves, unlike codes, have no per-symbol
+  /// mapping back to the original order.
   std::vector<std::size_t> uncovered;
+  /// True when this result was served from the solve cache.
+  bool from_cache = false;
 
-  // Table-1 style counters (exact pipeline).
+  // Table-1 style counters (exact pipeline). On a cache hit these replay
+  // the counters of the solve that populated the entry.
   std::size_t num_initial = 0;
   std::size_t num_raised = 0;
   std::size_t num_primes = 0;
@@ -102,7 +156,9 @@ struct SolveResult {
   std::uint64_t nodes_explored = 0;
 
   /// Per-stage observability tree rooted at "solve"; serialize with
-  /// stats.to_json(). Populated on every path, including truncated ones.
+  /// stats.to_json(). Populated on every path; a cache hit records a
+  /// "cache_hit" child instead of the pipeline stages (stats describe the
+  /// work actually done, which on a hit is a lookup).
   StageStats stats;
 
   bool encoded() const { return status == Status::kEncoded; }
@@ -123,15 +179,45 @@ class Solver {
   /// extension pipeline as needed.
   SolveResult encode(const SolveOptions& opts = {}) const;
 
+  /// P-3: heuristic encoding in exactly `code_length` bits under
+  /// opts.bounded, with opts.exec supplying the budget/tracer/metrics
+  /// plumbing (never cached — the heuristic is cost-guided, not
+  /// canonical-form-stable). When `stats` is non-null it is reset to a
+  /// "solve"-rooted stage tree for the run (the heuristic's result struct
+  /// carries no stats of its own).
+  BoundedEncodeResult encode_bounded(int code_length,
+                                     const SolveOptions& opts = {},
+                                     StageStats* stats = nullptr) const;
+
  private:
+  /// Resolves the effective cache for a call: the external store when set,
+  /// else the lazily-created owned cache (first call's size config wins),
+  /// else nullptr.
+  SolveCache* cache_for(const SolveOptions& opts) const;
+
   ConstraintSet cs_;
+  /// Lazily created when opts.cache.enabled is set without an external
+  /// store; shared by subsequent encode() calls on this Solver.
+  mutable std::unique_ptr<SolveCache> owned_cache_;
+  mutable std::mutex cache_mu_;
 };
 
+/// Fingerprint of every option that changes what a solve produces
+/// (pipeline, prime/cover budgets, exec.max_work) — part of the cache key,
+/// so runs under different budgets never share entries. Thread count,
+/// deadline and cancellation are deliberately excluded: threads never
+/// change the result, and only untruncated results are cached.
+std::uint64_t solve_options_fingerprint(const SolveOptions& opts);
+
 /// Encodes each constraint set independently — results in input order,
-/// bit-identical to encoding them one by one. `opts.threads` is the batch
-/// fan-out width (each item solves single-threaded); `opts.timeout_seconds`
-/// is one shared deadline for the whole batch, while `opts.max_work` is a
-/// per-item budget so work truncation stays deterministic.
+/// bit-identical to encoding them one by one. `opts.exec.threads` is the
+/// batch fan-out width (each item solves single-threaded);
+/// `opts.exec.timeout_seconds` is one shared deadline for the whole batch,
+/// while `opts.exec.max_work` is a per-item budget so work truncation stays
+/// deterministic. With opts.cache enabled and no external store, one cache
+/// is shared by the whole batch, so canonical duplicates within the batch
+/// hit (which duplicate pays the miss can depend on scheduling; the
+/// results cannot).
 std::vector<SolveResult> encode_batch(const std::vector<ConstraintSet>& sets,
                                       const SolveOptions& opts = {});
 

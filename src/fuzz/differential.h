@@ -21,6 +21,9 @@
 //                     threads=N runs; covers the arena fold counters
 //   baseline_feasible exact says infeasible but a baseline encoder (nova /
 //                     annealing) produced a violation-free encoding
+//                     (restricted to instances without extension
+//                     constraints — the §8 pipeline's candidate pool is
+//                     heuristic, so its "infeasible" is not a certificate)
 //   baseline_codes    a baseline produced duplicate codes (both keep codes
 //                     distinct by construction)
 //   minimality        exact proved minimality at L bits but nova found a
@@ -32,6 +35,12 @@
 //                     counter names + values; obs/counters.h) differs
 //                     between the threads=1 and threads=N runs — the
 //                     observability subsystem's own determinism check
+//   cache             solving a symbol-permuted copy of the case against a
+//                     warm solve cache (normally a hit) and against a fresh
+//                     cache at threads=N (a miss) disagree on status, bits,
+//                     codes, minimality or counters; or a cache-served
+//                     encoding fails the oracle; or the warm lookup missed
+//                     even though both canonicalizations were exact
 //
 // Every rule is deterministic: solver budgets are work-based (never
 // wall-clock), baseline seeds are fixed by DifferentialOptions, and the
@@ -62,6 +71,7 @@ enum class FuzzRule {
   kBoundedCodes,
   kCost,
   kCounters,
+  kCache,
 };
 
 /// Stable lower-case rule name as listed above.
@@ -103,6 +113,12 @@ struct DifferentialOptions {
   bool run_baselines = true;
   bool run_bounded = true;
   bool check_minimality = true;
+  /// Run the `cache` agreement rule (three extra solves per case, each
+  /// against a private per-case SolveCache — fuzz cases never share cache
+  /// state, so same-seed runs stay bit-identical for any driver fan-out).
+  bool check_cache = true;
+  /// Byte budget for each per-case cache (the fuzz `--cache-size` flag).
+  std::size_t cache_max_bytes = 64u << 20;
 
   /// Optional aggregate counter registry (obs/counters.h): each case's
   /// threads=1 run merges its counters in, so a fuzz run reports pipeline

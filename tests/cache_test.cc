@@ -1,0 +1,350 @@
+// Tests for the canonicalization + solve-cache subsystem (src/cache/):
+// renaming invariance of the canonical form, LRU/byte-budget behavior of
+// the sharded cache, the encodesat-cache-v1 persistence round-trip, and
+// the facade-level guarantees (hit == miss bit-identity, thread-count
+// invariant counter fingerprints with the cache enabled).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/canonical.h"
+#include "cache/solve_cache.h"
+#include "core/constraints.h"
+#include "core/solver.h"
+#include "fuzz/reproducer.h"
+#include "obs/counters.h"
+
+namespace encodesat {
+namespace {
+
+ConstraintSet quickstart_constraints() {
+  return parse_constraints(
+      "face a b\n"
+      "face b c d\n"
+      "dominance a c\n"
+      "disjunctive a c d\n");
+}
+
+ConstraintSet mixed_constraints() {
+  return parse_constraints(
+      "face s0 s1 s2\n"
+      "face s1 s3\n"
+      "face s4 s5\n"
+      "dominance s0 s3\n"
+      "dominance s5 s2\n"
+      "disjunctive s0 s2 s4\n"
+      "extdisjunctive s1 : s0 s3 | s4 s5\n");
+}
+
+ConstraintSet extension_constraints() {
+  return parse_constraints(
+      "face a b\n"
+      "face c d\n"
+      "distance2 a c\n"
+      "nonface e a c\n");
+}
+
+// A rendering of `cs` with symbols renamed by `perm` and the constraint
+// lines emitted in a shuffled order — the same abstract instance as far as
+// canonicalization is concerned.
+ConstraintSet shuffled_rendering(const ConstraintSet& cs,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::uint32_t n = cs.num_symbols();
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const ConstraintSet renamed = apply_symbol_permutation(cs, perm);
+
+  // Reorder the constraint lines of the textual rendering and re-parse, so
+  // symbols are also interned in a different first-appearance order.
+  std::vector<std::string> lines;
+  std::istringstream in(renamed.to_string());
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) lines.push_back(line);
+  std::shuffle(lines.begin(), lines.end(), rng);
+  std::string text;
+  for (const std::string& line : lines) text += line + "\n";
+  return parse_constraints(text);
+}
+
+CachedSolve make_entry(std::size_t codes) {
+  CachedSolve v;
+  v.status = 0;
+  v.bits = 3;
+  v.codes.assign(codes, 5);
+  v.minimal = true;
+  v.num_primes = 7;
+  return v;
+}
+
+TEST(Canonical, InvariantUnderSymbolRenamingAndReordering) {
+  for (const ConstraintSet& cs :
+       {quickstart_constraints(), mixed_constraints(),
+        extension_constraints()}) {
+    const Canonicalization base = canonicalize(cs);
+    EXPECT_TRUE(base.canon.exact);
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+      const Canonicalization other =
+          canonicalize(shuffled_rendering(cs, seed));
+      EXPECT_EQ(base.canon.key, other.canon.key) << "seed " << seed;
+      EXPECT_EQ(base.canon.hash, other.canon.hash) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Canonical, DistinguishesDifferentInstances) {
+  const Canonicalization a = canonicalize(quickstart_constraints());
+  const Canonicalization b = canonicalize(mixed_constraints());
+  const Canonicalization c = canonicalize(extension_constraints());
+  EXPECT_NE(a.canon.key, b.canon.key);
+  EXPECT_NE(a.canon.key, c.canon.key);
+  EXPECT_NE(b.canon.key, c.canon.key);
+}
+
+TEST(Canonical, PermutationRoundTrips) {
+  const ConstraintSet cs = mixed_constraints();
+  const Canonicalization cz = canonicalize(cs);
+  const std::uint32_t n = cs.num_symbols();
+  ASSERT_EQ(cz.perm.to_canonical.size(), n);
+  ASSERT_EQ(cz.perm.from_canonical.size(), n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(cz.perm.from_canonical[cz.perm.to_canonical[i]], i);
+  // Applying the permutation to the original reproduces the canonical set's
+  // structure (same canonical key trivially, but also the same rendering).
+  const ConstraintSet mapped = apply_symbol_permutation(cs, cz.perm.to_canonical);
+  EXPECT_EQ(canonicalize(mapped).canon.key, cz.canon.key);
+}
+
+// The satellite regression: two shuffled renderings of the same reproducer
+// file canonicalize to the same 128-bit hash.
+TEST(Canonical, ShuffledReproducerRenderingsHashIdentically) {
+  std::vector<std::string> files;
+  const std::filesystem::path dir = ENCODESAT_FUZZ_CORPUS_DIR;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".repro")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+  for (const std::string& path : files) {
+    ParseError err;
+    const auto repro = load_reproducer_file(path, &err);
+    ASSERT_TRUE(repro.has_value()) << path << ": " << err.to_string();
+    const ConstraintSet& cs = repro->constraints;
+    const Hash128 h1 = canonicalize(shuffled_rendering(cs, 11)).canon.hash;
+    const Hash128 h2 = canonicalize(shuffled_rendering(cs, 42)).canon.hash;
+    EXPECT_EQ(h1, h2) << path;
+    EXPECT_EQ(h1, canonicalize(cs).canon.hash) << path;
+  }
+}
+
+TEST(SolveCacheLru, EvictsLeastRecentlyUsedFirst) {
+  // One shard so the LRU order is global; budget sized for ~3 entries.
+  const std::size_t entry_bytes = make_entry(4).approx_bytes() + 1;
+  SolveCache cache(CacheConfig{1, 3 * entry_bytes + 16});
+  cache.insert("a", make_entry(4));
+  cache.insert("b", make_entry(4));
+  cache.insert("c", make_entry(4));
+  CachedSolve out;
+  ASSERT_TRUE(cache.lookup("a", &out));  // a is now most recently used
+  cache.insert("d", make_entry(4));      // evicts b, the LRU entry
+  EXPECT_FALSE(cache.lookup("b", &out));
+  EXPECT_TRUE(cache.lookup("a", &out));
+  EXPECT_TRUE(cache.lookup("c", &out));
+  EXPECT_TRUE(cache.lookup("d", &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SolveCacheLru, ByteBudgetIsEnforced) {
+  const std::size_t budget = 4 * (make_entry(8).approx_bytes() + 8);
+  SolveCache cache(CacheConfig{1, budget});
+  for (int i = 0; i < 64; ++i)
+    cache.insert("key" + std::to_string(i), make_entry(8));
+  const CacheStats s = cache.stats();
+  EXPECT_LE(s.bytes, budget);
+  EXPECT_LT(s.entries, 64u);
+  EXPECT_EQ(s.inserts, 64u);
+  EXPECT_EQ(s.entries + s.evictions, 64u);
+  // The most recent insert always survives (eviction never removes the
+  // just-touched entry).
+  CachedSolve out;
+  EXPECT_TRUE(cache.lookup("key63", &out));
+}
+
+TEST(SolveCacheLru, UnlimitedBudgetNeverEvicts) {
+  SolveCache cache(CacheConfig{4, 0});
+  for (int i = 0; i < 100; ++i)
+    cache.insert("key" + std::to_string(i), make_entry(2));
+  EXPECT_EQ(cache.stats().entries, 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(SolveCachePersist, TextRoundTripPreservesEntries) {
+  SolveCache cache(CacheConfig{2, 0});
+  CachedSolve a = make_entry(3);
+  a.uncovered = {1, 4};
+  a.stats_fingerprint = 0xdeadbeefu;
+  CachedSolve b;
+  b.status = 1;  // infeasible: no codes
+  b.bits = 0;
+  cache.insert("n3;f0,1;#0123", a);
+  cache.insert("n2;f0;#4567", b);
+
+  SolveCache loaded(CacheConfig{8, 0});
+  std::string err;
+  ASSERT_TRUE(loaded.from_text(cache.to_text(), &err)) << err;
+  CachedSolve out;
+  ASSERT_TRUE(loaded.lookup("n3;f0,1;#0123", &out));
+  EXPECT_EQ(out.codes, a.codes);
+  EXPECT_EQ(out.uncovered, a.uncovered);
+  EXPECT_EQ(out.stats_fingerprint, a.stats_fingerprint);
+  EXPECT_EQ(out.minimal, a.minimal);
+  ASSERT_TRUE(loaded.lookup("n2;f0;#4567", &out));
+  EXPECT_EQ(out.status, 1);
+  EXPECT_TRUE(out.codes.empty());
+  // Deterministic rendering: serializing the copy reproduces the text.
+  EXPECT_EQ(cache.to_text(), loaded.to_text());
+}
+
+TEST(SolveCachePersist, RejectsMalformedInput) {
+  SolveCache cache;
+  std::string err;
+  EXPECT_FALSE(cache.from_text("not-a-cache-file\n", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(
+      cache.from_text("encodesat-cache-v1\nentry k\nbogus 1\nend\n", &err));
+}
+
+// Save a warmed cache to disk, load it fresh, and re-solve the same
+// instances: every solve must be a hit and bit-identical to the original.
+TEST(SolveCachePersist, FileRoundTripServesAllHits) {
+  const std::vector<ConstraintSet> sets = {
+      quickstart_constraints(), mixed_constraints(), extension_constraints()};
+  SolveCache warm;
+  SolveOptions opts;
+  opts.cache.store = &warm;
+  std::vector<SolveResult> first;
+  for (const ConstraintSet& cs : sets) first.push_back(Solver(cs).encode(opts));
+  ASSERT_EQ(warm.stats().hits, 0u);
+  ASSERT_EQ(warm.stats().misses, sets.size());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "encodesat_cache_test.cache")
+          .string();
+  std::string err;
+  ASSERT_TRUE(warm.save(path, &err)) << err;
+  SolveCache loaded;
+  ASSERT_TRUE(loaded.load(path, &err)) << err;
+  std::remove(path.c_str());
+
+  SolveOptions lopts;
+  lopts.cache.store = &loaded;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const SolveResult r = Solver(sets[i]).encode(lopts);
+    EXPECT_TRUE(r.from_cache) << i;
+    EXPECT_EQ(r.status, first[i].status) << i;
+    EXPECT_EQ(r.encoding.bits, first[i].encoding.bits) << i;
+    EXPECT_EQ(r.encoding.codes, first[i].encoding.codes) << i;
+    EXPECT_EQ(r.minimal, first[i].minimal) << i;
+    EXPECT_EQ(r.num_primes, first[i].num_primes) << i;
+  }
+  EXPECT_EQ(loaded.stats().hits, sets.size());
+  EXPECT_EQ(loaded.stats().misses, 0u);
+}
+
+// The facade contract: a warm hit is bit-identical to the cold miss that
+// populated it, including for a symbol-renamed copy of the instance.
+TEST(SolverCache, HitMatchesMissBitForBit) {
+  const ConstraintSet cs = mixed_constraints();
+  SolveCache cache;
+  SolveOptions opts;
+  opts.cache.store = &cache;
+  const SolveResult cold = Solver(cs).encode(opts);
+  const SolveResult hit = Solver(cs).encode(opts);
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.status, cold.status);
+  EXPECT_EQ(hit.encoding.bits, cold.encoding.bits);
+  EXPECT_EQ(hit.encoding.codes, cold.encoding.codes);
+  EXPECT_EQ(hit.minimal, cold.minimal);
+  EXPECT_EQ(hit.num_initial, cold.num_initial);
+  EXPECT_EQ(hit.num_primes, cold.num_primes);
+  EXPECT_EQ(hit.num_valid_primes, cold.num_valid_primes);
+  EXPECT_NE(hit.stats.find("cache_hit"), nullptr);
+
+  // A renamed copy hits the same entry; its codes come back in its own
+  // symbol order, equal to solving it cold.
+  const ConstraintSet renamed = shuffled_rendering(cs, 9);
+  const SolveResult via_cache = Solver(renamed).encode(opts);
+  EXPECT_TRUE(via_cache.from_cache);
+  const SolveResult direct = Solver(renamed).encode();
+  EXPECT_EQ(via_cache.encoding.codes, direct.encoding.codes);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(SolverCache, OwnedCacheServesRepeatSolves) {
+  const Solver solver(quickstart_constraints());
+  SolveOptions opts;
+  opts.cache.enabled = true;
+  const SolveResult a = solver.encode(opts);
+  const SolveResult b = solver.encode(opts);
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_TRUE(b.from_cache);
+  EXPECT_EQ(a.encoding.codes, b.encoding.codes);
+}
+
+TEST(SolverCache, DifferentOptionFingerprintsDoNotShareEntries) {
+  const ConstraintSet cs = mixed_constraints();
+  SolveCache cache;
+  SolveOptions a;
+  a.cache.store = &cache;
+  SolveOptions b = a;
+  b.exact.prime_options.max_terms = 12345;  // result-affecting knob
+  EXPECT_NE(solve_options_fingerprint(a), solve_options_fingerprint(b));
+  (void)Solver(cs).encode(a);
+  const SolveResult rb = Solver(cs).encode(b);
+  EXPECT_FALSE(rb.from_cache);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// Cache hit/miss counters are outside the metrics fingerprint, so the
+// thread-determinism contract holds with the cache enabled: threads=1 and
+// threads=4 runs produce identical counter fingerprints.
+TEST(SolverCache, CounterFingerprintIsThreadCountInvariant) {
+  const ConstraintSet cs = mixed_constraints();
+  MetricsRegistry m1, m4;
+  SolveCache c1, c4;
+  SolveOptions o1;
+  o1.exec.threads = 1;
+  o1.exec.metrics = &m1;
+  o1.cache.store = &c1;
+  SolveOptions o4;
+  o4.exec.threads = 4;
+  o4.exec.metrics = &m4;
+  o4.cache.store = &c4;
+  // Two solves each: a miss then a hit, so the cache.* counters differ from
+  // the pipeline counters' single-run values — the fingerprint must not see
+  // them.
+  const SolveResult r1a = Solver(cs).encode(o1);
+  const SolveResult r1b = Solver(cs).encode(o1);
+  const SolveResult r4a = Solver(cs).encode(o4);
+  const SolveResult r4b = Solver(cs).encode(o4);
+  EXPECT_EQ(r1a.encoding.codes, r4a.encoding.codes);
+  EXPECT_EQ(r1b.encoding.codes, r4b.encoding.codes);
+  EXPECT_EQ(m1.fingerprint(), m4.fingerprint());
+  EXPECT_EQ(m1.fingerprint_hash(), m4.fingerprint_hash());
+  // The cache counters themselves are still reported (outside the
+  // fingerprint) and saw one miss + one hit per registry.
+  EXPECT_EQ(c1.stats().hits, 1u);
+  EXPECT_EQ(c4.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace encodesat

@@ -34,7 +34,7 @@ TEST(PrimeBudget, ExactEncodeReportsPrimeLimit) {
   ConstraintSet cs;
   for (int i = 0; i < 14; ++i) cs.symbols().intern("s" + std::to_string(i));
   SolveOptions opts;
-  opts.prime_options.max_terms = 50;
+  opts.exact.prime_options.max_terms = 50;
   const SolveResult res = Solver(cs).encode(opts);
   EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
   EXPECT_TRUE(res.truncated);
@@ -107,7 +107,7 @@ TEST(Extensions, PrimeLimitPropagates) {
   for (int i = 0; i < 14; ++i) cs.symbols().intern("s" + std::to_string(i));
   cs.add_distance2("s0", "s1");
   SolveOptions opts;
-  opts.prime_options.max_terms = 20;
+  opts.extensions.prime_options.max_terms = 20;
   const SolveResult res = Solver(cs).encode(opts);
   EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
   EXPECT_TRUE(res.truncated);

@@ -179,7 +179,7 @@ TEST(Pipeline, GenerateEncodeVerify) {
   const Fsm fsm = make_mcnc_like(benchmark_spec("dk512"));
   const ConstraintSet cs = generate_mixed_constraints(fsm);
   SolveOptions opts;
-  opts.cover_options.max_nodes = 20000;  // best-effort cover is enough here
+  opts.exact.cover_options.max_nodes = 20000;  // best-effort cover is enough here
   const SolveResult res = Solver(cs).encode(opts);
   ASSERT_EQ(res.status, SolveResult::Status::kEncoded);
   EXPECT_TRUE(verify_encoding(res.encoding, cs).empty());

@@ -119,10 +119,10 @@ TEST(Tracer, SolveSpanMultisetIdenticalAcrossThreads) {
   const ConstraintSet cs = mixed_constraints();
   Tracer t1, t4;
   SolveOptions o1, o4;
-  o1.threads = 1;
-  o1.tracer = &t1;
-  o4.threads = 4;
-  o4.tracer = &t4;
+  o1.exec.threads = 1;
+  o1.exec.tracer = &t1;
+  o4.exec.threads = 4;
+  o4.exec.tracer = &t4;
   const SolveResult r1 = Solver(cs).encode(o1);
   const SolveResult r4 = Solver(cs).encode(o4);
   ASSERT_EQ(r1.status, SolveResult::Status::kEncoded);
@@ -202,10 +202,10 @@ TEST(Metrics, SolveFingerprintIdenticalAcrossThreads) {
   const ConstraintSet cs = mixed_constraints();
   MetricsRegistry m1, m4;
   SolveOptions o1, o4;
-  o1.threads = 1;
-  o1.metrics = &m1;
-  o4.threads = 4;
-  o4.metrics = &m4;
+  o1.exec.threads = 1;
+  o1.exec.metrics = &m1;
+  o4.exec.threads = 4;
+  o4.exec.metrics = &m4;
   ASSERT_EQ(Solver(cs).encode(o1).status, SolveResult::Status::kEncoded);
   ASSERT_EQ(Solver(cs).encode(o4).status, SolveResult::Status::kEncoded);
   EXPECT_FALSE(m1.fingerprint().empty());
@@ -232,8 +232,8 @@ std::string solve_telemetry_json() {
   Tracer tracer;
   MetricsRegistry metrics;
   SolveOptions opts;
-  opts.tracer = &tracer;
-  opts.metrics = &metrics;
+  opts.exec.tracer = &tracer;
+  opts.exec.metrics = &metrics;
   const SolveResult res = Solver(mixed_constraints()).encode(opts);
   EXPECT_EQ(res.status, SolveResult::Status::kEncoded);
   TelemetryOptions topts;

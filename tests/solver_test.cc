@@ -18,10 +18,6 @@
 #include "core/solver.h"
 #include "covering/unate.h"
 
-// This file deliberately exercises the deprecated legacy wrappers to pin
-// their facade-equivalence contract.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace encodesat {
 namespace {
 
@@ -78,22 +74,22 @@ void expect_same_result(const SolveResult& a, const SolveResult& b) {
   EXPECT_EQ(a.uncovered, b.uncovered);
 }
 
-TEST(Solver, FacadeMatchesLegacyExactEncode) {
+TEST(Solver, FacadeMatchesDirectExactEncode) {
   const ConstraintSet cs = quickstart_constraints();
-  const ExactEncodeResult legacy = exact_encode(cs);
+  const ExactEncodeResult direct = exact_encode(cs, {}, ExecContext{});
   const SolveResult facade = Solver(cs).encode();
-  ASSERT_EQ(legacy.status, ExactEncodeResult::Status::kEncoded);
+  ASSERT_EQ(direct.status, ExactEncodeResult::Status::kEncoded);
   ASSERT_TRUE(facade.encoded());
-  EXPECT_EQ(facade.encoding.bits, legacy.encoding.bits);
-  EXPECT_EQ(facade.encoding.codes, legacy.encoding.codes);
-  EXPECT_EQ(facade.minimal, legacy.minimal);
-  EXPECT_EQ(facade.num_primes, legacy.num_primes);
+  EXPECT_EQ(facade.encoding.bits, direct.encoding.bits);
+  EXPECT_EQ(facade.encoding.codes, direct.encoding.codes);
+  EXPECT_EQ(facade.minimal, direct.minimal);
+  EXPECT_EQ(facade.num_primes, direct.num_primes);
 }
 
-TEST(Solver, FeasibilityMatchesLegacy) {
+TEST(Solver, FeasibilityMatchesDirectCheck) {
   const ConstraintSet cs = quickstart_constraints();
   EXPECT_TRUE(Solver(cs).feasible());
-  EXPECT_TRUE(check_feasible(cs).feasible);
+  EXPECT_TRUE(check_feasible(cs, ExecContext{}).feasible);
 
   const auto infeasible = parse_constraints(read_data_file("infeasible.constraints"), nullptr);
   ASSERT_TRUE(infeasible.has_value());
@@ -106,9 +102,9 @@ TEST(Solver, ParallelBitIdenticalToSequentialOnBundledExamples) {
     const auto cs = parse_constraints(read_data_file(name), nullptr);
     ASSERT_TRUE(cs.has_value());
     SolveOptions seq;
-    seq.threads = 1;
+    seq.exec.threads = 1;
     SolveOptions par;
-    par.threads = 4;
+    par.exec.threads = 4;
     const SolveResult a = Solver(*cs).encode(seq);
     const SolveResult b = Solver(*cs).encode(par);
     expect_same_result(a, b);
@@ -118,9 +114,9 @@ TEST(Solver, ParallelBitIdenticalToSequentialOnBundledExamples) {
 TEST(Solver, ParallelBitIdenticalToSequentialOnDenseInstance) {
   const ConstraintSet cs = hard_instance(10);
   SolveOptions seq;
-  seq.threads = 1;
+  seq.exec.threads = 1;
   SolveOptions par;
-  par.threads = 4;
+  par.exec.threads = 4;
   const SolveResult a = Solver(cs).encode(seq);
   const SolveResult b = Solver(cs).encode(par);
   expect_same_result(a, b);
@@ -131,7 +127,7 @@ TEST(Solver, ParallelBitIdenticalToSequentialOnDenseInstance) {
 TEST(Solver, MillisecondDeadlineTruncatesWithoutHanging) {
   const ConstraintSet cs = hard_instance(40);
   SolveOptions opts;
-  opts.timeout_seconds = 0.001;
+  opts.exec.timeout_seconds = 0.001;
   const auto start = std::chrono::steady_clock::now();
   const SolveResult res = Solver(cs).encode(opts);
   const double elapsed =
@@ -147,7 +143,7 @@ TEST(Solver, MillisecondDeadlineTruncatesWithoutHanging) {
 TEST(Solver, ExpiredDeadlineReportsDeadlineTruncation) {
   const ConstraintSet cs = hard_instance(40);
   SolveOptions opts;
-  opts.timeout_seconds = 1e-9;
+  opts.exec.timeout_seconds = 1e-9;
   const SolveResult res = Solver(cs).encode(opts);
   EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
   EXPECT_EQ(res.truncation, Truncation::kDeadline);
@@ -158,8 +154,8 @@ TEST(Solver, WorkBudgetTruncationIsThreadCountIndependent) {
   for (int threads : {1, 4}) {
     SCOPED_TRACE(threads);
     SolveOptions opts;
-    opts.threads = threads;
-    opts.max_work = 2000;  // tiny: trips during prime generation
+    opts.exec.threads = threads;
+    opts.exec.max_work = 2000;  // tiny: trips during prime generation
     const SolveResult res = Solver(cs).encode(opts);
     EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
     EXPECT_EQ(res.truncation, Truncation::kWorkBudget);
@@ -171,7 +167,7 @@ TEST(Solver, PreCancelledTokenTruncatesImmediately) {
   CancelToken token;
   token.cancel();
   SolveOptions opts;
-  opts.cancel = &token;
+  opts.exec.cancel = &token;
   const SolveResult res = Solver(cs).encode(opts);
   EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
   EXPECT_EQ(res.truncation, Truncation::kCancelled);
@@ -181,7 +177,7 @@ TEST(Solver, MidSolveCancellationReturnsPromptly) {
   const ConstraintSet cs = hard_instance(40);
   CancelToken token;
   SolveOptions opts;
-  opts.cancel = &token;
+  opts.exec.cancel = &token;
   std::thread canceller([&token] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     token.cancel();
@@ -213,9 +209,10 @@ TEST(Solver, ExtensionPipelineRoutesAutomatically) {
   const SolveResult res = Solver(cs).encode();
   ASSERT_TRUE(res.encoded());
   EXPECT_NE(res.stats.find("extensions"), nullptr);
-  // Same constraints, same result through the legacy entry point.
-  const ExtensionEncodeResult legacy = encode_with_extensions(cs);
-  EXPECT_EQ(res.encoding.codes, legacy.encoding.codes);
+  // Same constraints, same result through the direct entry point.
+  const ExtensionEncodeResult direct =
+      encode_with_extensions(cs, {}, ExecContext{});
+  EXPECT_EQ(res.encoding.codes, direct.encoding.codes);
 }
 
 TEST(EncodeBatch, MatchesIndividualSolves) {
@@ -230,11 +227,11 @@ TEST(EncodeBatch, MatchesIndividualSolves) {
   sets.push_back(hard_instance(10));
 
   SolveOptions opts;
-  opts.threads = 4;
+  opts.exec.threads = 4;
   const std::vector<SolveResult> batch = encode_batch(sets, opts);
   ASSERT_EQ(batch.size(), sets.size());
   SolveOptions single;
-  single.threads = 1;
+  single.exec.threads = 1;
   for (std::size_t i = 0; i < sets.size(); ++i) {
     SCOPED_TRACE(i);
     expect_same_result(batch[i], Solver(sets[i]).encode(single));

@@ -69,9 +69,9 @@ TEST(StatsJsonGolden, StatsJsonDeterministicAcrossThreads) {
   // sequential run bit-for-bit, including the stage tree and its exact
   // work/items counters — only wall-clock may differ.
   SolveOptions seq;
-  seq.threads = 1;
+  seq.exec.threads = 1;
   SolveOptions par;
-  par.threads = 4;
+  par.exec.threads = 4;
   const ConstraintSet cs = mixed_constraints();
   const SolveResult a = Solver(cs).encode(seq);
   const SolveResult b = Solver(cs).encode(par);
@@ -85,7 +85,7 @@ TEST(StatsJsonGolden, TruncationFieldShapeIsUniform) {
   // kTruncated, truncated == true, truncation naming the tripped budget —
   // and the stats tree still serializes.
   SolveOptions so;
-  so.max_work = 1;  // trip immediately
+  so.exec.max_work = 1;  // trip immediately
   const SolveResult res = Solver(mixed_constraints()).encode(so);
   EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
   EXPECT_TRUE(res.truncated);
