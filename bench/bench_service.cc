@@ -1,0 +1,243 @@
+// Repeat-workload benchmark for the solve service (src/service/broker.h):
+// quantifies what the shared cache + single-flight coalescing buy a warm
+// `encodesat serve` over cold per-request solving.
+//
+//   bench_service [--reps N] [--out FILE] [--check-speedup X]
+//
+// Workload: 4 concurrent clients, each submitting 8 requests that are
+// symbol-rotated renderings of one canonical instance (the chain-face
+// shape from bench_primes' solve-cache cases) — the recurring-instance
+// pattern the service is built for. Two measurements:
+//
+//  * serve_warm — all 32 requests through one Broker with a shared
+//    SolveCache: one pipeline run pays the solve, everything else is a
+//    canonicalize+lookup or a coalesced attach. The exact hit/coalesce
+//    split depends on scheduling, so the JSON guards `cache_misses` and
+//    the combined `cache_reuse = hits + coalesced` (deterministic), never
+//    the split.
+//  * solve_cold — the same 32 requests as independent uncached solves on
+//    the same number of threads: the per-request cost a client pays
+//    without the service.
+//
+// Schema (encodesat-bench-service-v1) is compare_bench.py-compatible:
+// wall-time regressions against bench/BENCH_service.json fail the
+// service_bench_check ctest, counter drift is a hard determinism failure.
+// --check-speedup X additionally exits nonzero when warm is not at least
+// X times faster than cold — the service's reason to exist, pinned.
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/canonical.h"
+#include "cache/solve_cache.h"
+#include "core/solver.h"
+#include "service/broker.h"
+#include "util/timer.h"
+
+using namespace encodesat;
+
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kPerClient = 8;
+
+struct CaseResult {
+  std::string name;
+  double wall_seconds = 0;
+  bool truncated = false;
+  std::uint64_t requests = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_reuse = 0;  // hits + coalesced, scheduling-invariant
+};
+
+// The chain-face instance from bench_primes' solve-cache cases: exactly
+// solvable, with enough pipeline work that a full solve dwarfs a
+// canonicalize+lookup round trip.
+ConstraintSet chain_faces(int n) {
+  ConstraintSet cs;
+  for (int i = 0; i < n; ++i) cs.symbols().intern("s" + std::to_string(i));
+  auto face = [&](std::initializer_list<int> m) {
+    std::vector<std::uint32_t> ids;
+    for (int id : m) ids.push_back(static_cast<std::uint32_t>(id));
+    cs.add_face_ids(std::move(ids));
+  };
+  for (int i = 0; i + 2 < n; ++i) face({i, i + 1, i + 2});
+  for (int i = 0; i + 7 < n; i += 2) face({i, i + 7});
+  for (int i = 0; i + 11 < n; i += 3) face({i, i + 11});
+  return cs;
+}
+
+// One rendering per request: request k is the base instance with symbols
+// rotated by 3k — the same canonical instance every time.
+std::vector<ConstraintSet> renderings(const ConstraintSet& base, int count) {
+  const std::uint32_t n = base.num_symbols();
+  std::vector<ConstraintSet> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      perm[i] = (i + 3 * static_cast<std::uint32_t>(k)) % n;
+    out.push_back(apply_symbol_permutation(base, perm));
+  }
+  return out;
+}
+
+CaseResult run_warm(const std::vector<ConstraintSet>& reqs, int reps) {
+  CaseResult out;
+  out.name = "serve_warm32_chain10";
+  out.requests = reqs.size();
+  out.wall_seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    SolveCache cache;
+    BrokerConfig cfg;
+    cfg.workers = kClients;
+    cfg.max_queue = 0;
+    cfg.cache = &cache;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    bool truncated = false;
+    Timer t;
+    {
+      Broker broker(cfg);
+      std::vector<std::thread> clients;
+      for (int c = 0; c < kClients; ++c)
+        clients.emplace_back([&, c] {
+          for (int i = 0; i < kPerClient; ++i) {
+            SolveRequest req;
+            req.constraints = reqs[static_cast<std::size_t>(
+                c * kPerClient + i)];
+            broker.submit(std::move(req), [&](SolveResponse resp) {
+              std::lock_guard<std::mutex> lock(mu);
+              truncated = truncated || resp.result.truncated;
+              if (++done == reqs.size()) cv.notify_one();
+            });
+          }
+        });
+      for (std::thread& th : clients) th.join();
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == reqs.size(); });
+      broker.drain(DrainMode::kFinishQueued);
+      const double secs = t.elapsed_seconds();
+      if (secs < out.wall_seconds) out.wall_seconds = secs;
+      out.truncated = truncated;
+      out.cache_misses = cache.stats().misses;
+      out.cache_reuse =
+          cache.stats().hits + broker.single_flight().stats().coalesced;
+    }
+  }
+  return out;
+}
+
+CaseResult run_cold(const std::vector<ConstraintSet>& reqs, int reps) {
+  CaseResult out;
+  out.name = "solve_cold32_chain10";
+  out.requests = reqs.size();
+  out.wall_seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> truncated{false};
+    Timer t;
+    std::vector<std::thread> workers;
+    for (int c = 0; c < kClients; ++c)
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= reqs.size()) return;
+          const SolveResult res = Solver(reqs[i]).encode({});
+          if (res.truncated) truncated.store(true);
+        }
+      });
+    for (std::thread& th : workers) th.join();
+    const double secs = t.elapsed_seconds();
+    if (secs < out.wall_seconds) out.wall_seconds = secs;
+    out.truncated = truncated.load();
+  }
+  return out;
+}
+
+void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
+  std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-service-v1\",\n");
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"truncated\": %s, "
+                 "\"counters\": {\"requests\": %llu, "
+                 "\"cache_misses\": %llu, \"cache_reuse\": %llu}}%s\n",
+                 c.name.c_str(), c.wall_seconds,
+                 c.truncated ? "true" : "false",
+                 static_cast<unsigned long long>(c.requests),
+                 static_cast<unsigned long long>(c.cache_misses),
+                 static_cast<unsigned long long>(c.cache_reuse),
+                 i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  const char* out_path = nullptr;
+  double check_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      out_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--check-speedup") && i + 1 < argc)
+      check_speedup = std::atof(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--out FILE] [--check-speedup X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  const ConstraintSet base = chain_faces(10);
+  const std::vector<ConstraintSet> reqs =
+      renderings(base, kClients * kPerClient);
+
+  std::vector<CaseResult> cases;
+  cases.push_back(run_cold(reqs, reps));
+  cases.push_back(run_warm(reqs, reps));
+  const CaseResult& cold = cases[0];
+  const CaseResult& warm = cases[1];
+
+  std::printf("%-24s %12s %9s %12s %12s\n", "case", "wall_s", "requests",
+              "cache_miss", "cache_reuse");
+  for (const CaseResult& c : cases)
+    std::printf("%-24s %12.6f %9llu %12llu %12llu\n", c.name.c_str(),
+                c.wall_seconds, static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.cache_misses),
+                static_cast<unsigned long long>(c.cache_reuse));
+  const double speedup =
+      warm.wall_seconds > 0 ? cold.wall_seconds / warm.wall_seconds : 0;
+  std::fprintf(stderr, "serve speedup: %.1fx warm over cold\n", speedup);
+
+  if (out_path) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    write_json(f, cases);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  }
+  if (check_speedup > 0 && speedup < check_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.1fx floor\n",
+                 speedup, check_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,5 +1,10 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_primes run against the committed baseline.
+"""Compare a fresh bench run against its committed baseline.
+
+Works for every harness emitting the encodesat-bench-* JSON shape
+(bench_primes' encodesat-bench-primes-v2, bench_service's
+encodesat-bench-service-v1, ...); the two files must carry the same
+schema string as each other.
 
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--max-regress PCT]
@@ -23,31 +28,37 @@ Checks, per case name present in BOTH files:
 Improvements are reported but never fail.  Exit status 0 = pass, 1 = any
 failure, 2 = usage / schema error.
 
-To refresh the committed baseline after an intentional change (see the
+To refresh a committed baseline after an intentional change (see the
 "Performance" section of docs/API.md):
 
     ./build/bench/bench_primes --reps 3 --out bench/BENCH_primes.json
+    ./build/bench/bench_service --reps 3 --out bench/BENCH_service.json
 """
 
 import json
 import sys
 
 MIN_SECONDS = 0.05
-SCHEMA = "encodesat-bench-primes-v2"
+SCHEMA_PREFIX = "encodesat-bench-"
 
 
-def load(path):
+def load(path, want_schema=None):
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, ValueError) as e:
         print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    if data.get("schema") != SCHEMA:
-        print(f"compare_bench: {path}: schema {data.get('schema')!r} != {SCHEMA!r}",
-              file=sys.stderr)
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(SCHEMA_PREFIX):
+        print(f"compare_bench: {path}: schema {schema!r} is not an "
+              f"{SCHEMA_PREFIX}* schema", file=sys.stderr)
         sys.exit(2)
-    return {c["name"]: c for c in data.get("cases", [])}
+    if want_schema is not None and schema != want_schema:
+        print(f"compare_bench: {path}: schema {schema!r} != baseline's "
+              f"{want_schema!r}", file=sys.stderr)
+        sys.exit(2)
+    return schema, {c["name"]: c for c in data.get("cases", [])}
 
 
 def main(argv):
@@ -65,7 +76,8 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
 
-    base, cur = load(args[0]), load(args[1])
+    schema, base = load(args[0])
+    _, cur = load(args[1], want_schema=schema)
     shared = [n for n in base if n in cur]
     if not shared:
         print("compare_bench: no common case names between the two files",

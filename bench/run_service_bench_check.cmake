@@ -1,0 +1,17 @@
+# Helper for the service_bench_check test/target (see CMakeLists.txt
+# here): runs bench_service — which itself fails below the 2x warm/cold
+# speedup floor — then compare_bench.py against the committed baseline
+# (wall-time budget + the deterministic cache_misses / cache_reuse
+# counters). Expects BENCH_SERVICE, PYTHON, COMPARE, BASELINE, OUT_JSON.
+execute_process(
+  COMMAND ${BENCH_SERVICE} --reps 2 --check-speedup 2 --out ${OUT_JSON}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_service exited with ${bench_rc}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT_JSON}
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR "compare_bench.py reported a regression (rc=${compare_rc})")
+endif()

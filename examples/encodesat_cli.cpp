@@ -19,6 +19,18 @@
 //       oracle, cross-checked by the agreement rules of
 //       src/fuzz/differential.h; exits 0 iff zero divergences. --minimize
 //       delta-debugs each divergent case; --out writes reproducer files
+//   encodesat_cli serve       [--socket PATH] [--workers N] [--max-queue N]
+//                             [--default-deadline SECS]
+//       long-running solve service speaking the NDJSON protocol
+//       "encodesat-service-v1" (docs/SERVICE.md) on stdin/stdout, or on a
+//       Unix-domain socket with --socket. All clients share one solve
+//       cache with single-flight coalescing; SIGTERM drains gracefully
+//       (in-flight finishes, queued rejected as overloaded, --cache-save
+//       flushed). --timeout sets the default per-request deadline
+//
+// Flag parsing: every subcommand consumes the shared table below through
+// parse_common_flag(); only the subcommand-specific flags are parsed in
+// each cmd_* function.
 //
 // Shared budget/observability flags (encode, solve and fuzz):
 //   --timeout SECS    wall-clock budget; expiry yields a truncated result,
@@ -66,6 +78,7 @@
 #include "obs/counters.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "service/server.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -139,6 +152,8 @@ int usage(const char* argv0) {
                "       %s fuzz [--seed S] [--cases N] "
                "[--mix default|input|output|extensions|infeasible] "
                "[--minimize] [--out DIR]\n"
+               "       %s serve [--socket PATH] [--workers N] "
+               "[--max-queue N] [--default-deadline SECS]\n"
                "  common flags: [--timeout SECS] [--threads N] "
                "[--stats-out DEST] [--trace-out FILE]\n"
                "  cache flags:  [--cache] [--cache-size BYTES] "
@@ -147,7 +162,7 @@ int usage(const char* argv0) {
                "agreement rule;\n"
                "   '-' as DEST means stderr; --stats-json is a deprecated "
                "alias for --stats-out -)\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -249,15 +264,22 @@ int cmd_encode(const Fsm& fsm, const CliOptions& cli) {
     bool cache_ok = true;
     std::unique_ptr<SolveCache> cache = make_cli_cache(cli, &cache_ok);
     if (!cache_ok) return 2;
-    SolveOptions opts = to_solve_options(cli);
-    opts.exact.cover_options.max_nodes = 200000;
-    opts.exec.tracer = tracer.get();
-    opts.exec.metrics = &metrics;
-    opts.cache.store = cache.get();
-    const SolveResult res = Solver(cs).encode(opts);
+    SolveRequest req;
+    req.constraints = cs;
+    req.options = to_solve_options(cli);
+    req.options.exact.cover_options.max_nodes = 200000;
+    req.options.exec.tracer = tracer.get();
+    req.options.exec.metrics = &metrics;
+    req.options.cache.store = cache.get();
+    const SolveResponse resp = solve(req);
+    const SolveResult& res = resp.result;
     emit_observability(cli, "encode", &res.stats, &metrics, tracer.get());
     finish_cli_cache(cli, cache.get());
-    if (!res.encoded()) {
+    if (resp.status == StatusCode::kInternal) {
+      std::fprintf(stderr, "%s\n", resp.detail.c_str());
+      return 2;
+    }
+    if (!resp.ok()) {
       std::fprintf(stderr, "exact encoding failed (%s)\n",
                    res.status == SolveResult::Status::kTruncated
                        ? truncation_name(res.truncation)
@@ -330,21 +352,28 @@ int cmd_solve(const char* path, const CliOptions& cli) {
   bool cache_ok = true;
   std::unique_ptr<SolveCache> cache = make_cli_cache(cli, &cache_ok);
   if (!cache_ok) return 2;
-  SolveOptions opts = to_solve_options(cli);
-  opts.exec.tracer = tracer.get();
-  opts.exec.metrics = &metrics;
-  opts.cache.store = cache.get();
-  const SolveResult res = Solver(*cs).encode(opts);
+  SolveRequest req;
+  req.constraints = *cs;
+  req.options = to_solve_options(cli);
+  req.options.exec.tracer = tracer.get();
+  req.options.exec.metrics = &metrics;
+  req.options.cache.store = cache.get();
+  const SolveResponse resp = solve(req);
+  const SolveResult& res = resp.result;
   emit_observability(cli, "solve", &res.stats, &metrics, tracer.get());
   finish_cli_cache(cli, cache.get());
-  switch (res.status) {
-    case SolveResult::Status::kInfeasible:
+  switch (resp.status) {
+    case StatusCode::kInfeasible:
       std::printf("INFEASIBLE\n");
       return 1;
-    case SolveResult::Status::kTruncated:
+    case StatusCode::kTimeout:
+    case StatusCode::kCanceled:
       std::printf("TRUNCATED (%s)\n", truncation_name(res.truncation));
       return 1;
-    case SolveResult::Status::kEncoded:
+    case StatusCode::kInternal:
+      std::fprintf(stderr, "%s\n", resp.detail.c_str());
+      return 2;
+    default:
       break;
   }
   std::fprintf(stderr, "encoded %u symbols in %d bits (%s)%s in %.2fs\n",
@@ -395,14 +424,65 @@ bool parse_u64(const char* flag, const char* text, std::uint64_t* out) {
   return true;
 }
 
+// The one shared flag table (budget, observability, cache) consumed by
+// every subcommand. Returns the number of argv slots consumed at position
+// `i` (0 = not a shared flag, caller tries its own flags), or -1 when the
+// flag was recognized but its value was malformed (caller exits 2).
+int parse_common_flag(int argc, char** argv, int i, CliOptions* cli) {
+  const char* flag = argv[i];
+  const bool has_value = i + 1 < argc;
+  if (!std::strcmp(flag, "--timeout") && has_value)
+    return parse_number(flag, argv[i + 1], &cli->timeout_seconds) ? 2 : -1;
+  if (!std::strcmp(flag, "--threads") && has_value)
+    return parse_int(flag, argv[i + 1], &cli->threads) ? 2 : -1;
+  if (!std::strcmp(flag, "--cache")) {
+    cli->cache = true;
+    return 1;
+  }
+  if (!std::strcmp(flag, "--cache-size") && has_value)
+    return parse_u64(flag, argv[i + 1], &cli->cache_size) ? 2 : -1;
+  if (!std::strcmp(flag, "--cache-load") && has_value) {
+    cli->cache_load = argv[i + 1];
+    return 2;
+  }
+  if (!std::strcmp(flag, "--cache-save") && has_value) {
+    cli->cache_save = argv[i + 1];
+    return 2;
+  }
+  if (!std::strcmp(flag, "--stats-out") && has_value) {
+    cli->stats_out = argv[i + 1];
+    return 2;
+  }
+  if (!std::strcmp(flag, "--trace-out") && has_value) {
+    cli->trace_out = argv[i + 1];
+    return 2;
+  }
+  if (!std::strcmp(flag, "--stats-json")) {
+    cli->stats_json = true;
+    std::fprintf(stderr,
+                 "note: --stats-json is deprecated; use --stats-out FILE "
+                 "('-' for stderr)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_fuzz(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t cases = 1000;
   FuzzRunOptions opts;
   bool minimize = false;
+  bool no_cache = false;
   std::string out_dir;
-  CliOptions obs_cli;  // observability flags only
+  CliOptions obs_cli;  // shared flags (threads, cache sizing, observability)
+  obs_cli.cache_size = opts.differential.cache_max_bytes;
   for (int i = 2; i < argc; ++i) {
+    const int used = parse_common_flag(argc, argv, i, &obs_cli);
+    if (used < 0) return 2;
+    if (used > 0) {
+      i += used - 1;
+      continue;
+    }
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       if (!parse_u64("--seed", argv[++i], &seed)) return 2;
     } else if (!std::strcmp(argv[i], "--cases") && i + 1 < argc) {
@@ -416,30 +496,21 @@ int cmd_fuzz(int argc, char** argv) {
       opts.generator = *mix;
     } else if (!std::strcmp(argv[i], "--minimize"))
       minimize = true;
-    else if (!std::strcmp(argv[i], "--cache"))
-      opts.differential.check_cache = true;
     else if (!std::strcmp(argv[i], "--no-cache"))
-      opts.differential.check_cache = false;
-    else if (!std::strcmp(argv[i], "--cache-size") && i + 1 < argc) {
-      std::uint64_t bytes = 0;
-      if (!parse_u64("--cache-size", argv[++i], &bytes)) return 2;
-      opts.differential.cache_max_bytes = static_cast<std::size_t>(bytes);
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      if (!parse_int("--threads", argv[++i], &opts.threads)) return 2;
-    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      no_cache = true;
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
       out_dir = argv[++i];
-    else if (!std::strcmp(argv[i], "--stats-out") && i + 1 < argc)
-      obs_cli.stats_out = argv[++i];
-    else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
-      obs_cli.trace_out = argv[++i];
-    else if (!std::strcmp(argv[i], "--stats-json")) {
-      obs_cli.stats_json = true;
-      std::fprintf(stderr,
-                   "note: --stats-json is deprecated; use --stats-out FILE "
-                   "('-' for stderr)\n");
-    } else
+    else
       return usage(argv[0]);
   }
+  // Shared-table flags map onto the fuzz run: --cache/--no-cache toggle
+  // the cache agreement rule (on by default), --cache-size bounds its
+  // per-case caches, --threads is the case fan-out width.
+  opts.threads = obs_cli.threads;
+  if (obs_cli.cache) opts.differential.check_cache = true;
+  if (no_cache) opts.differential.check_cache = false;
+  opts.differential.cache_max_bytes =
+      static_cast<std::size_t>(obs_cli.cache_size);
 
   std::unique_ptr<Tracer> tracer;
   if (!obs_cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
@@ -506,14 +577,80 @@ int cmd_fuzz(int argc, char** argv) {
   return report.divergent.empty() ? 0 : 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  CliOptions cli;
+  std::string socket_path;
+  int workers = 2;
+  int max_queue = 64;
+  double default_deadline = 0;
+  for (int i = 2; i < argc; ++i) {
+    const int used = parse_common_flag(argc, argv, i, &cli);
+    if (used < 0) return 2;
+    if (used > 0) {
+      i += used - 1;
+      continue;
+    }
+    if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
+      socket_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      if (!parse_int("--workers", argv[++i], &workers)) return 2;
+    } else if (!std::strcmp(argv[i], "--max-queue") && i + 1 < argc) {
+      if (!parse_int("--max-queue", argv[++i], &max_queue)) return 2;
+    } else if (!std::strcmp(argv[i], "--default-deadline") && i + 1 < argc) {
+      if (!parse_number("--default-deadline", argv[++i], &default_deadline))
+        return 2;
+    } else
+      return usage(argv[0]);
+  }
+
+  std::unique_ptr<Tracer> tracer;
+  if (!cli.trace_out.empty()) tracer = std::make_unique<Tracer>();
+  MetricsRegistry metrics;
+  bool cache_ok = true;
+  std::unique_ptr<SolveCache> cache = make_cli_cache(cli, &cache_ok);
+  if (!cache_ok) return 2;
+  if (!cache) {
+    // The shared cache is the service's raison d'être: serve always runs
+    // one, flags or not (--cache-size still bounds it).
+    CacheConfig config;
+    config.max_bytes = static_cast<std::size_t>(cli.cache_size);
+    cache = std::make_unique<SolveCache>(config);
+  }
+
+  ServerConfig scfg;
+  scfg.broker.workers = workers;
+  scfg.broker.max_queue = static_cast<std::size_t>(max_queue);
+  // --timeout doubles as the default per-request deadline; the broker
+  // turns it into remaining-time budgets, so the base options carry none.
+  scfg.broker.default_deadline_seconds =
+      default_deadline > 0 ? default_deadline : cli.timeout_seconds;
+  scfg.broker.base_options = to_solve_options(cli);
+  scfg.broker.base_options.exec.timeout_seconds = 0;
+  scfg.broker.cache = cache.get();
+  scfg.broker.metrics = &metrics;
+  scfg.broker.tracer = tracer.get();
+  scfg.metrics = &metrics;
+  scfg.tracer = tracer.get();
+
+  Server server(std::move(scfg));
+  ScopedDrainSignals signals(&server);
+  const int rc = socket_path.empty() ? server.run_pipe(0, 1)
+                                     : server.run_unix_socket(socket_path);
+  // run_* returns only after the drain: every in-flight solve finished, so
+  // the cache is quiescent for --cache-save and the counters are final.
+  emit_observability(cli, "serve", nullptr, &metrics, tracer.get());
+  finish_cli_cache(cli, cache.get());
+  return rc == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string cmd = argv[1];
-  if (cmd == "fuzz") {
+  if (cmd == "fuzz" || cmd == "serve") {
     try {
-      return cmd_fuzz(argc, argv);
+      return cmd == "fuzz" ? cmd_fuzz(argc, argv) : cmd_serve(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -522,32 +659,16 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   CliOptions cli;
   for (int i = 3; i < argc; ++i) {
+    const int used = parse_common_flag(argc, argv, i, &cli);
+    if (used < 0) return 2;
+    if (used > 0) {
+      i += used - 1;
+      continue;
+    }
     if (!std::strcmp(argv[i], "--bits") && i + 1 < argc) {
       if (!parse_int("--bits", argv[++i], &cli.bits)) return 2;
     } else if (!std::strcmp(argv[i], "--exact"))
       cli.exact = true;
-    else if (!std::strcmp(argv[i], "--timeout") && i + 1 < argc) {
-      if (!parse_number("--timeout", argv[++i], &cli.timeout_seconds))
-        return 2;
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      if (!parse_int("--threads", argv[++i], &cli.threads)) return 2;
-    } else if (!std::strcmp(argv[i], "--cache"))
-      cli.cache = true;
-    else if (!std::strcmp(argv[i], "--cache-size") && i + 1 < argc) {
-      if (!parse_u64("--cache-size", argv[++i], &cli.cache_size)) return 2;
-    } else if (!std::strcmp(argv[i], "--cache-load") && i + 1 < argc)
-      cli.cache_load = argv[++i];
-    else if (!std::strcmp(argv[i], "--cache-save") && i + 1 < argc)
-      cli.cache_save = argv[++i];
-    else if (!std::strcmp(argv[i], "--stats-json")) {
-      cli.stats_json = true;
-      std::fprintf(stderr,
-                   "note: --stats-json is deprecated; use --stats-out FILE "
-                   "('-' for stderr)\n");
-    } else if (!std::strcmp(argv[i], "--stats-out") && i + 1 < argc)
-      cli.stats_out = argv[++i];
-    else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
-      cli.trace_out = argv[++i];
     else if (!std::strcmp(argv[i], "--cost") && i + 1 < argc) {
       const std::string c = argv[++i];
       if (c == "violated") cli.cost = CostKind::kViolatedFaces;

@@ -1,6 +1,8 @@
 # Helper for the check_trace test (see CMakeLists.txt here): runs the CLI
-# with --trace-out, then tools/check_trace.py on the result. Expects CLI,
-# CONSTRAINTS, PYTHON, CHECKER, OUT_TRACE.
+# with --trace-out — once as a one-shot solve, once as a pipe-mode serve
+# session over the smoke request stream — then tools/check_trace.py on each
+# result. Expects CLI, CONSTRAINTS, REQUESTS, PYTHON, CHECKER, OUT_TRACE,
+# OUT_SERVE_TRACE.
 execute_process(
   COMMAND ${CLI} solve ${CONSTRAINTS} --threads 4 --trace-out ${OUT_TRACE}
   RESULT_VARIABLE solve_rc)
@@ -12,4 +14,20 @@ execute_process(
   RESULT_VARIABLE check_rc)
 if(NOT check_rc EQUAL 0)
   message(FATAL_ERROR "check_trace.py rejected the trace (rc=${check_rc})")
+endif()
+execute_process(
+  COMMAND ${CLI} serve --workers 4 --trace-out ${OUT_SERVE_TRACE}
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_QUIET
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "encodesat_cli serve exited with ${serve_rc}: ${serve_err}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT_SERVE_TRACE}
+  RESULT_VARIABLE serve_check_rc)
+if(NOT serve_check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "check_trace.py rejected the serve trace (rc=${serve_check_rc})")
 endif()

@@ -1,0 +1,29 @@
+# Helper for the service_smoke test (see CMakeLists.txt here): runs the
+# pipe-mode server over the canned NDJSON request stream and requires the
+# response stream to be byte-identical to the golden file — the protocol's
+# determinism contract (no timings, no cache markers; in-order delivery)
+# makes that comparison stable under any worker count or scheduling.
+# Expects CLI, REQUESTS, GOLDEN, OUT.
+execute_process(
+  COMMAND ${CLI} serve --workers 4
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_FILE ${OUT}
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "encodesat_cli serve exited with ${serve_rc}: ${serve_err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  file(READ ${OUT} got)
+  file(READ ${GOLDEN} want)
+  message(FATAL_ERROR "serve output diverged from the golden stream.\n"
+                      "--- got ---\n${got}\n--- want ---\n${want}")
+endif()
+# The session summary must land on stderr, never polluting the NDJSON
+# stream clients parse.
+if(NOT serve_err MATCHES "cache:")
+  message(FATAL_ERROR "expected the cache summary on stderr, got: ${serve_err}")
+endif()

@@ -146,7 +146,9 @@ std::string ConstraintSet::to_string() const {
 }
 
 std::string ParseError::to_string() const {
-  return "line " + std::to_string(line) + ": " + message;
+  if (column <= 0) return "line " + std::to_string(line) + ": " + message;
+  return "line " + std::to_string(line) + ", col " + std::to_string(column) +
+         ": " + message;
 }
 
 namespace {
@@ -157,8 +159,9 @@ struct ParseFailure {
   ParseError err;
 };
 
-[[noreturn]] void parse_error(int line_no, const std::string& msg) {
-  throw ParseFailure{ParseError{line_no, msg}};
+[[noreturn]] void parse_error(int line_no, int column,
+                               const std::string& msg) {
+  throw ParseFailure{ParseError{line_no, column, msg}};
 }
 
 ConstraintSet parse_impl(const std::string& text) {
@@ -166,6 +169,18 @@ ConstraintSet parse_impl(const std::string& text) {
   std::istringstream in(text);
   std::string raw;
   int line_no = 0;
+  // Column of `token` in the raw input line (1-based); with no token, the
+  // column where the statement begins. Tokens never contain whitespace, so
+  // the first occurrence is the offending one except for repeated names —
+  // close enough for a diagnostic.
+  auto col_of = [&](const std::string& token) -> int {
+    const std::size_t pos = token.empty() ? raw.find_first_not_of(" \t")
+                                          : raw.find(token);
+    return pos == std::string::npos ? 1 : static_cast<int>(pos) + 1;
+  };
+  auto fail = [&](const std::string& msg, const std::string& token = "") {
+    parse_error(line_no, col_of(token), msg);
+  };
   while (std::getline(in, raw)) {
     ++line_no;
     std::string line{trim(raw)};
@@ -178,7 +193,7 @@ ConstraintSet parse_impl(const std::string& text) {
     const std::vector<std::string> args(tok.begin() + 1, tok.end());
 
     if (kind == "symbol") {
-      if (args.size() != 1) parse_error(line_no, "symbol takes one name");
+      if (args.size() != 1) fail("symbol takes one name");
       cs.symbols().intern(args[0]);
     } else if (kind == "face") {
       std::vector<std::string> members, dontcares;
@@ -195,43 +210,42 @@ ConstraintSet parse_impl(const std::string& text) {
           a.pop_back();
         }
         if (open) {
-          if (in_dc) parse_error(line_no, "nested '['");
+          if (in_dc) fail("nested '['");
           in_dc = true;
         }
         if (!a.empty()) (in_dc ? dontcares : members).push_back(a);
         if (close) {
-          if (!in_dc) parse_error(line_no, "']' without '['");
+          if (!in_dc) fail("']' without '['");
           in_dc = false;
         }
       }
-      if (in_dc) parse_error(line_no, "unterminated '['");
+      if (in_dc) fail("unterminated '['");
       if (members.size() < 2)
-        parse_error(line_no, "face needs at least two (non-don't-care) members");
+        fail("face needs at least two (non-don't-care) members");
       // A symbol listed twice (as member, don't-care, or both) makes the
       // face semantics ambiguous downstream (span vs intruder checks).
       std::vector<std::string> all(members);
       all.insert(all.end(), dontcares.begin(), dontcares.end());
       std::sort(all.begin(), all.end());
-      if (std::adjacent_find(all.begin(), all.end()) != all.end())
-        parse_error(line_no, "duplicate symbol '" +
-                                 *std::adjacent_find(all.begin(), all.end()) +
-                                 "' in face constraint");
+      if (std::adjacent_find(all.begin(), all.end()) != all.end()) {
+        const std::string& dup = *std::adjacent_find(all.begin(), all.end());
+        fail("duplicate symbol '" + dup + "' in face constraint", dup);
+      }
       cs.add_face(members, dontcares);
     } else if (kind == "dominance") {
-      if (args.size() != 2) parse_error(line_no, "dominance takes two names");
-      if (args[0] == args[1]) parse_error(line_no, "dominance of a symbol over itself");
+      if (args.size() != 2) fail("dominance takes two names");
+      if (args[0] == args[1]) fail("dominance of a symbol over itself");
       cs.add_dominance(args[0], args[1]);
     } else if (kind == "disjunctive") {
       if (args.size() < 3)
-        parse_error(line_no, "disjunctive takes a parent and >= 2 children");
+        fail("disjunctive takes a parent and >= 2 children");
       for (std::size_t i = 1; i < args.size(); ++i)
         if (args[i] == args[0])
-          parse_error(line_no,
-                      "disjunctive parent '" + args[0] + "' in its own RHS");
+          fail("disjunctive parent '" + args[0] + "' in its own RHS", args[0]);
       cs.add_disjunctive(args[0], {args.begin() + 1, args.end()});
     } else if (kind == "extdisjunctive") {
       if (args.size() < 3 || args[1] != ":")
-        parse_error(line_no, "expected: extdisjunctive parent : c1 c2 | c3 c4");
+        fail("expected: extdisjunctive parent : c1 c2 | c3 c4");
       std::vector<std::vector<std::string>> conjs(1);
       for (std::size_t i = 2; i < args.size(); ++i) {
         if (args[i] == "|")
@@ -240,16 +254,16 @@ ConstraintSet parse_impl(const std::string& text) {
           conjs.back().push_back(args[i]);
       }
       for (const auto& c : conjs)
-        if (c.empty()) parse_error(line_no, "empty conjunction");
+        if (c.empty()) fail("empty conjunction");
       cs.add_extended_disjunctive(args[0], conjs);
     } else if (kind == "distance2") {
-      if (args.size() != 2) parse_error(line_no, "distance2 takes two names");
+      if (args.size() != 2) fail("distance2 takes two names");
       cs.add_distance2(args[0], args[1]);
     } else if (kind == "nonface") {
-      if (args.size() < 2) parse_error(line_no, "nonface needs >= 2 members");
+      if (args.size() < 2) fail("nonface needs >= 2 members");
       cs.add_nonface(args);
     } else {
-      parse_error(line_no, "unknown constraint kind '" + kind + "'");
+      fail("unknown constraint kind '" + kind + "'", kind);
     }
   }
   return cs;

@@ -145,10 +145,12 @@ class ConstraintSet {
 
 /// Diagnostic for a malformed constraint line.
 struct ParseError {
-  int line = 0;  ///< 1-based line number of the offending input line.
+  int line = 0;    ///< 1-based line number of the offending input line.
+  int column = 0;  ///< 1-based column of the offending token (0 = unknown).
   std::string message;
 
-  /// "line N: message" — ready for CLI diagnostics.
+  /// "line N, col C: message" ("line N: message" when the column is
+  /// unknown) — ready for CLI diagnostics and the service wire payload.
   std::string to_string() const;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cache/canonical.h"
+#include "cache/inflight.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -153,7 +154,9 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
   // child spans.
   TRACE_SCOPE(ctx, "solve");
 
-  bool hit = false;
+  // True once `out` replays a finished solve (cache hit or coalesced
+  // attach) — those skip the pipeline and the truncation fixup below.
+  bool served = false;
   if (cache != nullptr) {
     Canonicalization cz;
     {
@@ -168,23 +171,75 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
                       solve_options_fingerprint(opts)));
     const std::string key = cz.canon.key + fp;
 
+    InFlightTable* sf = opts.cache.single_flight;
     CachedSolve entry;
+    bool have_entry = false;
+    bool coalesced = false;
+    bool wait_expired = false;
+    std::shared_ptr<InFlightTable::Slot> slot;
+    auto join = InFlightTable::Join::kLeader;
     {
       StageScope scope(ctx, "cache_lookup");
-      hit = cache->lookup(key, &entry);
+      if (sf != nullptr) {
+        join = sf->join(cache, key, &entry, &slot);
+        have_entry = join == InFlightTable::Join::kHit;
+      } else {
+        have_entry = cache->lookup(key, &entry);
+        join = have_entry ? InFlightTable::Join::kHit
+                          : InFlightTable::Join::kLeader;
+      }
     }
-    cache_metric(ctx, "cache.hits", hit ? 1 : 0);
-    cache_metric(ctx, "cache.misses", hit ? 0 : 1);
-    if (hit) {
+    if (join == InFlightTable::Join::kFollower) {
+      // Another thread is solving this exact canonical instance under the
+      // same options fingerprint: attach instead of duplicating the work.
+      // An abandoned leader (exception) drops us to the local-solve path;
+      // a deadline expiring mid-wait is an ordinary deadline truncation.
+      StageScope scope(ctx, "coalesce_wait");
+      if (slot->wait(budget.has_deadline(), budget.deadline(), &entry)) {
+        have_entry = true;
+        coalesced = true;
+      } else if (!slot->abandoned()) {
+        budget.trip(Truncation::kDeadline);
+        wait_expired = true;
+      }
+    }
+    // Hit/miss/coalesce accounting: a follower never touches the cache, so
+    // misses count leaders only — cache.misses + cache.coalesced +
+    // cache.hits sums exactly to the solve count under any interleaving.
+    cache_metric(ctx, "cache.hits",
+                 have_entry && !coalesced ? 1 : 0);
+    cache_metric(ctx, "cache.misses",
+                 join == InFlightTable::Join::kLeader ? 1 : 0);
+    cache_metric(ctx, "cache.coalesced", coalesced ? 1 : 0);
+    if (have_entry) {
       from_cached(entry, cz.perm, out);
-      out.stats.add_child("cache_hit");
+      out.coalesced = coalesced;
+      out.stats.add_child(coalesced ? "coalesced" : "cache_hit");
+      served = true;
+    } else if (wait_expired) {
+      out.status = SolveResult::Status::kTruncated;
     } else {
-      run_pipeline(cz.canon.set, opts, ctx, out);
+      const bool leads = sf != nullptr && join == InFlightTable::Join::kLeader;
+      if (leads) {
+        try {
+          run_pipeline(cz.canon.set, opts, ctx, out);
+        } catch (...) {
+          sf->abandon(key, slot);
+          throw;
+        }
+      } else {
+        run_pipeline(cz.canon.set, opts, ctx, out);
+      }
       // Store before permuting: entries live in canonical space. Truncated
       // results are transient (a bigger budget would do better) and never
-      // cached.
-      if (out.truncation == Truncation::kNone &&
-          out.status != SolveResult::Status::kTruncated) {
+      // cached; a truncated leader still publishes to its followers — they
+      // asked for the same budgeted solve.
+      const bool cacheable = out.truncation == Truncation::kNone &&
+                             out.status != SolveResult::Status::kTruncated;
+      if (leads) {
+        sf->publish(cache, key, slot, to_cached(out), cacheable);
+        cache_metric(ctx, "cache.inserts", cacheable ? 1 : 0);
+      } else if (cacheable) {
         cache->insert(key, to_cached(out));
         cache_metric(ctx, "cache.inserts", 1);
       }
@@ -199,7 +254,7 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
     run_pipeline(cs, opts, ctx, out);
   }
 
-  if (!hit) {
+  if (!served) {
     if (out.status == SolveResult::Status::kTruncated &&
         out.truncation == Truncation::kNone)
       out.truncation = budget.reason();
@@ -232,6 +287,36 @@ std::uint64_t solve_options_fingerprint(const SolveOptions& opts) {
   s += ";xw" + std::to_string(opts.extensions.prime_options.max_work);
   s += ";xn" + std::to_string(opts.extensions.cover_options.max_nodes);
   return fnv1a64(s);
+}
+
+StatusCode status_from_result(const SolveResult& r) {
+  switch (r.status) {
+    case SolveResult::Status::kEncoded:
+      return StatusCode::kOk;
+    case SolveResult::Status::kInfeasible:
+      return StatusCode::kInfeasible;
+    case SolveResult::Status::kTruncated:
+      return r.truncation == Truncation::kCancelled ? StatusCode::kCanceled
+                                                    : StatusCode::kTimeout;
+  }
+  return StatusCode::kInternal;
+}
+
+SolveResponse solve(const SolveRequest& req) {
+  SolveResponse resp;
+  resp.id = req.id;
+  try {
+    SolveOptions opts = req.options;
+    if (req.deadline_seconds > 0)
+      opts.exec.timeout_seconds = req.deadline_seconds;
+    const Solver solver(req.constraints);
+    resp.result = solver.encode(opts);
+    resp.status = status_from_result(resp.result);
+  } catch (const std::exception& e) {
+    resp.status = StatusCode::kInternal;
+    resp.detail = e.what();
+  }
+  return resp;
 }
 
 FeasibilityResult Solver::feasibility() const {

@@ -54,9 +54,12 @@
 #include "core/encoder.h"
 #include "core/encoding.h"
 #include "core/extensions.h"
+#include "core/status.h"
 #include "util/exec.h"
 
 namespace encodesat {
+
+class InFlightTable;  // cache/inflight.h
 
 struct SolveOptions {
   /// Which pipeline encode() runs. kAuto picks the extension pipeline when
@@ -111,6 +114,12 @@ struct SolveOptions {
     /// Leaf budget for the canonicalization search; past it the canonical
     /// key is inexact (still sound, may miss renamed duplicates).
     std::size_t max_canon_leaves = 4096;
+    /// Optional single-flight table (cache/inflight.h): concurrent solves
+    /// whose canonical key + options fingerprint match coalesce onto one
+    /// pipeline run; the others attach and receive the identical canonical
+    /// result permuted back through their own symbol maps. Only consulted
+    /// when a cache is active. Borrowed; must outlive the call.
+    InFlightTable* single_flight = nullptr;
 
     bool active() const { return enabled || store != nullptr; }
   };
@@ -142,6 +151,10 @@ struct SolveResult {
   std::vector<std::size_t> uncovered;
   /// True when this result was served from the solve cache.
   bool from_cache = false;
+  /// True when this result attached to a concurrent in-flight solve of the
+  /// same canonical instance (single-flight coalescing; implies
+  /// `from_cache` semantics: the payload replays the leader's solve).
+  bool coalesced = false;
 
   // Table-1 style counters (exact pipeline). On a cache hit these replay
   // the counters of the solve that populated the entry.
@@ -201,6 +214,53 @@ class Solver {
   mutable std::unique_ptr<SolveCache> owned_cache_;
   mutable std::mutex cache_mu_;
 };
+
+/// One solve, as submitted through the unified request entry point — the
+/// single public solve surface shared by the CLI subcommands, the fuzz
+/// driver and the `encodesat serve` broker (src/service/broker.h). The
+/// request owns its constraints; the service layer parses the wire payload
+/// into one of these and everything downstream is transport-agnostic.
+struct SolveRequest {
+  /// Client-chosen identifier, echoed back verbatim on the response (and
+  /// on the NDJSON wire). Not interpreted.
+  std::string id;
+  ConstraintSet constraints;
+  SolveOptions options;
+  /// Per-request deadline in seconds, measured from the moment solve()
+  /// starts (the broker re-derives the remaining time at dequeue so queue
+  /// wait counts against it). 0 defers to options.exec.timeout_seconds.
+  double deadline_seconds = 0;
+};
+
+/// The uniform answer: a StatusCode plus the underlying SolveResult.
+/// `result` is meaningful for kOk / kInfeasible / kTimeout / kCanceled
+/// (on the truncation statuses it carries the partial stats); for
+/// kParseError the protocol layer fills `parse_error` instead, and for
+/// kOverloaded / kInternal `detail` explains.
+struct SolveResponse {
+  std::string id;
+  StatusCode status = StatusCode::kInternal;
+  SolveResult result;
+  ParseError parse_error;
+  std::string detail;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
+/// Maps a finished SolveResult onto the unified status surface: encoded →
+/// kOk (even when only the optimality proof was truncated), infeasible →
+/// kInfeasible, truncated-without-encoding → kCanceled for cooperative
+/// cancellation, kTimeout for every expired budget (deadline, work, term,
+/// node — from the requester's seat they are all "ran out of budget").
+StatusCode status_from_result(const SolveResult& r);
+
+/// The unified entry point: solves `req.constraints` under `req.options`
+/// (deadline_seconds, when set, overrides options.exec.timeout_seconds)
+/// and folds the outcome into a SolveResponse. Exceptions become
+/// kInternal with the message in `detail`. Equivalent to
+/// Solver(req.constraints).encode(...) plus the status mapping — the CLI,
+/// fuzz driver and service broker all funnel through here.
+SolveResponse solve(const SolveRequest& req);
 
 /// Fingerprint of every option that changes what a solve produces
 /// (pipeline, prime/cover budgets, exec.max_work) — part of the cache key,

@@ -1,0 +1,42 @@
+#include "core/status.h"
+
+#include <cstring>
+
+namespace encodesat {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kCanceled:
+      return "canceled";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+bool status_code_from_name(const char* name, StatusCode* out) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,         StatusCode::kParseError,
+      StatusCode::kInfeasible, StatusCode::kTimeout,
+      StatusCode::kOverloaded, StatusCode::kCanceled,
+      StatusCode::kInternal,
+  };
+  for (StatusCode c : kAll)
+    if (!std::strcmp(name, status_code_name(c))) {
+      if (out) *out = c;
+      return true;
+    }
+  return false;
+}
+
+}  // namespace encodesat

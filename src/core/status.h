@@ -1,0 +1,34 @@
+// Unified status codes for the public solve surface.
+//
+// Every way a solve request can conclude — in-process through the
+// SolveRequest/SolveResponse entry point (core/solver.h) or over the
+// service wire protocol (src/service/protocol.h) — maps onto this one
+// enum, replacing the historical mix of bools, ParseError out-params and
+// per-result status enums at the API boundary. The numeric values are
+// part of no format; the *names* (status_code_name) are: they appear in
+// the NDJSON `status` field of `encodesat-service-v1` responses and in
+// CLI diagnostics, so they are lowercase, stable, and additive-only.
+#pragma once
+
+#include <cstdint>
+
+namespace encodesat {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,       ///< solved; an encoding (or a proof of one) is attached
+  kParseError,   ///< the constraint text did not parse (see ParseError)
+  kInfeasible,   ///< the constraints cannot all be satisfied
+  kTimeout,      ///< a deadline or work budget expired before an answer
+  kOverloaded,   ///< admission control rejected the request (service only)
+  kCanceled,     ///< cooperative cancellation / client went away
+  kInternal,     ///< unexpected failure; `detail` carries the reason
+};
+
+/// Stable lowercase wire name: "ok", "parse_error", "infeasible",
+/// "timeout", "overloaded", "canceled", "internal".
+const char* status_code_name(StatusCode code);
+
+/// Inverse of status_code_name; returns false for unknown names.
+bool status_code_from_name(const char* name, StatusCode* out);
+
+}  // namespace encodesat

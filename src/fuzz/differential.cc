@@ -138,14 +138,19 @@ FuzzCaseResult run_differential_case(const ConstraintSet& cs,
   }
 
   // Exact / extension encode, sequential and threaded, each with a private
-  // counter registry so the structural fingerprints can be compared.
+  // counter registry so the structural fingerprints can be compared. Both
+  // go through the unified solve() entry point — the same surface the CLI
+  // and the service broker use — so the fuzzer also exercises the status
+  // mapping layer on every case.
   MetricsRegistry ma, mb;
-  SolveOptions sa = solve_options(opts, 1);
-  sa.exec.metrics = &ma;
-  SolveOptions sb = solve_options(opts, opts.alt_threads);
-  sb.exec.metrics = &mb;
-  const SolveResult a = solver.encode(sa);
-  const SolveResult b = solver.encode(sb);
+  SolveRequest req;
+  req.constraints = cs;
+  req.options = solve_options(opts, 1);
+  req.options.exec.metrics = &ma;
+  const SolveResult a = solve(req).result;
+  req.options = solve_options(opts, opts.alt_threads);
+  req.options.exec.metrics = &mb;
+  const SolveResult b = solve(req).result;
   out.truncated = a.truncated || b.truncated;
   out.encoded = a.status == SolveResult::Status::kEncoded;
 

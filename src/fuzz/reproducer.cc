@@ -86,7 +86,7 @@ std::optional<FuzzReproducer> load_reproducer_file(const std::string& path,
                                                    ParseError* error) {
   std::ifstream in(path);
   if (!in) {
-    if (error) *error = ParseError{0, "cannot open " + path};
+    if (error) *error = ParseError{0, 0, "cannot open " + path};
     return std::nullopt;
   }
   std::ostringstream buf;

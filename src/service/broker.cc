@@ -1,0 +1,158 @@
+#include "service/broker.h"
+
+#include <utility>
+
+#include "obs/counters.h"
+
+namespace encodesat {
+
+namespace {
+
+/// Every counter the broker can emit, registered up front so the telemetry
+/// name set does not depend on which paths ran.
+constexpr const char* kServiceCounters[] = {
+    "service.accepted",         "service.rejected_overload",
+    "service.completed",        "service.coalesced",
+    "service.deadline_expired", "service.drained",
+};
+
+}  // namespace
+
+Broker::Broker(BrokerConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.metrics)
+    for (const char* name : kServiceCounters)
+      cfg_.metrics->counter(name, /*in_fingerprint=*/false);
+  if (!cfg_.solve_fn)
+    cfg_.solve_fn = [](const SolveRequest& req) { return solve(req); };
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Broker::~Broker() { drain(DrainMode::kRejectQueued); }
+
+void Broker::count(const char* name, std::uint64_t v) {
+  if (cfg_.metrics) cfg_.metrics->counter(name, false)->add(v);
+}
+
+SolveResponse Broker::rejected(const std::string& id, const char* why) {
+  SolveResponse resp;
+  resp.id = id;
+  resp.status = StatusCode::kOverloaded;
+  resp.detail = why;
+  return resp;
+}
+
+bool Broker::submit(SolveRequest req, Callback cb) {
+  Item item;
+  const double deadline_s = req.deadline_seconds > 0
+                                ? req.deadline_seconds
+                                : cfg_.default_deadline_seconds;
+  if (deadline_s > 0) {
+    item.has_deadline = true;
+    item.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadline_s));
+  }
+  item.req = std::move(req);
+  item.cb = std::move(cb);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool full = cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue;
+  if (draining_ || full) {
+    count("service.rejected_overload");
+    const char* why = draining_ ? "server draining" : "queue full";
+    lock.unlock();
+    item.cb(rejected(item.req.id, why));
+    return false;
+  }
+  count("service.accepted");
+  queue_.push_back(std::move(item));
+  lock.unlock();
+  cv_.notify_one();
+  return true;
+}
+
+void Broker::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      if (reject_queued_) {
+        // SIGTERM drain: everything still queued fails fast.
+        count("service.drained");
+        lock.unlock();
+        item.cb(rejected(item.req.id, "server draining"));
+        continue;
+      }
+    }
+    run_item(std::move(item));
+  }
+}
+
+void Broker::run_item(Item item) {
+  const auto now = std::chrono::steady_clock::now();
+  if (item.has_deadline && now >= item.deadline) {
+    count("service.deadline_expired");
+    SolveResponse resp;
+    resp.id = item.req.id;
+    resp.status = StatusCode::kTimeout;
+    resp.result.status = SolveResult::Status::kTruncated;
+    resp.result.truncated = true;
+    resp.result.truncation = Truncation::kDeadline;
+    resp.detail = "deadline expired while queued";
+    item.cb(std::move(resp));
+    return;
+  }
+  if (item.has_deadline) {
+    // Queue wait counts against the request: solve with what remains.
+    item.req.deadline_seconds =
+        std::chrono::duration<double>(item.deadline - now).count();
+  } else {
+    item.req.deadline_seconds = 0;
+  }
+  // Infra wiring is the broker's, not the client's: one shared cache and
+  // in-flight table, the server's tracer/metrics.
+  item.req.options.cache.store = cfg_.cache;
+  item.req.options.cache.single_flight = &inflight_;
+  item.req.options.cache.enabled = cfg_.cache != nullptr;
+  item.req.options.exec.tracer = cfg_.tracer;
+  item.req.options.exec.metrics = cfg_.metrics;
+  SolveResponse resp = cfg_.solve_fn(item.req);
+  resp.id = item.req.id;
+  count("service.completed");
+  if (resp.result.coalesced) count("service.coalesced");
+  if (resp.status == StatusCode::kTimeout &&
+      resp.result.truncation == Truncation::kDeadline)
+    count("service.deadline_expired");
+  item.cb(std::move(resp));
+}
+
+void Broker::drain(DrainMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_) {
+      draining_ = true;
+      reject_queued_ = mode == DrainMode::kRejectQueued;
+    }
+  }
+  cv_.notify_all();
+  // Serialize joiners; later callers see joinable() == false and fall
+  // through once the first drain finished.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+std::size_t Broker::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace encodesat

@@ -1,0 +1,186 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "service/json.h"
+
+namespace encodesat {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+/// Validates and extracts one non-negative number field; a missing or null
+/// member leaves `*out` untouched.
+bool number_field(const JsonValue& obj, const char* key, double* out,
+                  std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->is_null()) return true;
+  if (!v->is_number() || v->number < 0 || !std::isfinite(v->number)) {
+    *error = std::string("field '") + key + "' must be a non-negative number";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, WireRequest* out,
+                   std::string* error) {
+  *out = WireRequest{};
+  JsonValue root;
+  std::string jerr;
+  if (!json_parse(line, &root, &jerr)) {
+    *error = "bad request JSON: " + jerr;
+    return false;
+  }
+  if (!root.is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  if (const JsonValue* id = root.find("id")) {
+    if (!id->is_string()) {
+      *error = "field 'id' must be a string";
+      return false;
+    }
+    out->id = id->str;
+  }
+  if (const JsonValue* op = root.find("op")) {
+    if (!op->is_string()) {
+      *error = "field 'op' must be a string";
+      return false;
+    }
+    if (op->str == "stats") {
+      out->op = WireRequest::Op::kStats;
+    } else if (op->str != "solve") {
+      *error = "unknown op '" + op->str + "'";
+      return false;
+    }
+  }
+  if (out->op == WireRequest::Op::kStats) return true;
+
+  const JsonValue* cs = root.find("constraints");
+  if (!cs || !cs->is_string()) {
+    *error = "solve request requires a string 'constraints' field";
+    return false;
+  }
+  out->constraints = cs->str;
+
+  if (!number_field(root, "deadline_s", &out->deadline_seconds, error))
+    return false;
+
+  if (const JsonValue* opts = root.find("options")) {
+    if (!opts->is_object()) {
+      *error = "field 'options' must be an object";
+      return false;
+    }
+    if (const JsonValue* p = opts->find("pipeline")) {
+      if (!p->is_string()) {
+        *error = "option 'pipeline' must be a string";
+        return false;
+      }
+      out->pipeline = p->str;
+    }
+    double max_work = 0, threads = 0;
+    if (!number_field(*opts, "max_work", &max_work, error)) return false;
+    if (!number_field(*opts, "threads", &threads, error)) return false;
+    out->max_work = static_cast<std::uint64_t>(max_work);
+    out->threads = static_cast<int>(threads);
+  }
+  return true;
+}
+
+bool apply_wire_options(const WireRequest& req, SolveOptions* opts) {
+  if (!req.pipeline.empty()) {
+    if (req.pipeline == "auto")
+      opts->pipeline = SolveOptions::Pipeline::kAuto;
+    else if (req.pipeline == "exact")
+      opts->pipeline = SolveOptions::Pipeline::kExact;
+    else if (req.pipeline == "extensions")
+      opts->pipeline = SolveOptions::Pipeline::kExtensions;
+    else
+      return false;
+  }
+  if (req.max_work != 0) opts->exec.max_work = req.max_work;
+  if (req.threads != 0) opts->exec.threads = req.threads;
+  return true;
+}
+
+std::string render_response(const SolveResponse& resp,
+                            const SymbolTable* symbols) {
+  std::string out = "{\"id\":" + quoted(resp.id) + ",\"status\":\"";
+  out += status_code_name(resp.status);
+  out += '"';
+  switch (resp.status) {
+    case StatusCode::kOk: {
+      const Encoding& enc = resp.result.encoding;
+      out += ",\"bits\":" + std::to_string(enc.bits);
+      out += resp.result.minimal ? ",\"minimal\":true" : ",\"minimal\":false";
+      out += resp.result.truncated ? ",\"truncated\":true"
+                                   : ",\"truncated\":false";
+      if (resp.result.truncated) {
+        out += ",\"truncation\":\"";
+        out += truncation_name(resp.result.truncation);
+        out += '"';
+      }
+      out += ",\"codes\":{";
+      for (std::uint32_t i = 0; i < enc.num_symbols(); ++i) {
+        if (i) out += ',';
+        const std::string name =
+            symbols && i < symbols->size() ? symbols->name(i)
+                                           : "#" + std::to_string(i);
+        out += quoted(name) + ":\"" + enc.code_string(i) + '"';
+      }
+      out += '}';
+      break;
+    }
+    case StatusCode::kInfeasible:
+      out += ",\"uncovered\":" + std::to_string(resp.result.uncovered.size());
+      break;
+    case StatusCode::kTimeout:
+    case StatusCode::kCanceled:
+      out += ",\"truncation\":\"";
+      out += truncation_name(resp.result.truncation);
+      out += '"';
+      break;
+    case StatusCode::kParseError:
+      out += ",\"error\":{\"message\":" + quoted(resp.parse_error.message);
+      if (resp.parse_error.line > 0) {
+        out += ",\"line\":" + std::to_string(resp.parse_error.line);
+        out += ",\"col\":" + std::to_string(resp.parse_error.column);
+      }
+      out += '}';
+      break;
+    case StatusCode::kOverloaded:
+    case StatusCode::kInternal:
+      out += ",\"error\":{\"message\":" + quoted(resp.detail) + '}';
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_error_response(const std::string& id, StatusCode status,
+                                  const std::string& message) {
+  SolveResponse resp;
+  resp.id = id;
+  resp.status = status;
+  if (status == StatusCode::kParseError) {
+    resp.parse_error.message = message;
+  } else {
+    resp.detail = message;
+  }
+  return render_response(resp, nullptr);
+}
+
+std::string render_stats_response(const std::string& id,
+                                  const std::string& telemetry_json) {
+  return "{\"id\":" + quoted(id) + ",\"status\":\"ok\",\"stats\":" +
+         telemetry_json + "}";
+}
+
+}  // namespace encodesat

@@ -1,0 +1,81 @@
+// NDJSON wire protocol `encodesat-service-v1` (docs/SERVICE.md).
+//
+// One JSON object per line in both directions. Requests:
+//
+//   {"id":"r1","constraints":"face a b c\ndominance a b",
+//    "deadline_s":2.5,
+//    "options":{"pipeline":"exact","max_work":100000,"threads":2}}
+//   {"id":"s1","op":"stats"}
+//
+// `op` defaults to "solve". The `options` object exposes only the
+// per-request-safe knobs (pipeline / max_work / threads); budget knobs
+// beyond those, the cache configuration and the worker pool belong to the
+// server. Responses (always exactly one per accepted request line, `id`
+// echoed verbatim):
+//
+//   {"id":"r1","status":"ok","bits":2,"minimal":true,"truncated":false,
+//    "codes":{"a":"00","b":"01","c":"10"}}
+//   {"id":"r2","status":"infeasible","uncovered":2}
+//   {"id":"r3","status":"parse_error",
+//    "error":{"message":"unknown constraint kind 'fase'","line":1,"col":1}}
+//   {"id":"r4","status":"timeout","truncation":"deadline"}
+//   {"id":"r5","status":"overloaded","error":{"message":"queue full"}}
+//
+// Responses carry no timings, no cache/coalescing markers and no
+// scheduling artifacts: the payload is a pure function of the request and
+// the solver version, so coalesced, cached and fresh solves of the same
+// request render byte-identically (the property the service tests and the
+// golden smoke check pin). Observability goes through the `stats` op and
+// the server's --stats-out/--trace-out instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/solver.h"
+
+namespace encodesat {
+
+inline constexpr const char* kServiceSchema = "encodesat-service-v1";
+
+/// One parsed request line.
+struct WireRequest {
+  enum class Op { kSolve, kStats };
+  Op op = Op::kSolve;
+  std::string id;
+  /// Constraint text (core/constraints.h grammar), `op == kSolve` only.
+  std::string constraints;
+  /// Per-request deadline in seconds; 0 = server default.
+  double deadline_seconds = 0;
+  /// Option overrides; empty/0 mean "server default".
+  std::string pipeline;  ///< "", "auto", "exact" or "extensions"
+  std::uint64_t max_work = 0;
+  int threads = 0;
+};
+
+/// Parses one NDJSON request line. On malformed input returns false and
+/// fills `*error` with a message (and `out->id` with the id when one was
+/// recoverable from the line).
+bool parse_request(const std::string& line, WireRequest* out,
+                   std::string* error);
+
+/// Applies the request's option overrides onto `opts` (fields left at
+/// their defaults in the wire request are untouched). Returns false on an
+/// unknown pipeline name.
+bool apply_wire_options(const WireRequest& req, SolveOptions* opts);
+
+/// Renders one response line (no trailing newline). `symbols` names the
+/// code table for kOk responses and may be null otherwise.
+std::string render_response(const SolveResponse& resp,
+                            const SymbolTable* symbols);
+
+/// Convenience for transport-level failures: a response line with just an
+/// id, a status and an error message.
+std::string render_error_response(const std::string& id, StatusCode status,
+                                  const std::string& message);
+
+/// The `stats` op reply: embeds a pre-rendered telemetry JSON object.
+std::string render_stats_response(const std::string& id,
+                                  const std::string& telemetry_json);
+
+}  // namespace encodesat

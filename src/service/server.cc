@@ -1,0 +1,332 @@
+#include "service/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "service/protocol.h"
+
+namespace encodesat {
+
+namespace {
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Full write with EINTR retry; MSG_NOSIGNAL on sockets so a vanished
+/// client is an EPIPE error, not a signal. False on any write error.
+bool write_all(int fd, bool is_socket, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        is_socket ? ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL)
+                  : ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One client conversation: allocates a sequence number per request line
+/// (reader thread only) and writes responses back in that order, buffering
+/// out-of-order completions from the broker's workers.
+class Server::Session {
+ public:
+  Session(int out_fd, bool is_socket) : fd_(out_fd), socket_(is_socket) {}
+
+  /// Reader-thread only: the order slot for the next request line.
+  std::uint64_t alloc_seq() { return allocated_++; }
+
+  /// Any thread: queues `line` for slot `seq`, then flushes every ready
+  /// line in order. After a write error the session goes dead and output
+  /// is discarded (slots still advance so wait_flushed() terminates).
+  void deliver(std::uint64_t seq, std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(seq, std::move(line));
+    auto it = pending_.find(next_to_write_);
+    while (it != pending_.end()) {
+      if (!dead_ && !write_all(fd_, socket_, it->second + "\n")) dead_ = true;
+      pending_.erase(it);
+      it = pending_.find(++next_to_write_);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until every allocated slot has been written (or discarded).
+  /// Call after the reader stopped allocating and the broker guaranteed a
+  /// response per slot (i.e. after drain()).
+  void wait_flushed() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return next_to_write_ == allocated_; });
+  }
+
+ private:
+  const int fd_;
+  const bool socket_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t next_to_write_ = 0;
+  std::map<std::uint64_t, std::string> pending_;
+  bool dead_ = false;
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), broker_(cfg_.broker) {
+  if (::pipe(signal_pipe_) != 0) {
+    signal_pipe_[0] = signal_pipe_[1] = -1;
+    return;
+  }
+  for (const int fd : signal_pipe_) {
+    set_cloexec(fd);
+    const int fl = ::fcntl(fd, F_GETFL);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  }
+}
+
+Server::~Server() {
+  for (const int fd : signal_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::request_drain() {
+  if (signal_pipe_[1] < 0) return;
+  const char byte = 1;
+  // Best-effort and async-signal-safe; a full pipe already means a drain
+  // byte is pending.
+  [[maybe_unused]] const ssize_t n = ::write(signal_pipe_[1], &byte, 1);
+}
+
+void Server::handle_line(Session* session, std::uint64_t seq,
+                         const std::string& line) {
+  WireRequest wire;
+  std::string perr_msg;
+  if (!parse_request(line, &wire, &perr_msg)) {
+    session->deliver(
+        seq, render_error_response(wire.id, StatusCode::kParseError,
+                                   perr_msg));
+    return;
+  }
+  if (wire.op == WireRequest::Op::kStats) {
+    TelemetryOptions topts;
+    topts.tool = "serve";
+    topts.metrics = cfg_.metrics;
+    topts.tracer = cfg_.tracer;
+    session->deliver(seq,
+                     render_stats_response(wire.id, telemetry_to_json(topts)));
+    return;
+  }
+  ParseError perr;
+  std::optional<ConstraintSet> cs = parse_constraints(wire.constraints, &perr);
+  if (!cs) {
+    SolveResponse resp;
+    resp.id = wire.id;
+    resp.status = StatusCode::kParseError;
+    resp.parse_error = perr;
+    session->deliver(seq, render_response(resp, nullptr));
+    return;
+  }
+  SolveOptions opts = broker_.config().base_options;
+  if (!apply_wire_options(wire, &opts)) {
+    session->deliver(
+        seq, render_error_response(wire.id, StatusCode::kParseError,
+                                   "unknown pipeline '" + wire.pipeline +
+                                       "'"));
+    return;
+  }
+  // The response renders codes by name in the *request's* symbol order, so
+  // keep a copy of the table across the solve.
+  SymbolTable symbols = cs->symbols();
+  SolveRequest req;
+  req.id = wire.id;
+  req.constraints = std::move(*cs);
+  req.options = std::move(opts);
+  req.deadline_seconds = wire.deadline_seconds;
+  broker_.submit(std::move(req),
+                 [session, seq, symbols = std::move(symbols)](
+                     SolveResponse resp) {
+                   session->deliver(seq, render_response(resp, &symbols));
+                 });
+}
+
+int Server::run_pipe(int in_fd, int out_fd) {
+  if (signal_pipe_[0] < 0) return -1;
+  Session session(out_fd, /*is_socket=*/false);
+  std::string buffer;
+  bool signaled = false;
+  char chunk[65536];
+  for (;;) {
+    struct pollfd fds[2] = {{in_fd, POLLIN, 0}, {signal_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      signaled = true;
+      break;
+    }
+    if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: finish everything queued
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+         start = nl + 1) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(&session, session.alloc_seq(), line);
+    }
+    buffer.erase(0, start);
+  }
+  if (!signaled && !buffer.empty()) {
+    // Final line without a trailing newline still counts.
+    if (buffer.back() == '\r') buffer.pop_back();
+    if (!buffer.empty())
+      handle_line(&session, session.alloc_seq(), buffer);
+  }
+  broker_.drain(signaled ? DrainMode::kRejectQueued
+                         : DrainMode::kFinishQueued);
+  session.wait_flushed();
+  return 0;
+}
+
+int Server::run_unix_socket(const std::string& path) {
+  if (signal_pipe_[0] < 0) return -1;
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return -1;
+  set_cloexec(listen_fd);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    return -1;
+  }
+
+  struct Conn {
+    int fd;
+    std::unique_ptr<Session> session;
+    std::thread reader;
+  };
+  std::mutex conns_mu;
+  std::vector<Conn> conns;
+
+  for (;;) {
+    struct pollfd fds[2] = {{listen_fd, POLLIN, 0},
+                            {signal_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) break;  // drain requested
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    set_cloexec(cfd);
+    std::lock_guard<std::mutex> lock(conns_mu);
+    conns.push_back(Conn{cfd, std::make_unique<Session>(cfd, true), {}});
+    Conn& conn = conns.back();
+    Session* session = conn.session.get();
+    conn.reader = std::thread([this, cfd, session] {
+      std::string buffer;
+      char chunk[65536];
+      for (;;) {
+        const ssize_t n = ::read(cfd, chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl;
+             (nl = buffer.find('\n', start)) != std::string::npos;
+             start = nl + 1) {
+          std::string line = buffer.substr(start, nl - start);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;
+          handle_line(session, session->alloc_seq(), line);
+        }
+        buffer.erase(0, start);
+      }
+      // Client stopped sending; responses for what it did send still
+      // flow. The fd is closed at server teardown (never here — the fd
+      // number must stay reserved so it cannot alias a newer connection).
+    });
+  }
+
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  // Answer or reject everything accepted, then unblock any readers still
+  // waiting on quiet clients and flush per-connection output.
+  broker_.drain(DrainMode::kRejectQueued);
+  std::lock_guard<std::mutex> lock(conns_mu);
+  for (Conn& conn : conns) ::shutdown(conn.fd, SHUT_RD);
+  for (Conn& conn : conns) {
+    if (conn.reader.joinable()) conn.reader.join();
+    conn.session->wait_flushed();
+    ::close(conn.fd);
+  }
+  return 0;
+}
+
+namespace {
+
+std::atomic<Server*> g_drain_server{nullptr};
+
+void drain_signal_handler(int) {
+  Server* server = g_drain_server.load(std::memory_order_relaxed);
+  if (server) server->request_drain();
+}
+
+}  // namespace
+
+ScopedDrainSignals::ScopedDrainSignals(Server* server) {
+  g_drain_server.store(server, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = drain_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, &old_term_);
+  ::sigaction(SIGINT, &sa, &old_int_);
+  struct sigaction ignore{};
+  ignore.sa_handler = SIG_IGN;
+  ::sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGPIPE, &ignore, &old_pipe_);
+}
+
+ScopedDrainSignals::~ScopedDrainSignals() {
+  ::sigaction(SIGTERM, &old_term_, nullptr);
+  ::sigaction(SIGINT, &old_int_, nullptr);
+  ::sigaction(SIGPIPE, &old_pipe_, nullptr);
+  g_drain_server.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace encodesat

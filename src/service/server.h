@@ -1,0 +1,99 @@
+// Transports for the solve service (`encodesat serve`).
+//
+// Two NDJSON transports over one Broker:
+//
+//  * run_pipe(in_fd, out_fd) — one session over a pair of byte streams
+//    (stdin/stdout in the CLI; pipe pairs in tests). Ends on EOF, which
+//    drains kFinishQueued: everything already read is answered.
+//  * run_unix_socket(path) — a listening Unix-domain socket, one reader
+//    thread and one Session per connection.
+//
+// Both loops poll a self-pipe alongside their input fd. request_drain()
+// (async-signal-safe; ScopedDrainSignals routes SIGTERM/SIGINT to it)
+// makes the loop stop reading and drain kRejectQueued: in-flight solves
+// finish and are answered, queued requests complete as `overloaded`,
+// request lines never read are never answered. run_* returns only after
+// the broker drained and every accepted response was written, so the
+// caller can flush caches (--cache-save) and telemetry safely.
+//
+// Responses are written strictly in request order per session (the broker
+// completes out of order; a per-session sequence number + reorder buffer
+// restores arrival order), which keeps pipe-mode output byte-stable and
+// golden-testable. A client that disappears mid-session (write error)
+// has its remaining output discarded; the solves still run.
+#pragma once
+
+#include <csignal>
+#include <memory>
+#include <string>
+
+#include "service/broker.h"
+
+namespace encodesat {
+
+class Tracer;
+
+struct ServerConfig {
+  BrokerConfig broker;
+  /// Used by the `stats` op to render a telemetry report (typically the
+  /// same registry/tracer installed on `broker`). Both optional.
+  MetricsRegistry* metrics = nullptr;
+  const Tracer* tracer = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves one session reading NDJSON requests from `in_fd` and writing
+  /// responses to `out_fd` until EOF or request_drain(). Returns 0, or -1
+  /// when the server's own plumbing failed (never for client errors).
+  int run_pipe(int in_fd, int out_fd);
+
+  /// Binds `path` (unlinking any stale socket first), accepts connections
+  /// until request_drain(). Returns 0, or -1 on bind/listen failure.
+  int run_unix_socket(const std::string& path);
+
+  /// Makes the running transport loop stop accepting input and drain
+  /// kRejectQueued. Async-signal-safe (writes one byte to a self-pipe);
+  /// callable from any thread, before or during run_*.
+  void request_drain();
+
+  Broker& broker() { return broker_; }
+
+ private:
+  class Session;
+
+  /// Dispatches one request line into the broker (or answers protocol
+  /// errors / the stats op directly). `seq` orders the response.
+  void handle_line(Session* session, std::uint64_t seq,
+                   const std::string& line);
+
+  ServerConfig cfg_;
+  Broker broker_;
+  int signal_pipe_[2] = {-1, -1};
+};
+
+/// Routes SIGTERM and SIGINT to server->request_drain() for its lifetime
+/// (and ignores SIGPIPE, so vanished clients surface as write errors, not
+/// process death). Restores the previous dispositions on destruction.
+/// One instance at a time, from the main thread.
+class ScopedDrainSignals {
+ public:
+  explicit ScopedDrainSignals(Server* server);
+  ~ScopedDrainSignals();
+
+  ScopedDrainSignals(const ScopedDrainSignals&) = delete;
+  ScopedDrainSignals& operator=(const ScopedDrainSignals&) = delete;
+
+ private:
+  struct sigaction old_term_;
+  struct sigaction old_int_;
+  struct sigaction old_pipe_;
+};
+
+}  // namespace encodesat

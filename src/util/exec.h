@@ -132,6 +132,11 @@ class Budget {
     return true;
   }
 
+  /// Deadline introspection, for waiters that block on something other
+  /// than pipeline work (e.g. a coalesced solve waiting on its leader).
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
   /// Cheap (no clock read): true once any limit has tripped.
   bool exhausted() const {
     return reason_.load(std::memory_order_relaxed) !=

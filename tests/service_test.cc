@@ -1,0 +1,642 @@
+// Tests for the solve service (src/service/) and its foundations: the JSON
+// parser, the NDJSON protocol codec, the single-flight table, the broker's
+// admission / deadline / drain semantics, and the pipe-mode server end to
+// end (including SIGTERM-style drain with a cache flush).
+//
+// Concurrency assertions here are interleaving-independent: the coalescing
+// stress pins `misses == 1` and `hits + coalesced == N - 1` (which split
+// depends on scheduling) and bit-identity against fresh solo solves, never
+// "coalesced > 0".
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/canonical.h"
+#include "cache/inflight.h"
+#include "cache/solve_cache.h"
+#include "core/solver.h"
+#include "obs/counters.h"
+#include "service/broker.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace encodesat {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ServiceJson, ParsesScalarsAndContainers) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"a":1.5,"b":[true,false,null],"s":"x"})", &v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+  ASSERT_EQ(v.find("b")->array.size(), 3u);
+  EXPECT_TRUE(v.find("b")->array[0].boolean);
+  EXPECT_TRUE(v.find("b")->array[2].is_null());
+  EXPECT_EQ(v.find("s")->str, "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ServiceJson, DecodesEscapesAndSurrogatePairs) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"("a\n\t\"\\\u0041\u00e9\ud83d\ude00")", &v));
+  EXPECT_EQ(v.str, "a\n\t\"\\A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(ServiceJson, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("", &v, &err));
+  EXPECT_FALSE(json_parse("{\"a\":}", &v, &err));
+  EXPECT_FALSE(json_parse("{\"a\":1} extra", &v, &err));
+  EXPECT_FALSE(json_parse("\"unterminated", &v, &err));
+  EXPECT_FALSE(json_parse("\"\\ud800\"", &v, &err));  // unpaired surrogate
+  std::string deep(200, '[');
+  EXPECT_FALSE(json_parse(deep, &v, &err));
+  EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(ServiceJson, EscapeRoundTripsThroughParser) {
+  const std::string raw = "line1\nline2\t\"quoted\" \\ \x01";
+  JsonValue v;
+  ASSERT_TRUE(json_parse("\"" + json_escape(raw) + "\"", &v));
+  EXPECT_EQ(v.str, raw);
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(ServiceProtocol, ParsesSolveRequestWithOptions) {
+  WireRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_request(
+      R"({"id":"r1","constraints":"face a b\n","deadline_s":2.5,)"
+      R"("options":{"pipeline":"exact","max_work":100,"threads":2}})",
+      &req, &err))
+      << err;
+  EXPECT_EQ(req.op, WireRequest::Op::kSolve);
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.constraints, "face a b\n");
+  EXPECT_DOUBLE_EQ(req.deadline_seconds, 2.5);
+  EXPECT_EQ(req.pipeline, "exact");
+  EXPECT_EQ(req.max_work, 100u);
+  EXPECT_EQ(req.threads, 2);
+
+  SolveOptions opts;
+  ASSERT_TRUE(apply_wire_options(req, &opts));
+  EXPECT_EQ(opts.pipeline, SolveOptions::Pipeline::kExact);
+  EXPECT_EQ(opts.exec.max_work, 100u);
+  EXPECT_EQ(opts.exec.threads, 2);
+}
+
+TEST(ServiceProtocol, ParsesStatsOpAndRejectsBadRequests) {
+  WireRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_request(R"({"id":"s","op":"stats"})", &req, &err));
+  EXPECT_EQ(req.op, WireRequest::Op::kStats);
+
+  EXPECT_FALSE(parse_request("[1,2]", &req, &err));
+  EXPECT_FALSE(parse_request(R"({"id":7,"constraints":"x"})", &req, &err));
+  EXPECT_FALSE(parse_request(R"({"id":"a","op":"frobnicate"})", &req, &err));
+  EXPECT_FALSE(parse_request(R"({"id":"a"})", &req, &err))
+      << "solve without constraints";
+  EXPECT_EQ(req.id, "a") << "id recovered for the error response";
+  EXPECT_FALSE(parse_request(
+      R"({"id":"a","constraints":"x","deadline_s":-1})", &req, &err));
+
+  WireRequest bad;
+  bad.pipeline = "warp";
+  SolveOptions opts;
+  EXPECT_FALSE(apply_wire_options(bad, &opts));
+}
+
+TEST(ServiceProtocol, RendersEveryStatusShape) {
+  ConstraintSet cs = parse_constraints("face a b c\ndominance a b\n");
+  SolveResponse ok;
+  ok.id = "r1";
+  ok.result = Solver(cs).encode({});
+  ok.status = status_from_result(ok.result);
+  const std::string line = render_response(ok, &cs.symbols());
+  EXPECT_NE(line.find("\"id\":\"r1\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(line.find("\"codes\":{\"a\":\""), std::string::npos);
+
+  SolveResponse parse_err;
+  parse_err.id = "p";
+  parse_err.status = StatusCode::kParseError;
+  parse_err.parse_error = ParseError{3, 7, "bad token"};
+  EXPECT_EQ(render_response(parse_err, nullptr),
+            R"({"id":"p","status":"parse_error",)"
+            R"("error":{"message":"bad token","line":3,"col":7}})");
+
+  SolveResponse timeout;
+  timeout.id = "t";
+  timeout.status = StatusCode::kTimeout;
+  timeout.result.truncation = Truncation::kDeadline;
+  EXPECT_EQ(render_response(timeout, nullptr),
+            R"({"id":"t","status":"timeout","truncation":"deadline"})");
+
+  EXPECT_EQ(render_error_response("o", StatusCode::kOverloaded, "queue full"),
+            R"({"id":"o","status":"overloaded",)"
+            R"("error":{"message":"queue full"}})");
+}
+
+TEST(ServiceProtocol, StatusCodeNamesRoundTrip) {
+  for (const StatusCode c :
+       {StatusCode::kOk, StatusCode::kParseError, StatusCode::kInfeasible,
+        StatusCode::kTimeout, StatusCode::kOverloaded, StatusCode::kCanceled,
+        StatusCode::kInternal}) {
+    StatusCode back = StatusCode::kOk;
+    ASSERT_TRUE(status_code_from_name(status_code_name(c), &back));
+    EXPECT_EQ(back, c);
+  }
+  StatusCode out;
+  EXPECT_FALSE(status_code_from_name("bogus", &out));
+}
+
+// ------------------------------------------------------ in-flight table --
+
+TEST(ServiceInFlight, LeaderFollowersAndLateHitDeterministic) {
+  SolveCache cache;
+  InFlightTable table;
+  const std::string key = "k#0";
+
+  CachedSolve hit;
+  std::shared_ptr<InFlightTable::Slot> leader, f1, f2;
+  ASSERT_EQ(table.join(&cache, key, &hit, &leader),
+            InFlightTable::Join::kLeader);
+  ASSERT_EQ(table.join(&cache, key, &hit, &f1),
+            InFlightTable::Join::kFollower);
+  ASSERT_EQ(table.join(&cache, key, &hit, &f2),
+            InFlightTable::Join::kFollower);
+
+  CachedSolve value;
+  value.status = 0;
+  value.bits = 2;
+  value.codes = {0, 1, 3};
+  table.publish(&cache, key, leader, value, /*cacheable=*/true);
+
+  CachedSolve got;
+  ASSERT_TRUE(f1->wait(false, {}, &got));
+  EXPECT_EQ(got.codes, value.codes);
+  ASSERT_TRUE(f2->wait(false, {}, &got));
+  EXPECT_EQ(got.bits, 2);
+
+  // After publish the key is out of the table and in the cache: a late
+  // arrival is a plain hit.
+  std::shared_ptr<InFlightTable::Slot> late;
+  EXPECT_EQ(table.join(&cache, key, &hit, &late), InFlightTable::Join::kHit);
+  EXPECT_EQ(hit.codes, value.codes);
+
+  const CoalesceStats s = table.stats();
+  EXPECT_EQ(s.leaders, 1u);
+  EXPECT_EQ(s.coalesced, 2u);
+  EXPECT_EQ(s.abandoned, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  // The accounting invariant: every join is exactly one of hit / leader /
+  // follower.
+  const CacheStats cstats = cache.stats();
+  EXPECT_EQ(cstats.misses + s.coalesced + cstats.hits, 4u);
+}
+
+TEST(ServiceInFlight, AbandonWakesFollowersEmptyHanded) {
+  InFlightTable table;
+  CachedSolve hit;
+  std::shared_ptr<InFlightTable::Slot> leader, follower;
+  ASSERT_EQ(table.join(nullptr, "k", &hit, &leader),
+            InFlightTable::Join::kLeader);
+  ASSERT_EQ(table.join(nullptr, "k", &hit, &follower),
+            InFlightTable::Join::kFollower);
+  table.abandon("k", leader);
+  CachedSolve got;
+  EXPECT_FALSE(follower->wait(false, {}, &got));
+  EXPECT_TRUE(follower->abandoned());
+  EXPECT_EQ(table.stats().abandoned, 1u);
+}
+
+TEST(ServiceInFlight, FollowerDeadlineExpiresWhileWaiting) {
+  InFlightTable table;
+  CachedSolve hit;
+  std::shared_ptr<InFlightTable::Slot> leader, follower;
+  ASSERT_EQ(table.join(nullptr, "k", &hit, &leader),
+            InFlightTable::Join::kLeader);
+  ASSERT_EQ(table.join(nullptr, "k", &hit, &follower),
+            InFlightTable::Join::kFollower);
+  CachedSolve got;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_FALSE(follower->wait(true, deadline, &got));
+  EXPECT_FALSE(follower->abandoned()) << "expiry, not abandonment";
+  table.abandon("k", leader);
+}
+
+// -------------------------------------------------- coalescing (facade) --
+
+ConstraintSet stress_instance() {
+  // The paper's Figure 8 instance (examples/data/mixed.constraints):
+  // encodable in 2 bits. Only 4 symbols, so with 8 threads rotations
+  // repeat — duplicate requests are exactly what the single-flight path
+  // must also serve correctly.
+  return parse_constraints(
+      "face s0 s1\n"
+      "dominance s0 s1\n"
+      "dominance s1 s2\n"
+      "disjunctive s0 s1 s3\n");
+}
+
+TEST(ServiceCoalescing, NThreadsSameInstanceOneMissBitIdentical) {
+  const ConstraintSet base = stress_instance();
+  const std::uint32_t n = base.num_symbols();
+  constexpr int kThreads = 8;
+
+  // Rotation r: symbol i -> (i + r) mod n. Same canonical instance, so
+  // all requests share one cache key; each response must come back in its
+  // own symbol order.
+  std::vector<ConstraintSet> instances;
+  std::vector<SolveResult> fresh;
+  for (int r = 0; r < kThreads; ++r) {
+    std::vector<std::uint32_t> rot(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      rot[i] = (i + static_cast<std::uint32_t>(r)) % n;
+    instances.push_back(apply_symbol_permutation(base, rot));
+    // Baseline: a solo single-threaded solve of the same request down the
+    // same canonicalizing (cache-enabled) path, with a private cold cache
+    // — exactly what the request would get with no concurrency around.
+    SolveCache solo;
+    SolveOptions solo_opts;
+    solo_opts.cache.store = &solo;
+    fresh.push_back(Solver(instances.back()).encode(solo_opts));
+    ASSERT_TRUE(fresh.back().encoded());
+  }
+
+  SolveCache cache;
+  InFlightTable table;
+  std::vector<SolveResult> got(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kThreads; ++r)
+    threads.emplace_back([&, r] {
+      // Crude start barrier to maximize in-flight overlap; the assertions
+      // below hold for any interleaving.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      SolveOptions opts;
+      opts.cache.store = &cache;
+      opts.cache.single_flight = &table;
+      got[r] = Solver(instances[r]).encode(opts);
+    });
+  for (std::thread& t : threads) t.join();
+
+  const CacheStats cs = cache.stats();
+  const CoalesceStats ts = table.stats();
+  EXPECT_EQ(cs.misses, 1u) << "exactly one request pays the solve";
+  EXPECT_EQ(ts.leaders, 1u);
+  EXPECT_EQ(cs.hits + ts.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+
+  for (int r = 0; r < kThreads; ++r) {
+    EXPECT_EQ(got[r].encoding.bits, fresh[r].encoding.bits);
+    EXPECT_EQ(got[r].encoding.codes, fresh[r].encoding.codes)
+        << "rotation " << r << " must be bit-identical to its solo solve";
+    EXPECT_EQ(got[r].minimal, fresh[r].minimal);
+  }
+  // Exactly one request did the solve fresh; the rest were served.
+  int served = 0;
+  for (const SolveResult& r : got) served += (r.from_cache || r.coalesced);
+  EXPECT_EQ(served, kThreads - 1);
+}
+
+// --------------------------------------------------------------- broker --
+
+// A latch-controlled gate: solve_fn lambdas built on it block each call
+// until release(), letting the tests park a worker deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+  void wait_open() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+  void wait_entered(int count) {
+    while (entered.load() < count) std::this_thread::yield();
+  }
+};
+
+struct Collected {
+  std::mutex mu;
+  std::vector<SolveResponse> responses;
+
+  Broker::Callback collector() {
+    return [this](SolveResponse resp) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(std::move(resp));
+    };
+  }
+  const SolveResponse* find(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const SolveResponse& r : responses)
+      if (r.id == id) return &r;
+    return nullptr;
+  }
+};
+
+SolveRequest named_request(const std::string& id) {
+  SolveRequest req;
+  req.id = id;
+  return req;
+}
+
+TEST(ServiceBroker, AdmissionControlRejectsInlineWhenQueueFull) {
+  Gate gate;
+  MetricsRegistry metrics;
+  BrokerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 1;
+  cfg.metrics = &metrics;
+  cfg.solve_fn = [&](const SolveRequest& req) {
+    gate.entered.fetch_add(1);
+    gate.wait_open();
+    SolveResponse resp;
+    resp.id = req.id;
+    resp.status = StatusCode::kOk;
+    return resp;
+  };
+  Broker broker(cfg);
+  Collected out;
+
+  EXPECT_TRUE(broker.submit(named_request("inflight"), out.collector()));
+  gate.wait_entered(1);  // worker parked inside the solve
+  EXPECT_TRUE(broker.submit(named_request("queued"), out.collector()));
+  EXPECT_FALSE(broker.submit(named_request("rejected"), out.collector()))
+      << "queue holds max_queue=1, third submit must bounce";
+  const SolveResponse* rej = out.find("rejected");
+  ASSERT_NE(rej, nullptr) << "rejection callback fires inline";
+  EXPECT_EQ(rej->status, StatusCode::kOverloaded);
+  EXPECT_EQ(rej->detail, "queue full");
+
+  gate.release();
+  broker.drain(DrainMode::kFinishQueued);
+  EXPECT_EQ(out.find("inflight")->status, StatusCode::kOk);
+  EXPECT_EQ(out.find("queued")->status, StatusCode::kOk);
+  EXPECT_EQ(metrics.counter("service.accepted", false)->value(), 2u);
+  EXPECT_EQ(metrics.counter("service.rejected_overload", false)->value(), 1u);
+  EXPECT_FALSE(broker.submit(named_request("late"), out.collector()))
+      << "post-drain submits are rejected";
+}
+
+TEST(ServiceBroker, DeadlineExpiresWhileQueued) {
+  Gate gate;
+  MetricsRegistry metrics;
+  std::atomic<int> victim_solved{0};
+  BrokerConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics = &metrics;
+  cfg.solve_fn = [&](const SolveRequest& req) {
+    if (req.id == "victim") victim_solved.fetch_add(1);
+    gate.entered.fetch_add(1);
+    gate.wait_open();
+    SolveResponse resp;
+    resp.id = req.id;
+    resp.status = StatusCode::kOk;
+    return resp;
+  };
+  Broker broker(cfg);
+  Collected out;
+
+  EXPECT_TRUE(broker.submit(named_request("blocker"), out.collector()));
+  gate.wait_entered(1);
+  SolveRequest victim = named_request("victim");
+  victim.deadline_seconds = 0.02;  // expires while the blocker holds the
+                                   // only worker
+  EXPECT_TRUE(broker.submit(std::move(victim), out.collector()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  gate.release();
+  broker.drain(DrainMode::kFinishQueued);
+
+  const SolveResponse* v = out.find("victim");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->status, StatusCode::kTimeout);
+  EXPECT_EQ(v->result.truncation, Truncation::kDeadline);
+  EXPECT_EQ(victim_solved.load(), 0) << "expired requests never solve";
+  EXPECT_EQ(out.find("blocker")->status, StatusCode::kOk);
+  EXPECT_GE(metrics.counter("service.deadline_expired", false)->value(), 1u);
+}
+
+TEST(ServiceBroker, SigtermStyleDrainFinishesInFlightRejectsQueued) {
+  Gate gate;
+  MetricsRegistry metrics;
+  BrokerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 0;  // probes below must only ever bounce off the drain
+  cfg.metrics = &metrics;
+  cfg.solve_fn = [&](const SolveRequest& req) {
+    gate.entered.fetch_add(1);
+    gate.wait_open();
+    SolveResponse resp;
+    resp.id = req.id;
+    resp.status = StatusCode::kOk;
+    return resp;
+  };
+  Broker broker(cfg);
+  Collected out;
+
+  EXPECT_TRUE(broker.submit(named_request("inflight"), out.collector()));
+  gate.wait_entered(1);
+  EXPECT_TRUE(broker.submit(named_request("queued"), out.collector()));
+
+  std::thread drainer([&] { broker.drain(DrainMode::kRejectQueued); });
+  // Hold the in-flight solve until the drain has provably closed admission
+  // (a probe submit bounces); otherwise the freed worker could dequeue
+  // "queued" before the drain flag is set. Probes accepted before that
+  // land in the queue and are drained like "queued".
+  Collected probes;
+  while (broker.submit(named_request("probe"), probes.collector()))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  gate.release();
+  drainer.join();
+
+  EXPECT_EQ(out.find("inflight")->status, StatusCode::kOk);
+  const SolveResponse* q = out.find("queued");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->status, StatusCode::kOverloaded);
+  EXPECT_EQ(q->detail, "server draining");
+  // "queued" plus any accepted probes; at least the one real request.
+  EXPECT_GE(metrics.counter("service.drained", false)->value(), 1u);
+}
+
+// --------------------------------------------------------- pipe server --
+
+struct PipePair {
+  int fds[2] = {-1, -1};
+  PipePair() { EXPECT_EQ(::pipe(fds), 0); }
+  ~PipePair() {
+    for (const int fd : fds)
+      if (fd >= 0) ::close(fd);
+  }
+  int read_end() const { return fds[0]; }
+  int write_end() const { return fds[1]; }
+  void close_write() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+void write_str(int fd, const std::string& s) {
+  ASSERT_EQ(::write(fd, s.data(), s.size()),
+            static_cast<ssize_t>(s.size()));
+}
+
+std::string read_all(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  return out;
+}
+
+TEST(ServiceServer, PipeModeAnswersInOrderAndDrainsOnEof) {
+  PipePair req_pipe, resp_pipe;
+  MetricsRegistry metrics;
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 4;
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  Server server(cfg);
+
+  std::thread serving([&] {
+    EXPECT_EQ(server.run_pipe(req_pipe.read_end(), resp_pipe.write_end()), 0);
+    ::close(resp_pipe.fds[1]);
+    resp_pipe.fds[1] = -1;
+  });
+  write_str(req_pipe.write_end(),
+            "{\"id\":\"r1\",\"constraints\":\"face a b c\\ndominance a b\"}\n"
+            "\n"  // blank lines are skipped
+            "{\"id\":\"r2\",\"constraints\":\"dominance a\"}\n"
+            "{\"id\":\"r3\",\"constraints\":\"face a b c\\ndominance a b\"}\n"
+            "{\"id\":\"r4\",\"constraints\":\"face x y\\nface y z\\n"
+            "dominance x z\"}");  // no trailing newline: still a request
+  req_pipe.close_write();
+  const std::string out = read_all(resp_pipe.read_end());
+  serving.join();
+
+  std::vector<std::string> lines;
+  for (std::size_t start = 0; start < out.size();) {
+    const std::size_t nl = out.find('\n', start);
+    lines.push_back(out.substr(start, nl - start));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  ASSERT_EQ(lines.size(), 4u) << out;
+  EXPECT_NE(lines[0].find("\"id\":\"r1\",\"status\":\"ok\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"id\":\"r2\",\"status\":\"parse_error\""),
+            std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[1].find("\"line\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"r3\",\"status\":\"ok\""),
+            std::string::npos);
+  EXPECT_NE(lines[3].find("\"id\":\"r4\",\"status\":\"ok\""),
+            std::string::npos);
+  // r1 and r3 are the same instance: the shared cache (or single-flight
+  // coalescing, depending on timing) must serve one of them.
+  const CacheStats cs = cache.stats();
+  const CoalesceStats ts = server.broker().single_flight().stats();
+  EXPECT_EQ(cs.misses + ts.coalesced + cs.hits, 3u);
+  EXPECT_EQ(cs.misses, 2u) << "r1/r3 share a key; r4 is distinct";
+  // Identical requests must render byte-identically regardless of which
+  // was coalesced/cached.
+  EXPECT_EQ(lines[0].substr(lines[0].find("\"status\"")),
+            lines[2].substr(lines[2].find("\"status\"")));
+}
+
+TEST(ServiceServer, SigtermDrainsInFlightCompletesQueuedRejectedCacheFlushed) {
+  PipePair req_pipe, resp_pipe;
+  Gate gate;
+  MetricsRegistry metrics;
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.max_queue = 0;  // unbounded: probes below must never see
+                             // "queue full", only "server draining"
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  // Gate the real solve: the test controls exactly when the in-flight
+  // request finishes, and the solve still populates the shared cache.
+  cfg.broker.solve_fn = [&](const SolveRequest& req) {
+    gate.entered.fetch_add(1);
+    gate.wait_open();
+    return solve(req);
+  };
+  Server server(cfg);
+  ScopedDrainSignals signals(&server);
+
+  std::thread serving([&] {
+    EXPECT_EQ(server.run_pipe(req_pipe.read_end(), resp_pipe.write_end()), 0);
+    ::close(resp_pipe.fds[1]);
+    resp_pipe.fds[1] = -1;
+  });
+  write_str(req_pipe.write_end(),
+            "{\"id\":\"inflight\",\"constraints\":"
+            "\"face a b c\\ndominance a b\"}\n"
+            "{\"id\":\"queued\",\"constraints\":\"face x y\"}\n");
+  gate.wait_entered(1);  // first request is on the worker; both lines were
+                         // one atomic pipe write, so "queued" is submitted
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+  // The signal path (handler -> self-pipe -> poll -> drain) is
+  // asynchronous; hold the in-flight solve until admission has provably
+  // closed, so "queued" cannot sneak onto the freed worker. Probes
+  // accepted before that land in the queue and are drained like "queued".
+  Collected probes;
+  while (server.broker().submit(named_request("probe"), probes.collector()))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  gate.release();
+  const std::string out = read_all(resp_pipe.read_end());
+  serving.join();
+
+  EXPECT_NE(out.find("\"id\":\"inflight\",\"status\":\"ok\""),
+            std::string::npos)
+      << "in-flight request completes during drain: " << out;
+  EXPECT_NE(out.find("\"id\":\"queued\",\"status\":\"overloaded\""),
+            std::string::npos)
+      << "queued request is rejected by the drain: " << out;
+  // "queued" plus any accepted probes; at least the one real request.
+  EXPECT_GE(metrics.counter("service.drained", false)->value(), 1u);
+
+  // After run_pipe returned the broker is quiescent: the cache flush the
+  // CLI does with --cache-save sees the in-flight solve's entry.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "service_drain_cache.txt")
+          .string();
+  std::string err;
+  ASSERT_TRUE(cache.save(path, &err)) << err;
+  SolveCache reloaded;
+  ASSERT_TRUE(reloaded.load(path, &err)) << err;
+  EXPECT_EQ(reloaded.stats().entries, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace encodesat

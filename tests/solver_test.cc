@@ -273,8 +273,9 @@ TEST(ParseConstraints, NonThrowingOverloadReportsLineNumbers) {
   const auto bad = parse_constraints("face a b\n\ndominance a\n", &err);
   EXPECT_FALSE(bad.has_value());
   EXPECT_EQ(err.line, 3);
+  EXPECT_EQ(err.column, 1);
   EXPECT_EQ(err.message, "dominance takes two names");
-  EXPECT_EQ(err.to_string(), "line 3: dominance takes two names");
+  EXPECT_EQ(err.to_string(), "line 3, col 1: dominance takes two names");
 
   const auto good = parse_constraints("face a b\n", &err);
   ASSERT_TRUE(good.has_value());
