@@ -46,8 +46,8 @@ InFlightTable::Join InFlightTable::join(SolveCache* cache,
 
 void InFlightTable::publish(SolveCache* cache, const std::string& key,
                             const std::shared_ptr<Slot>& slot,
-                            const CachedSolve& value, bool cacheable) {
-  if (cache != nullptr && cacheable) cache->insert(key, value);
+                            const CachedSolve& value) {
+  if (cache != nullptr) cache->insert(key, value);
   {
     std::lock_guard<std::mutex> lock(mu_);
     slots_.erase(key);

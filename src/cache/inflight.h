@@ -16,16 +16,21 @@
 //
 // Atomicity: join() checks the in-flight table and the cache under the
 // table mutex, so a key is in exactly one of three states per caller —
-// cache hit, leader, or follower. Misses are counted only for leaders;
-// `cache.misses + coalesced + cache.hits` therefore sums exactly to the
-// number of join() calls, the accounting invariant the service tests pin.
+// cache hit, leader, or follower. At the metric level every solve lands
+// in exactly one bucket: `cache.hits + cache.misses + cache.coalesced +
+// cache.wait_expired` sums to the solve count (a follower whose leader
+// abandoned re-runs the pipeline and counts as a miss; one whose own
+// deadline expired mid-wait counts as wait_expired) — the accounting
+// invariant the service tests pin.
 //
-// Failure: a leader that cannot publish (pipeline threw) must call
-// abandon(), which wakes followers empty-handed; they fall back to solving
-// locally. Followers with a deadline stop waiting when it passes and
-// report deadline truncation. Truncated leader results are published to
-// the followers that already attached (they asked for the same budgeted
-// solve) but are never inserted into the cache.
+// Failure: a leader that cannot publish — the pipeline threw, or its own
+// budget truncated the result — must call abandon(), which wakes followers
+// empty-handed; they fall back to solving locally under their *own*
+// budgets. (Deadlines are excluded from the coalescing key, so a follower
+// may hold a larger budget than its leader; handing it the leader's
+// truncated result would break the bit-identical-to-a-solo-solve
+// contract.) Followers with a deadline stop waiting when it passes and
+// report deadline truncation.
 #pragma once
 
 #include <chrono>
@@ -84,15 +89,16 @@ class InFlightTable {
   Join join(SolveCache* cache, const std::string& key, CachedSolve* hit,
             std::shared_ptr<Slot>* slot);
 
-  /// Leader hand-off: inserts `value` into `cache` first (when `cacheable`
-  /// and the cache is non-null) so late arrivals hit, then removes the key
-  /// and wakes the slot's followers. Call exactly once per kLeader join.
+  /// Leader hand-off for an untruncated result: inserts `value` into
+  /// `cache` first (when non-null) so late arrivals hit, then removes the
+  /// key and wakes the slot's followers. A kLeader join must be resolved
+  /// by exactly one publish() or abandon() call.
   void publish(SolveCache* cache, const std::string& key,
-               const std::shared_ptr<Slot>& slot, const CachedSolve& value,
-               bool cacheable);
+               const std::shared_ptr<Slot>& slot, const CachedSolve& value);
 
-  /// Leader failure path: removes the key and wakes followers with no
-  /// value (they solve locally).
+  /// Leader failure path (pipeline threw, or the result was truncated and
+  /// must not be handed to followers): removes the key and wakes followers
+  /// with no value (they solve locally under their own budgets).
   void abandon(const std::string& key, const std::shared_ptr<Slot>& slot);
 
   CoalesceStats stats() const;

@@ -157,7 +157,11 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
   // True once `out` replays a finished solve (cache hit or coalesced
   // attach) — those skip the pipeline and the truncation fixup below.
   bool served = false;
-  if (cache != nullptr) {
+  InFlightTable* sf = opts.cache.single_flight;
+  // Either facility needs the canonical key: single-flight coalescing
+  // works even with no cache attached (the in-flight table alone closes
+  // the concurrent-duplicate window; join() supports cache == nullptr).
+  if (cache != nullptr || sf != nullptr) {
     Canonicalization cz;
     {
       // StageScope emits the trace span and stats child in one.
@@ -171,7 +175,6 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
                       solve_options_fingerprint(opts)));
     const std::string key = cz.canon.key + fp;
 
-    InFlightTable* sf = opts.cache.single_flight;
     CachedSolve entry;
     bool have_entry = false;
     bool coalesced = false;
@@ -192,8 +195,9 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
     if (join == InFlightTable::Join::kFollower) {
       // Another thread is solving this exact canonical instance under the
       // same options fingerprint: attach instead of duplicating the work.
-      // An abandoned leader (exception) drops us to the local-solve path;
-      // a deadline expiring mid-wait is an ordinary deadline truncation.
+      // An abandoned leader (exception, or a leader whose own budget
+      // truncated the result) drops us to the local-solve path; a deadline
+      // expiring mid-wait is an ordinary deadline truncation.
       StageScope scope(ctx, "coalesce_wait");
       if (slot->wait(budget.has_deadline(), budget.deadline(), &entry)) {
         have_entry = true;
@@ -203,14 +207,20 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
         wait_expired = true;
       }
     }
-    // Hit/miss/coalesce accounting: a follower never touches the cache, so
-    // misses count leaders only — cache.misses + cache.coalesced +
-    // cache.hits sums exactly to the solve count under any interleaving.
+    // Accounting: every solve lands in exactly one bucket — cache.hits +
+    // cache.misses + cache.coalesced + cache.wait_expired sums to the
+    // solve count under any interleaving. A follower whose leader
+    // abandoned runs the pipeline itself, so it counts as a miss; a
+    // follower whose own deadline expired mid-wait ran nothing and
+    // received nothing, so it gets its own bucket.
+    const bool fallback = join == InFlightTable::Join::kFollower &&
+                          !have_entry && !wait_expired;
     cache_metric(ctx, "cache.hits",
                  have_entry && !coalesced ? 1 : 0);
     cache_metric(ctx, "cache.misses",
-                 join == InFlightTable::Join::kLeader ? 1 : 0);
+                 join == InFlightTable::Join::kLeader || fallback ? 1 : 0);
     cache_metric(ctx, "cache.coalesced", coalesced ? 1 : 0);
+    cache_metric(ctx, "cache.wait_expired", wait_expired ? 1 : 0);
     if (have_entry) {
       from_cached(entry, cz.perm, out);
       out.coalesced = coalesced;
@@ -231,15 +241,22 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
         run_pipeline(cz.canon.set, opts, ctx, out);
       }
       // Store before permuting: entries live in canonical space. Truncated
-      // results are transient (a bigger budget would do better) and never
-      // cached; a truncated leader still publishes to its followers — they
-      // asked for the same budgeted solve.
+      // results are transient (a bigger budget would do better) and are
+      // neither cached nor published: a follower may hold a larger budget
+      // than the leader it attached to (deadlines are excluded from the
+      // coalescing key), and a coalesced response must be bit-identical to
+      // a fresh solo solve of that request — so a truncated leader
+      // abandons and its followers re-solve under their own budgets.
       const bool cacheable = out.truncation == Truncation::kNone &&
                              out.status != SolveResult::Status::kTruncated;
       if (leads) {
-        sf->publish(cache, key, slot, to_cached(out), cacheable);
-        cache_metric(ctx, "cache.inserts", cacheable ? 1 : 0);
-      } else if (cacheable) {
+        if (cacheable) {
+          sf->publish(cache, key, slot, to_cached(out));
+          cache_metric(ctx, "cache.inserts", 1);
+        } else {
+          sf->abandon(key, slot);
+        }
+      } else if (cacheable && cache != nullptr) {
         cache->insert(key, to_cached(out));
         cache_metric(ctx, "cache.inserts", 1);
       }

@@ -117,8 +117,10 @@ struct SolveOptions {
     /// Optional single-flight table (cache/inflight.h): concurrent solves
     /// whose canonical key + options fingerprint match coalesce onto one
     /// pipeline run; the others attach and receive the identical canonical
-    /// result permuted back through their own symbol maps. Only consulted
-    /// when a cache is active. Borrowed; must outlive the call.
+    /// result permuted back through their own symbol maps. Consulted
+    /// whenever set — coalescing works with or without a cache attached
+    /// (without one, only the concurrent window is closed). Borrowed; must
+    /// outlive the call.
     InFlightTable* single_flight = nullptr;
 
     bool active() const { return enabled || store != nullptr; }
@@ -266,7 +268,10 @@ SolveResponse solve(const SolveRequest& req);
 /// (pipeline, prime/cover budgets, exec.max_work) — part of the cache key,
 /// so runs under different budgets never share entries. Thread count,
 /// deadline and cancellation are deliberately excluded: threads never
-/// change the result, and only untruncated results are cached.
+/// change the result, and only untruncated results are ever cached *or*
+/// published to coalesced followers (a truncated leader abandons instead),
+/// so deadline differences cannot leak a budget-truncated result into a
+/// request whose own budget was ample.
 std::uint64_t solve_options_fingerprint(const SolveOptions& opts);
 
 /// Encodes each constraint set independently — results in input order,

@@ -46,9 +46,13 @@ SolveResponse Broker::rejected(const std::string& id, const char* why) {
 
 bool Broker::submit(SolveRequest req, Callback cb) {
   Item item;
-  const double deadline_s = req.deadline_seconds > 0
-                                ? req.deadline_seconds
-                                : cfg_.default_deadline_seconds;
+  double deadline_s = req.deadline_seconds > 0
+                          ? req.deadline_seconds
+                          : cfg_.default_deadline_seconds;
+  // The wire layer already bounds deadline_s, but submit() is a public
+  // entry point: past ~1e9 s the duration_cast below overflows on
+  // nanosecond-resolution clocks, so clamp for every caller.
+  if (deadline_s > 1e9) deadline_s = 1e9;
   if (deadline_s > 0) {
     item.has_deadline = true;
     item.deadline =

@@ -13,14 +13,26 @@ std::string quoted(const std::string& s) {
   return "\"" + json_escape(s) + "\"";
 }
 
-/// Validates and extracts one non-negative number field; a missing or null
+/// Hard ranges for the client-controlled numbers. Casting an out-of-range
+/// double to an integer type is undefined behavior, and a huge deadline
+/// overflows the steady_clock duration math downstream, so the wire layer
+/// rejects anything outside these bounds before any cast happens.
+constexpr double kMaxWireDeadlineSeconds = 1e9;  ///< ~31 years
+constexpr double kMaxWireWork = 1e18;            ///< < 2^63, exact cast
+constexpr double kMaxWireThreads = 4096;
+
+/// Validates and extracts one number field in [0, max]; a missing or null
 /// member leaves `*out` untouched.
-bool number_field(const JsonValue& obj, const char* key, double* out,
-                  std::string* error) {
+bool number_field(const JsonValue& obj, const char* key, double max,
+                  double* out, std::string* error) {
   const JsonValue* v = obj.find(key);
   if (!v || v->is_null()) return true;
-  if (!v->is_number() || v->number < 0 || !std::isfinite(v->number)) {
-    *error = std::string("field '") + key + "' must be a non-negative number";
+  if (!v->is_number() || v->number < 0 || !std::isfinite(v->number) ||
+      v->number > max) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "field '%s' must be a number in [0, %g]",
+                  key, max);
+    *error = buf;
     return false;
   }
   *out = v->number;
@@ -70,7 +82,8 @@ bool parse_request(const std::string& line, WireRequest* out,
   }
   out->constraints = cs->str;
 
-  if (!number_field(root, "deadline_s", &out->deadline_seconds, error))
+  if (!number_field(root, "deadline_s", kMaxWireDeadlineSeconds,
+                    &out->deadline_seconds, error))
     return false;
 
   if (const JsonValue* opts = root.find("options")) {
@@ -86,8 +99,10 @@ bool parse_request(const std::string& line, WireRequest* out,
       out->pipeline = p->str;
     }
     double max_work = 0, threads = 0;
-    if (!number_field(*opts, "max_work", &max_work, error)) return false;
-    if (!number_field(*opts, "threads", &threads, error)) return false;
+    if (!number_field(*opts, "max_work", kMaxWireWork, &max_work, error))
+      return false;
+    if (!number_field(*opts, "threads", kMaxWireThreads, &threads, error))
+      return false;
     out->max_work = static_cast<std::uint64_t>(max_work);
     out->threads = static_cast<int>(threads);
   }

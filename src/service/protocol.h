@@ -45,16 +45,20 @@ struct WireRequest {
   std::string id;
   /// Constraint text (core/constraints.h grammar), `op == kSolve` only.
   std::string constraints;
-  /// Per-request deadline in seconds; 0 = server default.
+  /// Per-request deadline in seconds; 0 = server default. Bounded on the
+  /// wire (≤ 1e9 s) so downstream duration math cannot overflow.
   double deadline_seconds = 0;
-  /// Option overrides; empty/0 mean "server default".
+  /// Option overrides; empty/0 mean "server default". The numeric fields
+  /// are range-checked at parse time (max_work ≤ 1e18, threads ≤ 4096) —
+  /// an out-of-range value is a parse error, never an undefined cast.
   std::string pipeline;  ///< "", "auto", "exact" or "extensions"
   std::uint64_t max_work = 0;
   int threads = 0;
 };
 
-/// Parses one NDJSON request line. On malformed input returns false and
-/// fills `*error` with a message (and `out->id` with the id when one was
+/// Parses one NDJSON request line. On malformed input — including numeric
+/// fields outside their documented ranges — returns false and fills
+/// `*error` with a message (and `out->id` with the id when one was
 /// recoverable from the line).
 bool parse_request(const std::string& line, WireRequest* out,
                    std::string* error);

@@ -29,10 +29,25 @@ void set_cloexec(int fd) {
 }
 
 /// Full write with EINTR retry; MSG_NOSIGNAL on sockets so a vanished
-/// client is an EPIPE error, not a signal. False on any write error.
-bool write_all(int fd, bool is_socket, const std::string& data) {
+/// client is an EPIPE error, not a signal. With `timeout_ms > 0` each
+/// chunk first waits for writability up to that long, so a client that
+/// stops reading (full socket/pipe buffer) bounds the stall instead of
+/// blocking the calling thread forever. False on any write error or
+/// stall past the budget.
+bool write_all(int fd, bool is_socket, const std::string& data,
+               int timeout_ms) {
   std::size_t off = 0;
   while (off < data.size()) {
+    if (timeout_ms > 0) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) return false;  // stalled client
+      if (pfd.revents & (POLLERR | POLLNVAL)) return false;
+    }
     const ssize_t n =
         is_socket ? ::send(fd, data.data() + off, data.size() - off,
                            MSG_NOSIGNAL)
@@ -53,42 +68,65 @@ bool write_all(int fd, bool is_socket, const std::string& data) {
 /// out-of-order completions from the broker's workers.
 class Server::Session {
  public:
-  Session(int out_fd, bool is_socket) : fd_(out_fd), socket_(is_socket) {}
+  Session(int out_fd, bool is_socket, int write_timeout_ms)
+      : fd_(out_fd), socket_(is_socket), write_timeout_ms_(write_timeout_ms) {}
 
   /// Reader-thread only: the order slot for the next request line.
   std::uint64_t alloc_seq() { return allocated_++; }
 
   /// Any thread: queues `line` for slot `seq`, then flushes every ready
-  /// line in order. After a write error the session goes dead and output
-  /// is discarded (slots still advance so wait_flushed() terminates).
+  /// line in order. The actual write happens *outside* the session lock
+  /// (one writer at a time; concurrent callers enqueue and return, the
+  /// active writer picks their lines up), so a slow client never holds
+  /// the lock against other completions. After a write error or a stall
+  /// past write_timeout_ms the session goes dead and output is discarded
+  /// (slots still advance so wait_flushed() terminates).
   void deliver(std::uint64_t seq, std::string line) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     pending_.emplace(seq, std::move(line));
-    auto it = pending_.find(next_to_write_);
-    while (it != pending_.end()) {
-      if (!dead_ && !write_all(fd_, socket_, it->second + "\n")) dead_ = true;
-      pending_.erase(it);
-      it = pending_.find(++next_to_write_);
+    if (writing_) return;  // the active writer will flush this slot
+    writing_ = true;
+    std::string batch;
+    for (;;) {
+      batch.clear();
+      for (auto it = pending_.find(next_to_write_); it != pending_.end();
+           it = pending_.find(next_to_write_)) {
+        if (!dead_) {
+          batch += it->second;
+          batch += '\n';
+        }
+        pending_.erase(it);
+        ++next_to_write_;
+      }
+      if (batch.empty()) break;
+      lock.unlock();
+      const bool ok = write_all(fd_, socket_, batch, write_timeout_ms_);
+      lock.lock();
+      if (!ok) dead_ = true;
     }
+    writing_ = false;
     cv_.notify_all();
   }
 
-  /// Blocks until every allocated slot has been written (or discarded).
-  /// Call after the reader stopped allocating and the broker guaranteed a
-  /// response per slot (i.e. after drain()).
+  /// Blocks until every allocated slot has been written (or discarded)
+  /// and no write is in flight. Call after the reader stopped allocating
+  /// and the broker guaranteed a response per slot (i.e. after drain()).
   void wait_flushed() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return next_to_write_ == allocated_; });
+    cv_.wait(lock,
+             [this] { return !writing_ && next_to_write_ == allocated_; });
   }
 
  private:
   const int fd_;
   const bool socket_;
+  const int write_timeout_ms_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::uint64_t allocated_ = 0;
   std::uint64_t next_to_write_ = 0;
   std::map<std::uint64_t, std::string> pending_;
+  bool writing_ = false;  ///< a deliver() call is mid-write, lock dropped
   bool dead_ = false;
 };
 
@@ -172,7 +210,7 @@ void Server::handle_line(Session* session, std::uint64_t seq,
 
 int Server::run_pipe(int in_fd, int out_fd) {
   if (signal_pipe_[0] < 0) return -1;
-  Session session(out_fd, /*is_socket=*/false);
+  Session session(out_fd, /*is_socket=*/false, cfg_.write_timeout_ms);
   std::string buffer;
   bool signaled = false;
   char chunk[65536];
@@ -254,7 +292,10 @@ int Server::run_unix_socket(const std::string& path) {
     if (cfd < 0) continue;
     set_cloexec(cfd);
     std::lock_guard<std::mutex> lock(conns_mu);
-    conns.push_back(Conn{cfd, std::make_unique<Session>(cfd, true), {}});
+    conns.push_back(Conn{cfd,
+                         std::make_unique<Session>(cfd, /*is_socket=*/true,
+                                                   cfg_.write_timeout_ms),
+                         {}});
     Conn& conn = conns.back();
     Session* session = conn.session.get();
     conn.reader = std::thread([this, cfd, session] {

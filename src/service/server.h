@@ -19,8 +19,11 @@
 // Responses are written strictly in request order per session (the broker
 // completes out of order; a per-session sequence number + reorder buffer
 // restores arrival order), which keeps pipe-mode output byte-stable and
-// golden-testable. A client that disappears mid-session (write error)
-// has its remaining output discarded; the solves still run.
+// golden-testable. A client that disappears mid-session (write error) or
+// stops reading (no write progress for write_timeout_ms) has its
+// remaining output discarded; the solves still run. Writes happen outside
+// the session lock so a slow client never blocks response delivery for
+// other requests beyond the ordering it asked for.
 #pragma once
 
 #include <csignal>
@@ -39,6 +42,12 @@ struct ServerConfig {
   /// same registry/tracer installed on `broker`). Both optional.
   MetricsRegistry* metrics = nullptr;
   const Tracer* tracer = nullptr;
+  /// Stall budget per response write: a client whose output fd makes no
+  /// progress for this long is treated as gone — the session goes dead
+  /// and its remaining output is discarded, instead of a stuck write
+  /// wedging a broker worker (and with it the SIGTERM drain, which joins
+  /// the workers). <= 0 waits forever.
+  int write_timeout_ms = 10000;
 };
 
 class Server {

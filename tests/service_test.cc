@@ -9,6 +9,7 @@
 // "coalesced > 0".
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -120,6 +121,31 @@ TEST(ServiceProtocol, ParsesStatsOpAndRejectsBadRequests) {
   EXPECT_FALSE(apply_wire_options(bad, &opts));
 }
 
+TEST(ServiceProtocol, RejectsOutOfRangeNumericFields) {
+  // Casting an out-of-range double to int/uint64 is UB, and a huge
+  // deadline overflows steady_clock duration math — all three numeric
+  // wire fields must bounce at parse time, before any cast.
+  WireRequest req;
+  std::string err;
+  EXPECT_FALSE(parse_request(
+      R"({"id":"a","constraints":"x","options":{"threads":1e18}})", &req,
+      &err));
+  EXPECT_NE(err.find("threads"), std::string::npos) << err;
+  EXPECT_FALSE(parse_request(
+      R"({"id":"a","constraints":"x","options":{"max_work":1e20}})", &req,
+      &err));
+  EXPECT_FALSE(parse_request(
+      R"({"id":"a","constraints":"x","deadline_s":1e12})", &req, &err));
+  // In-range values (including the documented maxima) still parse.
+  ASSERT_TRUE(parse_request(
+      R"({"id":"a","constraints":"x","deadline_s":1e9,)"
+      R"("options":{"threads":4096,"max_work":1e18}})",
+      &req, &err))
+      << err;
+  EXPECT_EQ(req.threads, 4096);
+  EXPECT_EQ(req.max_work, 1000000000000000000u);
+}
+
 TEST(ServiceProtocol, RendersEveryStatusShape) {
   ConstraintSet cs = parse_constraints("face a b c\ndominance a b\n");
   SolveResponse ok;
@@ -184,7 +210,7 @@ TEST(ServiceInFlight, LeaderFollowersAndLateHitDeterministic) {
   value.status = 0;
   value.bits = 2;
   value.codes = {0, 1, 3};
-  table.publish(&cache, key, leader, value, /*cacheable=*/true);
+  table.publish(&cache, key, leader, value);
 
   CachedSolve got;
   ASSERT_TRUE(f1->wait(false, {}, &got));
@@ -281,6 +307,7 @@ TEST(ServiceCoalescing, NThreadsSameInstanceOneMissBitIdentical) {
 
   SolveCache cache;
   InFlightTable table;
+  MetricsRegistry metrics;
   std::vector<SolveResult> got(kThreads);
   std::atomic<int> ready{0};
   std::vector<std::thread> threads;
@@ -293,6 +320,7 @@ TEST(ServiceCoalescing, NThreadsSameInstanceOneMissBitIdentical) {
       SolveOptions opts;
       opts.cache.store = &cache;
       opts.cache.single_flight = &table;
+      opts.exec.metrics = &metrics;
       got[r] = Solver(instances[r]).encode(opts);
     });
   for (std::thread& t : threads) t.join();
@@ -302,6 +330,14 @@ TEST(ServiceCoalescing, NThreadsSameInstanceOneMissBitIdentical) {
   EXPECT_EQ(cs.misses, 1u) << "exactly one request pays the solve";
   EXPECT_EQ(ts.leaders, 1u);
   EXPECT_EQ(cs.hits + ts.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+  // The metric-level accounting is exact: every solve lands in exactly
+  // one of the four buckets, under any interleaving.
+  const std::uint64_t bucketed =
+      metrics.counter("cache.hits", false)->value() +
+      metrics.counter("cache.misses", false)->value() +
+      metrics.counter("cache.coalesced", false)->value() +
+      metrics.counter("cache.wait_expired", false)->value();
+  EXPECT_EQ(bucketed, static_cast<std::uint64_t>(kThreads));
 
   for (int r = 0; r < kThreads; ++r) {
     EXPECT_EQ(got[r].encoding.bits, fresh[r].encoding.bits);
@@ -313,6 +349,91 @@ TEST(ServiceCoalescing, NThreadsSameInstanceOneMissBitIdentical) {
   int served = 0;
   for (const SolveResult& r : got) served += (r.from_cache || r.coalesced);
   EXPECT_EQ(served, kThreads - 1);
+}
+
+TEST(ServiceCoalescing, TruncatedLeaderNeverPublishesToFollowers) {
+  // A leader whose own budget truncates its result must abandon, not
+  // publish: a coalesced response is contractually bit-identical to a
+  // fresh solo solve of that request, and followers may hold bigger
+  // budgets (deadlines are excluded from the coalescing key). Every
+  // request here truncates deterministically (max_work=1), so whatever
+  // the interleaving — leader, follower-fallback, or no overlap at all —
+  // each response must equal its own solo solve, nothing may land in the
+  // cache, and every solve must count as a miss (a fallback re-runs the
+  // pipeline itself).
+  const ConstraintSet base = stress_instance();
+  constexpr int kThreads = 4;
+
+  SolveOptions truncating;
+  truncating.exec.max_work = 1;  // deterministic work-budget truncation
+
+  std::vector<SolveResult> fresh;
+  for (int r = 0; r < kThreads; ++r) {
+    SolveCache solo;
+    SolveOptions solo_opts = truncating;
+    solo_opts.cache.store = &solo;
+    fresh.push_back(Solver(base).encode(solo_opts));
+    EXPECT_TRUE(fresh.back().truncated);
+    EXPECT_EQ(solo.stats().entries, 0u) << "truncated results never cached";
+  }
+
+  SolveCache cache;
+  InFlightTable table;
+  MetricsRegistry metrics;
+  std::vector<SolveResult> got(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kThreads; ++r)
+    threads.emplace_back([&, r] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      SolveOptions opts = truncating;
+      opts.cache.store = &cache;
+      opts.cache.single_flight = &table;
+      opts.exec.metrics = &metrics;
+      got[r] = Solver(base).encode(opts);
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (int r = 0; r < kThreads; ++r) {
+    EXPECT_FALSE(got[r].coalesced)
+        << "a truncated result must never be served coalesced";
+    EXPECT_FALSE(got[r].from_cache);
+    EXPECT_EQ(got[r].status, fresh[r].status);
+    EXPECT_EQ(got[r].truncation, fresh[r].truncation);
+    EXPECT_EQ(got[r].encoding.codes, fresh[r].encoding.codes)
+        << "request " << r << " must match its solo solve";
+  }
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(metrics.counter("cache.misses", false)->value(),
+            static_cast<std::uint64_t>(kThreads))
+      << "leaders and abandon-fallbacks all ran the pipeline";
+  EXPECT_EQ(metrics.counter("cache.hits", false)->value(), 0u);
+  EXPECT_EQ(metrics.counter("cache.coalesced", false)->value(), 0u);
+}
+
+TEST(ServiceCoalescing, SingleFlightWorksWithoutCache) {
+  // BrokerConfig documents "null [cache] runs uncached (coalescing still
+  // applies)": with only a single-flight table wired, the solve must
+  // still go through join()/publish() — and return the same bits as the
+  // cache-enabled path (both solve the canonical instance and permute
+  // back).
+  const ConstraintSet base = stress_instance();
+  SolveCache solo;
+  SolveOptions cached_opts;
+  cached_opts.cache.store = &solo;
+  const SolveResult reference = Solver(base).encode(cached_opts);
+  ASSERT_TRUE(reference.encoded());
+
+  InFlightTable table;
+  SolveOptions opts;
+  opts.cache.single_flight = &table;  // no cache anywhere
+  const SolveResult got = Solver(base).encode(opts);
+  ASSERT_TRUE(got.encoded());
+  EXPECT_EQ(got.encoding.codes, reference.encoding.codes);
+  const CoalesceStats ts = table.stats();
+  EXPECT_EQ(ts.leaders, 1u) << "the uncached solve joined the table";
+  EXPECT_EQ(ts.in_flight, 0u) << "and published (released its slot)";
 }
 
 // --------------------------------------------------------------- broker --
@@ -636,6 +757,43 @@ TEST(ServiceServer, SigtermDrainsInFlightCompletesQueuedRejectedCacheFlushed) {
   ASSERT_TRUE(reloaded.load(path, &err)) << err;
   EXPECT_EQ(reloaded.stats().entries, 1u);
   std::remove(path.c_str());
+}
+
+TEST(ServiceServer, StalledClientDoesNotWedgeWorkersOrDrain) {
+  // A client that stops reading (full pipe buffer) must not block a
+  // broker worker forever inside a response write — that worker would
+  // never be joined and drain would hang. With a write stall budget the
+  // session goes dead, output is discarded, and run_pipe still returns.
+  PipePair req_pipe, resp_pipe;
+#ifdef F_SETPIPE_SZ
+  // Shrink the response pipe to one page so a handful of responses fill
+  // it; without the fcntl the default 64 KiB buffer would need far more.
+  if (::fcntl(resp_pipe.write_end(), F_SETPIPE_SZ, 4096) < 0)
+    GTEST_SKIP() << "cannot shrink pipe buffer";
+#else
+  GTEST_SKIP() << "F_SETPIPE_SZ unavailable";
+#endif
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 2;
+  cfg.broker.cache = &cache;
+  cfg.write_timeout_ms = 50;
+  Server server(cfg);
+
+  std::thread serving([&] {
+    EXPECT_EQ(server.run_pipe(req_pipe.read_end(), resp_pipe.write_end()), 0);
+  });
+  // ~120 responses at ~100 bytes each overflow the 4 KiB pipe many times
+  // over while the test deliberately never reads the other end.
+  std::string requests;
+  for (int i = 0; i < 120; ++i)
+    requests += "{\"id\":\"r" + std::to_string(i) +
+                "\",\"constraints\":\"face a b c\\ndominance a b\"}\n";
+  write_str(req_pipe.write_end(), requests);
+  req_pipe.close_write();  // EOF: drain kFinishQueued
+  // The only assertion that matters: the server comes back at all (the
+  // test would time out if a worker wedged on the stalled write).
+  serving.join();
 }
 
 }  // namespace
