@@ -1,0 +1,18 @@
+# Helper for the covering_bench_check test/target (see CMakeLists.txt
+# here): runs bench_covering — which itself fails unless some case shows
+# at least a 2x node reduction over the embedded seed engine — then
+# compare_bench.py against the committed baseline (wall-time budget + the
+# deterministic nodes / seed_nodes / components / propagations / cost
+# counters). Expects BENCH_COVERING, PYTHON, COMPARE, BASELINE, OUT_JSON.
+execute_process(
+  COMMAND ${BENCH_COVERING} --reps 2 --check-reduction 2 --out ${OUT_JSON}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_covering exited with ${bench_rc}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT_JSON}
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR "compare_bench.py reported a regression (rc=${compare_rc})")
+endif()

@@ -1,5 +1,6 @@
 #include "core/binate_table.h"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "core/generate.h"
@@ -110,12 +111,16 @@ BinateTable build_binate_table(const ConstraintSet& cs) {
 }
 
 BinateEncodeResult binate_table_encode(const ConstraintSet& cs,
-                                       const BinateCoverOptions& opts) {
+                                       const BinateCoverOptions& opts,
+                                       const ExecContext& ctx) {
   BinateEncodeResult res;
   const BinateTable table = build_binate_table(cs);
-  const BinateCoverSolution sol = solve_binate_cover(table.problem, opts);
+  const BinateCoverSolution sol = solve_binate_cover(table.problem, opts, ctx);
   res.nodes_explored = sol.nodes_explored;
+  res.truncated = sol.truncated;
+  res.truncation = sol.truncation;
   if (!sol.feasible) return res;
+  assert(sol.cost >= 0);
   res.feasible = true;
   res.minimal = sol.optimal;
   res.encoding.bits = static_cast<int>(sol.columns.size());

@@ -35,14 +35,26 @@ struct BinateTable {
 BinateTable build_binate_table(const ConstraintSet& cs);
 
 struct BinateEncodeResult {
+  /// False means *either* proven infeasible (`truncated == false`) or
+  /// unknown because a search budget expired (`truncated == true`) — never
+  /// treat a truncated miss as an infeasibility certificate.
   bool feasible = false;
   bool minimal = false;
   Encoding encoding;
   std::uint64_t nodes_explored = 0;
+  /// Uniform truncation shape (docs/API.md): `truncated` mirrors
+  /// `truncation != Truncation::kNone`.
+  bool truncated = false;
+  Truncation truncation = Truncation::kNone;
+
+  /// The cover search ran to completion and found no encoding.
+  bool proven_infeasible() const { return !feasible && !truncated; }
 };
 
-/// Brute-force exact minimum-length encoding via the binate table.
+/// Brute-force exact minimum-length encoding via the binate table. The
+/// context's budget (deadline/work/cancellation) bounds the cover search.
 BinateEncodeResult binate_table_encode(const ConstraintSet& cs,
-                                       const BinateCoverOptions& opts = {});
+                                       const BinateCoverOptions& opts = {},
+                                       const ExecContext& ctx = {});
 
 }  // namespace encodesat

@@ -1,6 +1,7 @@
 #include "core/extensions.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/generate.h"
 #include "core/output_rules.h"
@@ -269,18 +270,26 @@ ExtensionEncodeResult encode_with_extensions(const ConstraintSet& cs,
     return res;
   }
   const BinateCoverSolution sol =
-      solve_binate_cover(problem, opts.cover_options);
+      solve_binate_cover(problem, opts.cover_options, stage.ctx());
   res.nodes_explored = sol.nodes_explored;
   stage.add_items(sol.nodes_explored);
   if (!sol.feasible) {
-    res.status = ExtensionEncodeResult::Status::kInfeasible;
+    // Only a completed search proves infeasibility; a truncated miss is
+    // "unknown — the budget ran out first" (solve_binate_cover's honesty
+    // contract, docs/API.md).
+    res.status = sol.truncated ? ExtensionEncodeResult::Status::kCoverLimit
+                               : ExtensionEncodeResult::Status::kInfeasible;
+    res.truncated = sol.truncated;
+    res.truncation = sol.truncation;
+    stage.set_truncation(res.truncation);
     return res;
   }
+  assert(sol.cost >= 0);
   res.status = ExtensionEncodeResult::Status::kEncoded;
   res.minimal = sol.optimal;
   if (!sol.optimal) {
     res.truncated = true;
-    res.truncation = Truncation::kNodeLimit;
+    res.truncation = sol.truncation;
     stage.set_truncation(res.truncation);
   }
 

@@ -26,7 +26,11 @@ struct ExtensionEncodeOptions {
 };
 
 struct ExtensionEncodeResult {
-  enum class Status { kEncoded, kInfeasible, kPrimeLimit };
+  /// kInfeasible is a *certificate* (the cover search ran to completion and
+  /// proved no encoding exists). A budget that expires during prime
+  /// generation maps to kPrimeLimit; one that expires during the binate
+  /// cover search maps to kCoverLimit — never to kInfeasible.
+  enum class Status { kEncoded, kInfeasible, kPrimeLimit, kCoverLimit };
   Status status = Status::kInfeasible;
   Encoding encoding;
   bool minimal = false;

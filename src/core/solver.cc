@@ -33,6 +33,7 @@ SolveResult::Status from_extension(ExtensionEncodeResult::Status s) {
     case ExtensionEncodeResult::Status::kInfeasible:
       return SolveResult::Status::kInfeasible;
     case ExtensionEncodeResult::Status::kPrimeLimit:
+    case ExtensionEncodeResult::Status::kCoverLimit:
       return SolveResult::Status::kTruncated;
   }
   return SolveResult::Status::kInfeasible;

@@ -3,11 +3,30 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/term_arena.h"
+#include "util/thread_pool.h"
 
 namespace encodesat {
 
 void BinateCoverProblem::add_row(const std::vector<std::size_t>& pos_cols,
                                  const std::vector<std::size_t>& neg_cols) {
+  for (std::size_t c : pos_cols)
+    if (c >= num_columns)
+      throw std::invalid_argument(
+          "BinateCoverProblem::add_row: positive column index " +
+          std::to_string(c) + " >= num_columns " +
+          std::to_string(num_columns));
+  for (std::size_t c : neg_cols)
+    if (c >= num_columns)
+      throw std::invalid_argument(
+          "BinateCoverProblem::add_row: negative column index " +
+          std::to_string(c) + " >= num_columns " +
+          std::to_string(num_columns));
   BinateRow row{Bitset(num_columns), Bitset(num_columns)};
   for (std::size_t c : pos_cols) row.pos.set(c);
   for (std::size_t c : neg_cols) row.neg.set(c);
@@ -20,164 +39,708 @@ int column_weight(const BinateCoverProblem& p, std::size_t c) {
   return p.weights.empty() ? 1 : p.weights[c];
 }
 
-struct Search {
-  const BinateCoverProblem& p;
-  const BinateCoverOptions& opts;
+void validate_problem(const BinateCoverProblem& p) {
+  if (!p.weights.empty() && p.weights.size() != p.num_columns)
+    throw std::invalid_argument(
+        "solve_binate_cover: weights has " + std::to_string(p.weights.size()) +
+        " entries for " + std::to_string(p.num_columns) + " columns");
+  for (const BinateRow& r : p.rows)
+    if (r.pos.size() != p.num_columns || r.neg.size() != p.num_columns)
+      throw std::invalid_argument(
+          "solve_binate_cover: row universe does not match num_columns");
+}
+
+// --- root reduction --------------------------------------------------------
+
+// Polynomial presolve applied once before the search: unit rows (a clause
+// with one free literal forces it), pure-literal columns (a column in no
+// positive literal is never worth selecting), row dominance (clause i a
+// sub-clause of clause j drops j) and column dominance on the
+// pure-positive subtable (both columns only ever positive, one covers a
+// superset of the other's rows at no greater weight). Every step preserves
+// at least one optimal solution; a row running out of literals here is a
+// proven infeasibility certificate, not a truncation.
+struct RootReduction {
+  bool infeasible = false;
+  Bitset assigned{0};
+  Bitset value{0};
+  int forced_cost = 0;
+  std::uint64_t propagations = 0;
+  std::vector<std::size_t> live_rows;  // indexes into p.rows
+};
+
+bool row_satisfied_root(const BinateRow& r, const Bitset& assigned,
+                        const Bitset& value) {
+  Bitset t = r.pos;
+  t &= value;
+  if (t.any()) return true;
+  Bitset f = r.neg;
+  f &= assigned;
+  f.subtract(value);
+  return f.any();
+}
+
+RootReduction reduce_root(const BinateCoverProblem& p) {
+  RootReduction red;
+  red.assigned = Bitset(p.num_columns);
+  red.value = Bitset(p.num_columns);
+  std::vector<bool> dead(p.rows.size(), false);
+
+  // Tautological rows (a column in both pos and neg) are satisfied by any
+  // total assignment — drop them up front.
+  for (std::size_t r = 0; r < p.rows.size(); ++r) {
+    Bitset both = p.rows[r].pos;
+    both &= p.rows[r].neg;
+    if (both.any()) dead[r] = true;
+  }
+
+  bool changed = true;
+  while (changed && !red.infeasible) {
+    changed = false;
+
+    // Unit propagation to fixpoint.
+    bool prop = true;
+    while (prop && !red.infeasible) {
+      prop = false;
+      for (std::size_t r = 0; r < p.rows.size(); ++r) {
+        if (dead[r]) continue;
+        if (row_satisfied_root(p.rows[r], red.assigned, red.value)) {
+          dead[r] = true;
+          continue;
+        }
+        Bitset fp = p.rows[r].pos;
+        fp.subtract(red.assigned);
+        Bitset fn = p.rows[r].neg;
+        fn.subtract(red.assigned);
+        const std::size_t nfree = fp.count() + fn.count();
+        if (nfree == 0) {
+          red.infeasible = true;  // certificate: clause with no literal left
+          break;
+        }
+        if (nfree == 1) {
+          ++red.propagations;
+          if (fp.any()) {
+            const std::size_t c = fp.first();
+            red.assigned.set(c);
+            red.value.set(c);
+            red.forced_cost += column_weight(p, c);
+          } else {
+            red.assigned.set(fn.first());
+          }
+          dead[r] = true;
+          prop = changed = true;
+        }
+      }
+    }
+    if (red.infeasible) break;
+
+    // Pure-literal columns: a free column in no live row's positive part
+    // never pays for itself — fix it to 0, satisfying its negative rows.
+    {
+      Bitset in_pos(p.num_columns);
+      for (std::size_t r = 0; r < p.rows.size(); ++r)
+        if (!dead[r]) {
+          Bitset fp = p.rows[r].pos;
+          fp.subtract(red.assigned);
+          in_pos |= fp;
+        }
+      for (std::size_t c = 0; c < p.num_columns; ++c) {
+        if (red.assigned.test(c) || in_pos.test(c)) continue;
+        bool used = false;
+        for (std::size_t r = 0; r < p.rows.size(); ++r)
+          if (!dead[r] && p.rows[r].neg.test(c)) {
+            used = true;
+            break;
+          }
+        red.assigned.set(c);
+        if (used) {
+          ++red.propagations;
+          changed = true;
+        }
+      }
+    }
+
+    // Collect live rows and their free literal sets once for the two
+    // dominance passes.
+    std::vector<std::size_t> live;
+    std::vector<Bitset> fpos, fneg;
+    for (std::size_t r = 0; r < p.rows.size(); ++r) {
+      if (dead[r]) continue;
+      if (row_satisfied_root(p.rows[r], red.assigned, red.value)) {
+        dead[r] = true;
+        continue;
+      }
+      Bitset fp = p.rows[r].pos;
+      fp.subtract(red.assigned);
+      Bitset fn = p.rows[r].neg;
+      fn.subtract(red.assigned);
+      live.push_back(r);
+      fpos.push_back(std::move(fp));
+      fneg.push_back(std::move(fn));
+    }
+
+    // Row dominance: clause i ⊆ clause j (as free literal sets) makes j
+    // redundant. Quadratic — only worth it on smallish tables.
+    if (live.size() <= 1024) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (dead[live[i]]) continue;
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          if (i == j || dead[live[j]]) continue;
+          if (!fpos[i].is_subset_of(fpos[j]) || !fneg[i].is_subset_of(fneg[j]))
+            continue;
+          const bool equal = fpos[i].count() == fpos[j].count() &&
+                             fneg[i].count() == fneg[j].count();
+          if (equal && i > j) continue;  // keep the earlier of duplicates
+          dead[live[j]] = true;
+          changed = true;
+        }
+      }
+    }
+
+    // Column dominance on the pure-positive subtable: among free columns
+    // that appear in no live negative literal, c is dominated by d when d
+    // covers every live row c covers at no greater weight — selecting c
+    // can always be replaced by selecting d, so fix c to 0.
+    {
+      std::vector<std::size_t> lrows;
+      for (std::size_t i = 0; i < live.size(); ++i)
+        if (!dead[live[i]]) lrows.push_back(i);
+      Bitset impure(p.num_columns);
+      for (std::size_t i : lrows) impure |= fneg[i];
+      std::vector<std::size_t> pure;
+      std::vector<Bitset> coverage;
+      for (std::size_t c = 0; c < p.num_columns; ++c) {
+        if (red.assigned.test(c) || impure.test(c)) continue;
+        Bitset cov(lrows.size());
+        for (std::size_t k = 0; k < lrows.size(); ++k)
+          if (fpos[lrows[k]].test(c)) cov.set(k);
+        if (!cov.any()) continue;
+        pure.push_back(c);
+        coverage.push_back(std::move(cov));
+      }
+      if (!pure.empty() && pure.size() <= 4096) {
+        std::vector<std::size_t> order(pure.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const std::size_t ca = coverage[a].count(),
+                                      cb = coverage[b].count();
+                    if (ca != cb) return ca > cb;
+                    const int wa = column_weight(p, pure[a]),
+                              wb = column_weight(p, pure[b]);
+                    if (wa != wb) return wa < wb;
+                    return pure[a] < pure[b];
+                  });
+        std::vector<std::size_t> kept;
+        for (std::size_t i : order) {
+          bool dominated = false;
+          for (std::size_t k : kept)
+            if (column_weight(p, pure[k]) <= column_weight(p, pure[i]) &&
+                coverage[i].is_subset_of(coverage[k])) {
+              dominated = true;
+              break;
+            }
+          if (dominated) {
+            red.assigned.set(pure[i]);  // value stays 0: excluded
+            ++red.propagations;
+            changed = true;
+          } else {
+            kept.push_back(i);
+          }
+        }
+      }
+    }
+  }
+
+  if (!red.infeasible)
+    for (std::size_t r = 0; r < p.rows.size(); ++r)
+      if (!dead[r] && !row_satisfied_root(p.rows[r], red.assigned, red.value))
+        red.live_rows.push_back(r);
+  return red;
+}
+
+// --- per-component branch-and-bound ----------------------------------------
+
+struct ComponentResult {
+  bool feasible = false;
+  bool complete = true;  // search ran to exhaustion (optimality/infeasibility
+                         // proved)
+  Truncation truncation = Truncation::kNone;
+  std::vector<std::size_t> columns;  // component-local indices
+  int cost = 0;                      // valid only when feasible
   std::uint64_t nodes = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t prune_hits = 0;
+  std::uint64_t arena_allocs = 0;
+  std::uint64_t arena_reuses = 0;
+  std::size_t peak_arena_bytes = 0;
+};
+
+// Explicit-stack DPLL over one component. All working sets live in two
+// TermArenas: `cols` holds column sets (per-row free-literal tables and the
+// per-frame assigned/value pair), `rows` holds row sets (the satisfied-row
+// mask and the immutable column→rows occurrence tables used for O(words)
+// satisfaction updates). Frames own their refs; every exit path returns
+// them to the free list, so the search performs no per-node heap
+// allocation for set data and the recursion depth is bounded by the
+// explicit stack, not the call stack.
+struct Search {
+  const BinateCoverProblem& q;
+  const BinateCoverOptions& opts;
+  ExecContext ctx;
+  TermArena cols;
+  TermArena rows;
+  std::vector<TermRef> row_pos, row_neg;  // row -> literal sets (immutable)
+  std::vector<TermRef> occ_pos, occ_neg;  // col -> rows containing it
+  std::uint64_t nodes = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t prune_hits = 0;
   bool budget_exhausted = false;
+  Truncation truncation = Truncation::kNone;
   int best_cost = std::numeric_limits<int>::max();
   bool found = false;
   std::vector<std::size_t> best_columns;
 
-  Search(const BinateCoverProblem& problem, const BinateCoverOptions& options)
-      : p(problem), opts(options) {}
+  struct Frame {
+    TermRef assigned;   // cols
+    TermRef value;      // cols, invariant: value ⊆ assigned
+    TermRef satisfied;  // rows
+    int cost;
+  };
+  std::vector<Frame> stack;
 
-  bool row_satisfied(const BinateRow& r, const Bitset& assigned,
-                     const Bitset& value) const {
-    // Positive literal true: assigned and selected.
-    Bitset t = r.pos;
-    t &= assigned;
-    t &= value;
-    if (t.any()) return true;
-    // Negative literal true: assigned and not selected.
-    Bitset f = r.neg;
-    f &= assigned;
-    f.subtract(value);
-    return f.any();
+  explicit Search(const BinateCoverProblem& problem,
+                  const BinateCoverOptions& options, const ExecContext& context)
+      : q(problem),
+        opts(options),
+        ctx(context),
+        cols(problem.num_columns, 2 * problem.rows.size() + 64),
+        rows(problem.rows.size(), 2 * problem.num_columns + 64) {
+    row_pos.reserve(q.rows.size());
+    row_neg.reserve(q.rows.size());
+    for (const BinateRow& r : q.rows) {
+      row_pos.push_back(cols.from_bitset(r.pos));
+      row_neg.push_back(cols.from_bitset(r.neg));
+    }
+    occ_pos.reserve(q.num_columns);
+    occ_neg.reserve(q.num_columns);
+    for (std::size_t c = 0; c < q.num_columns; ++c) {
+      const TermRef op = rows.alloc();
+      const TermRef on = rows.alloc();
+      for (std::size_t r = 0; r < q.rows.size(); ++r) {
+        if (q.rows[r].pos.test(c)) rows.set(op, r);
+        if (q.rows[r].neg.test(c)) rows.set(on, r);
+      }
+      occ_pos.push_back(op);
+      occ_neg.push_back(on);
+    }
   }
 
-  // Lower bound: pairwise variable-disjoint unsatisfied rows whose free
-  // literals are all positive each force at least their cheapest column.
-  int lower_bound(const Bitset& assigned, const Bitset& value) const {
-    Bitset used(p.num_columns);
+  void release_frame(const Frame& f) {
+    cols.release(f.assigned);
+    cols.release(f.value);
+    rows.release(f.satisfied);
+  }
+
+  void assign(Frame& f, std::size_t c, bool select) {
+    cols.set(f.assigned, c);
+    if (select) {
+      cols.set(f.value, c);
+      f.cost += column_weight(q, c);
+      rows.or_into(f.satisfied, occ_pos[c]);
+    } else {
+      rows.or_into(f.satisfied, occ_neg[c]);
+    }
+  }
+
+  // Greedy maximal-independent-set lower bound over the unsatisfied rows
+  // whose free literals are all positive (rows with a free negative
+  // literal can be satisfied for free): pairwise column-disjoint rows each
+  // force at least their cheapest free column. Short rows first — they
+  // are more likely independent and carry tighter per-row bounds.
+  int lower_bound(const std::vector<TermRef>& avail,
+                  const std::vector<std::uint32_t>& acount,
+                  std::vector<std::size_t>& order, TermRef used) {
+    order.resize(avail.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (acount[a] != acount[b]) return acount[a] < acount[b];
+      return a < b;
+    });
     int bound = 0;
-    for (const BinateRow& r : p.rows) {
-      if (row_satisfied(r, assigned, value)) continue;
-      Bitset free_neg = r.neg;
-      free_neg.subtract(assigned);
-      if (free_neg.any()) continue;  // can be satisfied for free
-      Bitset free_pos = r.pos;
-      free_pos.subtract(assigned);
-      if (free_pos.empty() || free_pos.intersects(used)) continue;
-      used |= free_pos;
+    for (std::size_t i : order) {
+      if (cols.intersects(avail[i], used)) continue;
+      cols.or_into(used, avail[i]);
       int cheapest = std::numeric_limits<int>::max();
-      free_pos.for_each([&](std::size_t c) {
-        cheapest = std::min(cheapest, column_weight(p, c));
+      cols.for_each(avail[i], [&](std::size_t c) {
+        cheapest = std::min(cheapest, column_weight(q, c));
       });
       bound += cheapest;
     }
     return bound;
   }
 
-  void solve(Bitset assigned, Bitset value, int cost) {
-    if (budget_exhausted) return;
+  void run() {
+    stack.push_back(
+        Frame{cols.alloc(), cols.alloc(), rows.alloc(), /*cost=*/0});
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      process(f);
+      if (budget_exhausted) break;
+    }
+    for (const Frame& f : stack) release_frame(f);
+    stack.clear();
+  }
+
+  void process(Frame f) {
     if (++nodes > opts.max_nodes) {
       budget_exhausted = true;
+      truncation = Truncation::kNodeLimit;
+      release_frame(f);
       return;
     }
-    if (cost >= best_cost) return;
+    // Shared-budget checks: a cheap exhaustion flag every node, a clock
+    // poll every 1024 nodes — a pathological instance inside a serve
+    // request stays cancellable and deadline-bounded.
+    if (ctx.exhausted() || ((nodes & 1023u) == 0 && !ctx.poll())) {
+      budget_exhausted = true;
+      truncation = ctx.reason();
+      release_frame(f);
+      return;
+    }
+    if (f.cost >= best_cost) {
+      ++prune_hits;
+      release_frame(f);
+      return;
+    }
 
-    // Unit propagation to fixpoint.
+    TermGuard cguard(cols);
+    const TermRef fp = cguard.track(cols.alloc());
+    const TermRef fn = cguard.track(cols.alloc());
+
+    // Unit propagation to fixpoint; shared by both children below.
     bool changed = true;
     while (changed) {
       changed = false;
-      for (const BinateRow& r : p.rows) {
-        if (row_satisfied(r, assigned, value)) continue;
-        Bitset free_pos = r.pos;
-        free_pos.subtract(assigned);
-        Bitset free_neg = r.neg;
-        free_neg.subtract(assigned);
-        const std::size_t nfree = free_pos.count() + free_neg.count();
-        if (nfree == 0) return;  // conflict
+      for (std::size_t r = 0; r < q.rows.size(); ++r) {
+        if (rows.test(f.satisfied, r)) continue;
+        cols.andnot_of(fp, row_pos[r], f.assigned);
+        cols.andnot_of(fn, row_neg[r], f.assigned);
+        const std::size_t np = cols.count(fp);
+        const std::size_t nfree = np + cols.count(fn);
+        if (nfree == 0) {  // conflict: dead branch
+          release_frame(f);
+          return;
+        }
         if (nfree == 1) {
-          if (free_pos.any()) {
-            const std::size_t c = free_pos.first();
-            assigned.set(c);
-            value.set(c);
-            cost += column_weight(p, c);
-            if (cost >= best_cost) return;
-          } else {
-            const std::size_t c = free_neg.first();
-            assigned.set(c);
+          ++propagations;
+          assign(f, np == 1 ? cols.first(fp) : cols.first(fn), np == 1);
+          if (f.cost >= best_cost) {
+            ++prune_hits;
+            release_frame(f);
+            return;
           }
           changed = true;
         }
       }
     }
 
-    // Find the unsatisfied row with the fewest free literals.
-    const BinateRow* pivot = nullptr;
+    // One pass over the unsatisfied rows: pick the pivot (fewest free
+    // literals) and collect the pure-positive residual rows for the bound.
+    std::vector<TermRef> avail;
+    std::vector<std::uint32_t> acount;
+    TermGuard aguard(cols);
+    std::size_t pivot = q.rows.size();
     std::size_t pivot_free = std::numeric_limits<std::size_t>::max();
-    for (const BinateRow& r : p.rows) {
-      if (row_satisfied(r, assigned, value)) continue;
-      Bitset free_pos = r.pos;
-      free_pos.subtract(assigned);
-      Bitset free_neg = r.neg;
-      free_neg.subtract(assigned);
-      const std::size_t nfree = free_pos.count() + free_neg.count();
-      if (nfree < pivot_free) {
-        pivot_free = nfree;
-        pivot = &r;
+    for (std::size_t r = 0; r < q.rows.size(); ++r) {
+      if (rows.test(f.satisfied, r)) continue;
+      cols.andnot_of(fp, row_pos[r], f.assigned);
+      cols.andnot_of(fn, row_neg[r], f.assigned);
+      const std::size_t np = cols.count(fp);
+      const std::size_t nn = cols.count(fn);
+      if (np + nn < pivot_free) {
+        pivot_free = np + nn;
+        pivot = r;
+      }
+      if (nn == 0) {
+        const TermRef a = aguard.track(cols.alloc());
+        cols.copy(a, fp);
+        avail.push_back(a);
+        acount.push_back(static_cast<std::uint32_t>(np));
       }
     }
-    if (pivot == nullptr) {
-      // All rows satisfied; unassigned columns default to unselected.
+    if (pivot == q.rows.size()) {
+      // Every row satisfied; unassigned columns default to unselected.
       found = true;
-      best_cost = cost;
+      best_cost = f.cost;
       best_columns.clear();
-      Bitset sel = value;
-      sel &= assigned;
-      sel.for_each([&](std::size_t c) { best_columns.push_back(c); });
+      cols.for_each(f.value,
+                    [&](std::size_t c) { best_columns.push_back(c); });
+      release_frame(f);
       return;
     }
 
-    if (cost + lower_bound(assigned, value) >= best_cost) return;
+    {
+      const TermRef used = cguard.track(cols.alloc());
+      std::vector<std::size_t> order;
+      if (f.cost + lower_bound(avail, acount, order, used) >= best_cost) {
+        ++prune_hits;
+        release_frame(f);
+        return;
+      }
+    }
 
-    // Branch on a free literal of the pivot row: prefer the cost-free
-    // direction (negative literal, i.e. leave the column unselected) first.
-    Bitset free_neg = pivot->neg;
-    free_neg.subtract(assigned);
+    // Branch on a free literal of the pivot row, cost-free direction
+    // (leave the column unselected) first.
+    cols.andnot_of(fn, row_neg[pivot], f.assigned);
     std::size_t var;
-    if (free_neg.any())
-      var = free_neg.first();
-    else {
-      Bitset free_pos = pivot->pos;
-      free_pos.subtract(assigned);
-      assert(free_pos.any());
-      var = free_pos.first();
+    if (!cols.empty(fn)) {
+      var = cols.first(fn);
+    } else {
+      cols.andnot_of(fp, row_pos[pivot], f.assigned);
+      assert(!cols.empty(fp));
+      var = cols.first(fp);
     }
 
-    // Branch A: var = 0 (unselected).
-    {
-      Bitset a = assigned, v = value;
-      a.set(var);
-      v.reset(var);
-      solve(std::move(a), std::move(v), cost);
-    }
-    // Branch B: var = 1 (selected).
-    {
-      Bitset a = assigned, v = value;
-      a.set(var);
-      v.set(var);
-      solve(std::move(a), std::move(v), cost + column_weight(p, var));
-    }
+    // Push select first, exclude second: the stack pops exclude (var = 0)
+    // before select, matching the cost-free-first exploration order.
+    Frame select{cols.clone(f.assigned), cols.clone(f.value),
+                 rows.clone(f.satisfied), f.cost};
+    assign(select, var, /*select=*/true);
+    stack.push_back(select);
+    assign(f, var, /*select=*/false);  // f's refs transfer to this child
+    stack.push_back(f);
   }
 };
+
+ComponentResult solve_component(const BinateCoverProblem& q,
+                                const BinateCoverOptions& options,
+                                const ExecContext& ctx) {
+  TRACE_SCOPE(ctx, "binate_component");
+  ComponentResult out;
+  Search search(q, options, ctx);
+  search.run();
+  out.feasible = search.found;
+  out.complete = !search.budget_exhausted;
+  out.truncation = search.truncation;
+  out.columns = std::move(search.best_columns);
+  out.cost = search.found ? search.best_cost : 0;
+  out.nodes = search.nodes;
+  out.propagations = search.propagations;
+  out.prune_hits = search.prune_hits;
+  out.arena_allocs =
+      search.cols.total_allocs() + search.rows.total_allocs();
+  out.arena_reuses =
+      search.cols.total_reuses() + search.rows.total_reuses();
+  out.peak_arena_bytes =
+      search.cols.peak_bytes() + search.rows.peak_bytes();
+  return out;
+}
+
+// Union-find with path halving.
+std::size_t dsu_find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void report_metrics(const ExecContext& ctx, const BinateCoverSolution& sol) {
+  // Per-component totals are deterministic (private node budgets, summed
+  // in component order), so they are fingerprint-safe.
+  metric_add(ctx, "cover.binate.nodes", sol.nodes_explored);
+  metric_add(ctx, "cover.binate.components", sol.components);
+  metric_add(ctx, "cover.binate.propagations", sol.propagations);
+  metric_add(ctx, "cover.binate.prune_hits", sol.prune_hits);
+  metric_add(ctx, "cover.binate.arena_allocs", sol.arena_allocs);
+  metric_add(ctx, "cover.binate.arena_reuses", sol.arena_reuses);
+  metric_max(ctx, "cover.binate.peak_arena_bytes", sol.peak_arena_bytes);
+}
 
 }  // namespace
 
 BinateCoverSolution solve_binate_cover(const BinateCoverProblem& p,
-                                       const BinateCoverOptions& options) {
-  Search search(p, options);
-  search.solve(Bitset(p.num_columns), Bitset(p.num_columns), 0);
+                                       const BinateCoverOptions& options,
+                                       const ExecContext& ctx) {
+  validate_problem(p);
+  StageScope stage(ctx, "binate_cover");
   BinateCoverSolution sol;
-  sol.feasible = search.found;
-  sol.optimal = search.found && !search.budget_exhausted;
-  sol.columns = search.best_columns;
-  sol.cost = search.best_cost == std::numeric_limits<int>::max()
-                 ? 0
-                 : search.best_cost;
-  sol.nodes_explored = search.nodes;
+
+  // A budget that is already exhausted (or a pending cancellation) returns
+  // before any work — truncated, never "infeasible".
+  if (!stage.ctx().poll()) {
+    sol.truncated = true;
+    sol.truncation = stage.ctx().reason();
+    stage.set_truncation(sol.truncation);
+    report_metrics(ctx, sol);
+    return sol;
+  }
+
+  RootReduction red;
+  {
+    TRACE_SCOPE(stage.ctx(), "binate_reduce");
+    red = reduce_root(p);
+  }
+  sol.propagations = red.propagations;
+  if (red.infeasible) {
+    // Certificate, not a budget artifact: feasible=false, truncated=false.
+    stage.set_truncation(Truncation::kNone);
+    report_metrics(ctx, sol);
+    return sol;
+  }
+
+  // Residual problem over the free columns of the live rows, renumbered.
+  std::vector<std::size_t> column_map;  // residual column -> original
+  std::vector<std::size_t> local_of(p.num_columns, p.num_columns);
+  for (const std::size_t r : red.live_rows) {
+    Bitset free = p.rows[r].pos;
+    free |= p.rows[r].neg;
+    free.subtract(red.assigned);
+    free.for_each([&](std::size_t c) {
+      if (local_of[c] == p.num_columns) {
+        local_of[c] = column_map.size();
+        column_map.push_back(c);
+      }
+    });
+  }
+  sol.columns_after_reduction = column_map.size();
+
+  if (red.live_rows.empty()) {
+    sol.feasible = true;
+    sol.optimal = true;
+    sol.cost = red.forced_cost;
+    red.value.for_each([&](std::size_t c) { sol.columns.push_back(c); });
+    std::sort(sol.columns.begin(), sol.columns.end());
+    sol.components = 1;
+    stage.set_truncation(Truncation::kNone);
+    report_metrics(ctx, sol);
+    return sol;
+  }
+
+  // Independent-subproblem fan-out: live rows sharing no free columns are
+  // satisfiable independently, and the union of per-component optima is a
+  // global optimum. Components are numbered in column order so the
+  // decomposition — and the merged solution — is schedule-independent.
+  std::vector<std::size_t> parent(column_map.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<Bitset> row_free;  // per live row, free literal columns
+  row_free.reserve(red.live_rows.size());
+  for (const std::size_t r : red.live_rows) {
+    Bitset free = p.rows[r].pos;
+    free |= p.rows[r].neg;
+    free.subtract(red.assigned);
+    Bitset local(column_map.size());
+    free.for_each([&](std::size_t c) { local.set(local_of[c]); });
+    const std::size_t first = dsu_find(parent, local.first());
+    local.for_each(
+        [&](std::size_t c) { parent[dsu_find(parent, c)] = first; });
+    row_free.push_back(std::move(local));
+  }
+  std::vector<std::size_t> comp_of_col(column_map.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t c = 0; c < column_map.size(); ++c) {
+    const std::size_t r = dsu_find(parent, c);
+    auto it = std::find(roots.begin(), roots.end(), r);
+    if (it == roots.end()) {
+      roots.push_back(r);
+      it = roots.end() - 1;
+    }
+    comp_of_col[c] = static_cast<std::size_t>(it - roots.begin());
+  }
+  const std::size_t num_components = roots.size();
+
+  // Build one subproblem per component (columns and rows renumbered).
+  std::vector<BinateCoverProblem> subs(num_components);
+  std::vector<std::vector<std::size_t>> col_maps(num_components);
+  std::vector<std::size_t> sub_local(column_map.size());
+  for (std::size_t c = 0; c < column_map.size(); ++c) {
+    auto& map = col_maps[comp_of_col[c]];
+    sub_local[c] = map.size();
+    map.push_back(c);
+  }
+  for (std::size_t k = 0; k < num_components; ++k) {
+    subs[k].num_columns = col_maps[k].size();
+    if (!p.weights.empty()) {
+      subs[k].weights.reserve(col_maps[k].size());
+      for (std::size_t c : col_maps[k])
+        subs[k].weights.push_back(p.weights[column_map[c]]);
+    }
+  }
+  for (std::size_t i = 0; i < red.live_rows.size(); ++i) {
+    const std::size_t k = comp_of_col[row_free[i].first()];
+    const BinateRow& src = p.rows[red.live_rows[i]];
+    BinateRow local{Bitset(subs[k].num_columns), Bitset(subs[k].num_columns)};
+    row_free[i].for_each([&](std::size_t c) {
+      if (src.pos.test(column_map[c])) local.pos.set(sub_local[c]);
+      if (src.neg.test(column_map[c])) local.neg.set(sub_local[c]);
+    });
+    subs[k].rows.push_back(std::move(local));
+  }
+
+  // Each component gets the full node budget and a private result slot, so
+  // the merged outcome is bit-identical for every thread count (only
+  // wall-clock deadlines can break the tie, by design).
+  std::vector<ComponentResult> results(num_components);
+  const ExecContext sub_ctx{ctx.budget, nullptr, 1, ctx.tracer, ctx.metrics};
+  parallel_for(num_components, ctx.num_threads, [&](std::size_t k) {
+    results[k] = solve_component(subs[k], options, sub_ctx);
+  });
+
+  // Merge in component order. A proven-infeasible component is a
+  // certificate for the whole problem regardless of what happened to its
+  // siblings; a component that truncated without a solution makes the
+  // outcome "unknown", never "infeasible".
+  bool proven_infeasible = false;
+  bool unknown = false;
+  Truncation first_trunc = Truncation::kNone;
+  sol.feasible = true;
+  sol.optimal = true;
+  sol.cost = red.forced_cost;
+  red.value.for_each([&](std::size_t c) { sol.columns.push_back(c); });
+  for (std::size_t k = 0; k < num_components; ++k) {
+    const ComponentResult& r = results[k];
+    sol.nodes_explored += r.nodes;
+    sol.propagations += r.propagations;
+    sol.prune_hits += r.prune_hits;
+    sol.arena_allocs += r.arena_allocs;
+    sol.arena_reuses += r.arena_reuses;
+    sol.peak_arena_bytes = std::max(sol.peak_arena_bytes, r.peak_arena_bytes);
+    if (first_trunc == Truncation::kNone) first_trunc = r.truncation;
+    if (!r.feasible) {
+      if (r.complete)
+        proven_infeasible = true;
+      else
+        unknown = true;
+      continue;
+    }
+    sol.optimal = sol.optimal && r.complete;
+    sol.cost += r.cost;
+    for (std::size_t c : r.columns)
+      sol.columns.push_back(column_map[col_maps[k][c]]);
+  }
+  if (proven_infeasible) {
+    sol.feasible = false;
+    sol.optimal = false;
+    sol.cost = -1;
+    sol.columns.clear();
+    sol.truncation = Truncation::kNone;  // the certificate stands
+  } else if (unknown) {
+    sol.feasible = false;
+    sol.optimal = false;
+    sol.cost = -1;
+    sol.columns.clear();
+    sol.truncation = first_trunc;
+  } else {
+    sol.truncation = sol.optimal ? Truncation::kNone : first_trunc;
+    std::sort(sol.columns.begin(), sol.columns.end());
+  }
+  sol.components = num_components == 0 ? 1 : num_components;
+  sol.truncated = sol.truncation != Truncation::kNone;
+  stage.add_items(sol.nodes_explored);
+  stage.set_truncation(sol.truncation);
+  report_metrics(ctx, sol);
   return sol;
 }
 

@@ -2,12 +2,26 @@
 // positive and negative literals (Section 4 of the paper abstracts all
 // encoding-constraint satisfaction as this problem; we also use it for the
 // distance-2 and non-face constraint extensions of Section 8).
+//
+// The solver mirrors covering/unate.cc: root reductions (unit rows, pure
+// literals, row dominance, column dominance on the pure-positive
+// subtable), decomposition into independent components searched
+// concurrently with bit-identical results for every thread count, an
+// arena-backed explicit-stack branch-and-bound with unit propagation, and
+// a maximal-independent-set lower bound over the pure-positive residual
+// rows.
+//
+// Truncation honesty: a budget that expires before the search finishes is
+// *never* an infeasibility certificate. Proven infeasibility is exactly
+// `!feasible && !truncated`; `!feasible && truncated` means "unknown —
+// the budget ran out first" and callers must surface it as truncation.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/exec.h"
 
 namespace encodesat {
 
@@ -20,31 +34,80 @@ struct BinateRow {
 
 struct BinateCoverProblem {
   std::size_t num_columns = 0;
-  /// Per-column selection weights; empty means unit weights.
+  /// Per-column selection weights; empty means unit weights. When
+  /// non-empty the size must equal `num_columns` (checked by
+  /// solve_binate_cover, matching the Bitset mismatched-universe policy).
   std::vector<int> weights;
   std::vector<BinateRow> rows;
 
-  /// Appends a clause given explicit literal lists.
+  /// Appends a clause given explicit literal lists. Throws
+  /// std::invalid_argument on a column index >= num_columns.
   void add_row(const std::vector<std::size_t>& pos_cols,
                const std::vector<std::size_t>& neg_cols);
 };
 
 struct BinateCoverOptions {
+  /// Branch-and-bound node budget per independent component (the same
+  /// full-budget-per-component rule as unate, so the decomposition is
+  /// thread-count invariant).
   std::uint64_t max_nodes = 5'000'000;
 };
 
 struct BinateCoverSolution {
+  /// True when a satisfying selection was found. False means *either*
+  /// proven infeasible (`truncated == false`) or unknown because a budget
+  /// expired first (`truncated == true`) — check `truncated` before
+  /// treating it as a certificate.
   bool feasible = false;
+  /// True when branch-and-bound proved optimality within every budget.
   bool optimal = false;
-  /// Selected columns (variables assigned 1).
+  /// Selected columns (variables assigned 1), ascending.
   std::vector<std::size_t> columns;
-  int cost = 0;
+  /// Total weight of `columns`. Meaningful only when `feasible`; -1
+  /// otherwise (so "no solution" can never be mistaken for a legitimate
+  /// zero-cost cover of an empty problem).
+  int cost = -1;
   std::uint64_t nodes_explored = 0;
+  /// Unit-propagation forced assignments (root + search), and
+  /// cost-/bound-based subtree prunes.
+  std::uint64_t propagations = 0;
+  std::uint64_t prune_hits = 0;
+  /// Free columns surviving the root reduction (the search ran over
+  /// these); see the covering bench.
+  std::size_t columns_after_reduction = 0;
+  /// Independent connected components the root decomposed the search into.
+  std::size_t components = 1;
+  /// Search-arena traffic summed over components (column + row sets):
+  /// fresh slot creations and free-list reuses. Deterministic across
+  /// thread counts — each component runs single-threaded with a private
+  /// node budget.
+  std::uint64_t arena_allocs = 0;
+  std::uint64_t arena_reuses = 0;
+  /// Largest single-component arena footprint in bytes.
+  std::size_t peak_arena_bytes = 0;
+  /// Uniform truncation shape (see docs/API.md): `truncated` always
+  /// mirrors `truncation != Truncation::kNone`.
+  bool truncated = false;
+  /// Why the search stopped early (kNone on a complete run): kNodeLimit
+  /// for the per-component node budget, kDeadline/kWorkBudget/kCancelled
+  /// for a shared Budget on `ctx`.
+  Truncation truncation = Truncation::kNone;
+
+  /// The search ran to completion and found no cover — a certificate.
+  bool proven_infeasible() const { return !feasible && !truncated; }
 };
 
-/// Branch-and-bound DPLL-style search with unit propagation and an
-/// independent-row lower bound over the purely-positive residual rows.
+/// DPLL-style branch-and-bound with unit propagation, root reductions and
+/// component decomposition. After the root reduction the problem splits
+/// into its connected components (rows sharing no columns), each searched
+/// independently with its own `max_nodes` budget — and, when
+/// `ctx.num_threads` > 1, concurrently. The selected columns are identical
+/// for every thread count; `ctx.budget` (deadline/cancellation, polled
+/// every 1024 nodes) only affects whether the search completes. Throws
+/// std::invalid_argument when `weights` is non-empty with a size other
+/// than `num_columns`, or when a row's universe differs from it.
 BinateCoverSolution solve_binate_cover(const BinateCoverProblem& problem,
-                                       const BinateCoverOptions& options = {});
+                                       const BinateCoverOptions& options = {},
+                                       const ExecContext& ctx = {});
 
 }  // namespace encodesat

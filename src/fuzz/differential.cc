@@ -92,6 +92,7 @@ const char* fuzz_rule_name(FuzzRule rule) {
     case FuzzRule::kCost: return "cost";
     case FuzzRule::kCounters: return "counters";
     case FuzzRule::kCache: return "cache";
+    case FuzzRule::kBinateTruncation: return "binate_truncation";
   }
   return "unknown";
 }
@@ -104,7 +105,7 @@ bool fuzz_rule_from_name(const std::string& name, FuzzRule* rule) {
       FuzzRule::kBaselineFeasible, FuzzRule::kBaselineCodes,
       FuzzRule::kMinimality,   FuzzRule::kBoundedCodes,
       FuzzRule::kCost,         FuzzRule::kCounters,
-      FuzzRule::kCache,
+      FuzzRule::kCache,        FuzzRule::kBinateTruncation,
   };
   for (FuzzRule r : kAll)
     if (name == fuzz_rule_name(r)) {
@@ -255,6 +256,51 @@ FuzzCaseResult run_differential_case(const ConstraintSet& cs,
                 "exact canonical forms of a symbol permutation did not "
                 "share a cache entry");
     }
+  }
+
+  // Fourteenth rule: binate truncation honesty. Force the extension
+  // pipeline (so every case exercises the binate cover search, whatever
+  // its constraint mix) with a deliberately tiny per-component node
+  // budget. A budget that expires mid-search is never an infeasibility
+  // certificate, and node/work budgets trip at thread-count-independent
+  // points, so the threads=1 and threads=N runs must be bit-identical
+  // whenever no wall-clock limit (deadline/cancellation) was involved.
+  if (opts.check_binate_truncation) {
+    auto tiny_solve = [&](int threads) {
+      SolveRequest tr;
+      tr.constraints = cs;
+      tr.options = solve_options(opts, threads);
+      tr.options.pipeline = SolveOptions::Pipeline::kExtensions;
+      tr.options.extensions.cover_options.max_nodes =
+          opts.binate_truncation_nodes;
+      return solve(tr).result;
+    };
+    const SolveResult t1 = tiny_solve(1);
+    const SolveResult tn = tiny_solve(opts.alt_threads);
+    for (const SolveResult* r : {&t1, &tn})
+      if (r->status == SolveResult::Status::kInfeasible && r->truncated)
+        diverge(FuzzRule::kBinateTruncation,
+                std::string("tiny cover budget reported infeasible together "
+                            "with truncation ") +
+                    truncation_name(r->truncation));
+    auto deterministic = [](const SolveResult& r) {
+      return r.truncation != Truncation::kDeadline &&
+             r.truncation != Truncation::kCancelled;
+    };
+    if (deterministic(t1) && deterministic(tn) &&
+        (t1.status != tn.status || t1.truncated != tn.truncated ||
+         t1.truncation != tn.truncation ||
+         t1.encoding.bits != tn.encoding.bits ||
+         t1.encoding.codes != tn.encoding.codes || !counters_equal(t1, tn)))
+      diverge(FuzzRule::kBinateTruncation,
+              std::string("tiny cover budget: threads=1 -> ") +
+                  status_name(t1.status) + "/" +
+                  truncation_name(t1.truncation) + " " +
+                  std::to_string(t1.encoding.bits) + " bits, threads=" +
+                  std::to_string(opts.alt_threads) + " -> " +
+                  status_name(tn.status) + "/" +
+                  truncation_name(tn.truncation) + " " +
+                  std::to_string(tn.encoding.bits) + " bits");
   }
 
   const int minlen = minimum_code_length(n);

@@ -41,6 +41,13 @@
 //                     codes, minimality or counters; or a cache-served
 //                     encoding fails the oracle; or the warm lookup missed
 //                     even though both canonicalizations were exact
+//   binate_truncation the extension pipeline forced onto the case with a
+//                     deliberately tiny binate-cover node budget reported
+//                     "infeasible" together with a truncation (a budget is
+//                     never an infeasibility certificate), or the
+//                     threads=1 and threads=N runs were not bit-identical
+//                     despite only deterministic (node/work) budgets
+//                     tripping
 //
 // Every rule is deterministic: solver budgets are work-based (never
 // wall-clock), baseline seeds are fixed by DifferentialOptions, and the
@@ -72,6 +79,7 @@ enum class FuzzRule {
   kCost,
   kCounters,
   kCache,
+  kBinateTruncation,
 };
 
 /// Stable lower-case rule name as listed above.
@@ -119,6 +127,14 @@ struct DifferentialOptions {
   bool check_cache = true;
   /// Byte budget for each per-case cache (the fuzz `--cache-size` flag).
   std::size_t cache_max_bytes = 64u << 20;
+
+  /// Run the `binate_truncation` agreement rule (two extra solves per case
+  /// through the forced extension pipeline with `binate_truncation_nodes`
+  /// as the per-component cover node budget).
+  bool check_binate_truncation = true;
+  /// Deliberately tiny so non-trivial cases truncate inside the binate
+  /// cover search rather than finishing.
+  std::uint64_t binate_truncation_nodes = 2;
 
   /// Optional aggregate counter registry (obs/counters.h): each case's
   /// threads=1 run merges its counters in, so a fuzz run reports pipeline

@@ -72,6 +72,44 @@ TEST(BinateTable, DetectsFigure4Infeasibility) {
   EXPECT_FALSE(binate_table_encode(cs).feasible);
 }
 
+TEST(BinateTable, NodeBudgetTruncationIsNotInfeasibility) {
+  // Four symbols need two code bits chosen among seven distinct cuts, and
+  // no root reduction decides between them — the search must branch. Under
+  // a one-node budget the encode must report a truncated miss, never an
+  // infeasibility certificate.
+  const ConstraintSet cs = parse_constraints(R"(
+    symbol a
+    symbol b
+    symbol c
+    symbol d
+  )");
+  BinateCoverOptions tiny;
+  tiny.max_nodes = 1;
+  const auto res = binate_table_encode(cs, tiny);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_TRUE(res.truncated);
+  EXPECT_EQ(res.truncation, Truncation::kNodeLimit);
+  EXPECT_FALSE(res.proven_infeasible());
+}
+
+TEST(BinateTable, InfeasibilityProvenEvenUnderTinyBudget) {
+  // Mutual dominance forces equal codes, so every column separating a and
+  // b is forbidden and a uniqueness row empties during root reduction:
+  // proven infeasible (not truncated) even with a one-node budget.
+  const ConstraintSet cs = parse_constraints(R"(
+    face a b c
+    dominance a b
+    dominance b a
+  )");
+  BinateCoverOptions tiny;
+  tiny.max_nodes = 1;
+  const auto res = binate_table_encode(cs, tiny);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_FALSE(res.truncated);
+  EXPECT_EQ(res.truncation, Truncation::kNone);
+  EXPECT_TRUE(res.proven_infeasible());
+}
+
 TEST(BinateTable, RefusesLargeUniverse) {
   ConstraintSet cs;
   for (int i = 0; i < 25; ++i) cs.symbols().intern("s" + std::to_string(i));

@@ -216,5 +216,147 @@ TEST_P(BinateRandom, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BinateRandom, ::testing::Range(0, 30));
 
+// A triangle of pure-positive rows: no unit rows, no row or column
+// dominance, so the solver must actually branch. Minimum cover is any two
+// columns (cost 2).
+BinateCoverProblem binate_triangle() {
+  BinateCoverProblem p;
+  p.num_columns = 3;
+  p.add_row({0, 1}, {});
+  p.add_row({1, 2}, {});
+  p.add_row({0, 2}, {});
+  return p;
+}
+
+TEST(BinateCover, NodeBudgetTruncationIsNotInfeasibility) {
+  const BinateCoverProblem p = binate_triangle();
+  BinateCoverOptions tiny;
+  tiny.max_nodes = 1;
+  const auto sol = solve_binate_cover(p, tiny);
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_TRUE(sol.truncated);
+  EXPECT_EQ(sol.truncation, Truncation::kNodeLimit);
+  EXPECT_FALSE(sol.proven_infeasible());
+  EXPECT_EQ(sol.cost, -1);
+
+  // The same instance solves — and proves optimality — with budget.
+  const auto full = solve_binate_cover(p);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_TRUE(full.optimal);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.truncation, Truncation::kNone);
+  EXPECT_EQ(full.cost, 2);
+}
+
+TEST(BinateCover, ProvenInfeasibilityIsNotTruncation) {
+  BinateCoverProblem p;
+  p.num_columns = 2;
+  p.add_row({}, {});  // empty clause: unsatisfiable by any selection
+  p.add_row({0, 1}, {});
+  BinateCoverOptions tiny;
+  tiny.max_nodes = 1;  // infeasibility must still be proven at the root
+  const auto sol = solve_binate_cover(p, tiny);
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_FALSE(sol.truncated);
+  EXPECT_EQ(sol.truncation, Truncation::kNone);
+  EXPECT_TRUE(sol.proven_infeasible());
+  EXPECT_EQ(sol.cost, -1);
+}
+
+TEST(BinateCover, AddRowValidatesColumnIndices) {
+  BinateCoverProblem p;
+  p.num_columns = 2;
+  EXPECT_THROW(p.add_row({2}, {}), std::invalid_argument);
+  EXPECT_THROW(p.add_row({}, {5}), std::invalid_argument);
+  EXPECT_TRUE(p.rows.empty());  // failed adds leave no partial row behind
+  p.add_row({0}, {1});
+  EXPECT_EQ(p.rows.size(), 1u);
+}
+
+TEST(BinateCover, SolveValidatesWeightSize) {
+  BinateCoverProblem p;
+  p.num_columns = 3;
+  p.add_row({0, 1}, {});
+  p.weights = {1, 2};  // shorter than num_columns
+  EXPECT_THROW(solve_binate_cover(p), std::invalid_argument);
+  p.weights = {1, 2, 3, 4};  // longer
+  EXPECT_THROW(solve_binate_cover(p), std::invalid_argument);
+  p.weights = {1, 2, 3};
+  EXPECT_TRUE(solve_binate_cover(p).feasible);
+}
+
+TEST(BinateCover, ComponentsBitIdenticalAcrossThreadCounts) {
+  // Two disjoint triangles plus an implication pair: three independent
+  // components (the pair solves at cost 0 by deselecting both columns).
+  BinateCoverProblem p;
+  p.num_columns = 8;
+  p.add_row({0, 1}, {});
+  p.add_row({1, 2}, {});
+  p.add_row({0, 2}, {});
+  p.add_row({3, 4}, {});
+  p.add_row({4, 5}, {});
+  p.add_row({3, 5}, {});
+  p.add_row({6}, {7});
+  p.add_row({7}, {6});
+  ExecContext seq;
+  ExecContext par;
+  par.num_threads = 4;
+  const auto a = solve_binate_cover(p, {}, seq);
+  const auto b = solve_binate_cover(p, {}, par);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_TRUE(a.optimal);
+  EXPECT_EQ(a.components, 3u);
+  EXPECT_EQ(a.cost, 4);
+  EXPECT_EQ(a.columns, b.columns);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.propagations, b.propagations);
+  EXPECT_EQ(a.prune_hits, b.prune_hits);
+  EXPECT_EQ(a.truncation, b.truncation);
+
+  // Node-budget truncation points are per-component and deterministic, so
+  // truncated runs stay bit-identical too.
+  BinateCoverOptions tiny;
+  tiny.max_nodes = 1;
+  const auto ta = solve_binate_cover(p, tiny, seq);
+  const auto tb = solve_binate_cover(p, tiny, par);
+  EXPECT_FALSE(ta.feasible);
+  EXPECT_TRUE(ta.truncated);
+  EXPECT_EQ(ta.truncation, Truncation::kNodeLimit);
+  EXPECT_EQ(ta.nodes_explored, tb.nodes_explored);
+  EXPECT_EQ(ta.truncation, tb.truncation);
+  EXPECT_EQ(ta.feasible, tb.feasible);
+}
+
+TEST(BinateCover, CancellationSurfacesAsTruncation) {
+  Budget budget;
+  CancelToken token;
+  token.cancel();
+  budget.set_cancel_token(&token);
+  ExecContext ctx;
+  ctx.budget = &budget;
+  const auto sol = solve_binate_cover(binate_triangle(), {}, ctx);
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_TRUE(sol.truncated);
+  EXPECT_EQ(sol.truncation, Truncation::kCancelled);
+  EXPECT_FALSE(sol.proven_infeasible());
+}
+
+TEST(BinateCover, RootReductionSolvesWithoutSearch) {
+  // Forced chain: every assignment is unit-propagated at the root, so no
+  // search nodes are spent and the result is optimal by construction.
+  BinateCoverProblem p;
+  p.num_columns = 3;
+  p.add_row({0}, {});
+  p.add_row({1}, {0});
+  p.add_row({2}, {1});
+  const auto sol = solve_binate_cover(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_EQ(sol.cost, 3);
+  EXPECT_EQ(sol.nodes_explored, 0u);
+  EXPECT_GE(sol.propagations, 3u);
+}
+
 }  // namespace
 }  // namespace encodesat

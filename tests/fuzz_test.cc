@@ -81,7 +81,8 @@ TEST(FuzzRuleNames, RoundTrip) {
                      FuzzRule::kThreads, FuzzRule::kStats,
                      FuzzRule::kBaselineFeasible, FuzzRule::kBaselineCodes,
                      FuzzRule::kMinimality, FuzzRule::kBoundedCodes,
-                     FuzzRule::kCost}) {
+                     FuzzRule::kCost, FuzzRule::kCounters, FuzzRule::kCache,
+                     FuzzRule::kBinateTruncation}) {
     FuzzRule back;
     ASSERT_TRUE(fuzz_rule_from_name(fuzz_rule_name(r), &back));
     EXPECT_EQ(back, r);

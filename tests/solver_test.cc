@@ -215,6 +215,36 @@ TEST(Solver, ExtensionPipelineRoutesAutomatically) {
   EXPECT_EQ(res.encoding.codes, direct.encoding.codes);
 }
 
+TEST(Solver, CoverBudgetTruncationIsNotInfeasible) {
+  // A feasible distance-2 instance under a one-node cover budget: the
+  // extension pipeline must surface kCoverLimit / kTruncated, never a
+  // false infeasibility certificate.
+  ConstraintSet cs;
+  cs.symbols().intern("a");
+  cs.symbols().intern("b");
+  cs.symbols().intern("c");
+  cs.symbols().intern("d");
+  cs.add_distance2("a", "b");
+  cs.add_distance2("c", "d");
+  ExtensionEncodeOptions eopts;
+  eopts.cover_options.max_nodes = 1;
+  const ExtensionEncodeResult direct =
+      encode_with_extensions(cs, eopts, ExecContext{});
+  EXPECT_EQ(direct.status, ExtensionEncodeResult::Status::kCoverLimit);
+  EXPECT_TRUE(direct.truncated);
+  EXPECT_EQ(direct.truncation, Truncation::kNodeLimit);
+
+  SolveOptions opts;
+  opts.extensions.cover_options.max_nodes = 1;
+  const SolveResult res = Solver(cs).encode(opts);
+  EXPECT_EQ(res.status, SolveResult::Status::kTruncated);
+  EXPECT_TRUE(res.truncated);
+  EXPECT_EQ(res.truncation, Truncation::kNodeLimit);
+
+  // With the default budget the same instance encodes.
+  EXPECT_TRUE(Solver(cs).encode().encoded());
+}
+
 TEST(EncodeBatch, MatchesIndividualSolves) {
   std::vector<ConstraintSet> sets;
   sets.push_back(quickstart_constraints());
