@@ -19,11 +19,17 @@
 //    the same number of threads: the per-request cost a client pays
 //    without the service.
 //
-// Schema (encodesat-bench-service-v1) is compare_bench.py-compatible:
+// Schema (encodesat-bench-service-v2) is compare_bench.py-compatible:
 // wall-time regressions against bench/BENCH_service.json fail the
 // service_bench_check ctest, counter drift is a hard determinism failure.
-// --check-speedup X additionally exits nonzero when warm is not at least
-// X times faster than cold — the service's reason to exist, pinned.
+// v2 adds the warm case's `solve.work` histogram bucket counts: every
+// reuse request observes zero pipeline work and the one real solve
+// observes the instance's work units, so the bucket profile is exact and
+// scheduling-invariant (the per-stage histograms are not — a hit's stage
+// tree differs from a coalesced follower's — and duration histograms are
+// wall clock; both stay unguarded). --check-speedup X additionally exits
+// nonzero when warm is not at least X times faster than cold — the
+// service's reason to exist, pinned.
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
@@ -36,6 +42,8 @@
 #include "cache/canonical.h"
 #include "cache/solve_cache.h"
 #include "core/solver.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
 #include "service/broker.h"
 #include "util/timer.h"
 
@@ -53,6 +61,9 @@ struct CaseResult {
   std::uint64_t requests = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_reuse = 0;  // hits + coalesced, scheduling-invariant
+  // solve.work bucket profile as (boundary, count), scheduling-invariant
+  // for the warm workload; empty for the cold case.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> work_buckets;
 };
 
 // The chain-face instance from bench_primes' solve-cache cases: exactly
@@ -94,10 +105,12 @@ CaseResult run_warm(const std::vector<ConstraintSet>& reqs, int reps) {
   out.wall_seconds = 1e30;
   for (int r = 0; r < reps; ++r) {
     SolveCache cache;
+    MetricsRegistry metrics;
     BrokerConfig cfg;
     cfg.workers = kClients;
     cfg.max_queue = 0;
     cfg.cache = &cache;
+    cfg.metrics = &metrics;
     std::mutex mu;
     std::condition_variable cv;
     std::size_t done = 0;
@@ -129,6 +142,13 @@ CaseResult run_warm(const std::vector<ConstraintSet>& reqs, int reps) {
       out.cache_misses = cache.stats().misses;
       out.cache_reuse =
           cache.stats().hits + broker.single_flight().stats().coalesced;
+      out.work_buckets.clear();
+      const std::vector<std::uint64_t>& bounds =
+          histogram_buckets::boundaries();
+      for (const auto& [bucket, n] :
+           metrics.histogram("solve.work")->nonzero_buckets())
+        out.work_buckets.emplace_back(
+            bucket < bounds.size() ? bounds[bucket] : ~0ull, n);
     }
   }
   return out;
@@ -162,7 +182,7 @@ CaseResult run_cold(const std::vector<ConstraintSet>& reqs, int reps) {
 }
 
 void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
-  std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-service-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"encodesat-bench-service-v2\",\n");
   std::fprintf(f, "  \"cases\": [\n");
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const CaseResult& c = cases[i];
@@ -170,13 +190,22 @@ void write_json(std::FILE* f, const std::vector<CaseResult>& cases) {
                  "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
                  "\"truncated\": %s, "
                  "\"counters\": {\"requests\": %llu, "
-                 "\"cache_misses\": %llu, \"cache_reuse\": %llu}}%s\n",
+                 "\"cache_misses\": %llu, \"cache_reuse\": %llu}",
                  c.name.c_str(), c.wall_seconds,
                  c.truncated ? "true" : "false",
                  static_cast<unsigned long long>(c.requests),
                  static_cast<unsigned long long>(c.cache_misses),
-                 static_cast<unsigned long long>(c.cache_reuse),
-                 i + 1 < cases.size() ? "," : "");
+                 static_cast<unsigned long long>(c.cache_reuse));
+    if (!c.work_buckets.empty()) {
+      std::fprintf(f, ", \"histograms\": {\"solve.work\": {\"buckets\": {");
+      for (std::size_t b = 0; b < c.work_buckets.size(); ++b)
+        std::fprintf(f, "%s\"%llu\": %llu", b ? ", " : "",
+                     static_cast<unsigned long long>(c.work_buckets[b].first),
+                     static_cast<unsigned long long>(
+                         c.work_buckets[b].second));
+      std::fprintf(f, "}}}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
 }

@@ -20,6 +20,12 @@ Checks, per case name present in BOTH files:
     stopped reusing the free list, lost prune effectiveness, stopped
     recognising renamed duplicates — not just speed.  This is a hard
     failure regardless of timing.
+  * histogram guard — the optional per-case `histograms` object
+    (bench_service v2: the `solve.work` bucket profile of the warm
+    workload) must match bucket for bucket: a count that moves to a
+    different bucket means a request paid a different amount of pipeline
+    work.  Hard failure, like the counters; wall-time histogram *sums*
+    are never emitted here, so timing noise cannot trip it.
   * wall-time regression — `wall_seconds` may not exceed the baseline by
     more than --max-regress percent (default 20).  Cases whose baseline
     time is below MIN_SECONDS (0.05 s) are exempt: at microsecond scale
@@ -102,6 +108,16 @@ def main(argv):
                       f"{cc.get(key)} (determinism guard: work profile "
                       "changed)")
                 failures += 1
+        bh, ch = b.get("histograms", {}), c.get("histograms", {})
+        for hname in sorted(set(bh) | set(ch)):
+            bb = bh.get(hname, {}).get("buckets", {})
+            cb = ch.get(hname, {}).get("buckets", {})
+            for le in sorted(set(bb) | set(cb), key=lambda s: int(s)):
+                if bb.get(le) != cb.get(le):
+                    print(f"  FAIL  {name}: histograms.{hname} bucket "
+                          f"{le} {bb.get(le)} -> {cb.get(le)} "
+                          "(determinism guard: work distribution changed)")
+                    failures += 1
         bt, ct = b["wall_seconds"], c["wall_seconds"]
         if bt < MIN_SECONDS:
             print(f"  ok    {name}: baseline {bt:.6f}s below {MIN_SECONDS}s floor,"

@@ -36,9 +36,9 @@
 //   --timeout SECS    wall-clock budget; expiry yields a truncated result,
 //                     never a hang (encode/solve only)
 //   --threads N       worker threads (0 = all hardware threads)
-//   --stats-out DEST  "encodesat-telemetry-v1" report (stage stats, work
-//                     counters, counter fingerprint, trace totals) written
-//                     to DEST; '-' means stderr
+//   --stats-out DEST  "encodesat-telemetry-v2" report (stage stats, work
+//                     counters, counter fingerprint, gauges, histograms,
+//                     trace totals) written to DEST; '-' means stderr
 //   --trace-out FILE  Chrome trace-event JSON ("encodesat-trace-v1") of the
 //                     pipeline spans, loadable in chrome://tracing/Perfetto
 //   --stats-json      deprecated alias for --stats-out - (telemetry now
@@ -54,6 +54,7 @@
 //   --cache-save F    encode/solve: save the cache to F afterwards
 //                     (implies --cache)
 //
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -76,8 +77,10 @@
 #include "fsm/simulate.h"
 #include "logic/espresso.h"
 #include "obs/counters.h"
+#include "obs/reqlog.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "service/server.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -123,8 +126,12 @@ void write_text_to(const std::string& dest, const std::string& text,
 
 // Emits the telemetry report and/or the Chrome trace per the CLI flags.
 void emit_observability(const CliOptions& cli, const char* tool,
-                        const StageStats* stats,
-                        const MetricsRegistry* metrics, Tracer* tracer) {
+                        const StageStats* stats, MetricsRegistry* metrics,
+                        Tracer* tracer) {
+  if (metrics && tracer)
+    // High-water gauge (not add): idempotent however many surfaces report.
+    metrics->counter("obs.trace.dropped", /*in_fingerprint=*/false)
+        ->record_max(tracer->dropped_spans());
   if (cli.stats_json || !cli.stats_out.empty()) {
     TelemetryOptions topts;
     topts.tool = tool;
@@ -154,6 +161,8 @@ int usage(const char* argv0) {
                "[--minimize] [--out DIR]\n"
                "       %s serve [--socket PATH] [--workers N] "
                "[--max-queue N] [--default-deadline SECS]\n"
+               "                [--reqlog FILE] [--reqlog-sample N] "
+               "[--slow-ms N] [--metrics-window SECS]\n"
                "  common flags: [--timeout SECS] [--threads N] "
                "[--stats-out DEST] [--trace-out FILE]\n"
                "  cache flags:  [--cache] [--cache-size BYTES] "
@@ -583,6 +592,10 @@ int cmd_serve(int argc, char** argv) {
   int workers = 2;
   int max_queue = 64;
   double default_deadline = 0;
+  std::string reqlog_path;
+  int reqlog_sample = 1;
+  double slow_ms = 0;
+  double metrics_window_s = 300;
   for (int i = 2; i < argc; ++i) {
     const int used = parse_common_flag(argc, argv, i, &cli);
     if (used < 0) return 2;
@@ -598,6 +611,15 @@ int cmd_serve(int argc, char** argv) {
       if (!parse_int("--max-queue", argv[++i], &max_queue)) return 2;
     } else if (!std::strcmp(argv[i], "--default-deadline") && i + 1 < argc) {
       if (!parse_number("--default-deadline", argv[++i], &default_deadline))
+        return 2;
+    } else if (!std::strcmp(argv[i], "--reqlog") && i + 1 < argc) {
+      reqlog_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--reqlog-sample") && i + 1 < argc) {
+      if (!parse_int("--reqlog-sample", argv[++i], &reqlog_sample)) return 2;
+    } else if (!std::strcmp(argv[i], "--slow-ms") && i + 1 < argc) {
+      if (!parse_number("--slow-ms", argv[++i], &slow_ms)) return 2;
+    } else if (!std::strcmp(argv[i], "--metrics-window") && i + 1 < argc) {
+      if (!parse_number("--metrics-window", argv[++i], &metrics_window_s))
         return 2;
     } else
       return usage(argv[0]);
@@ -617,6 +639,29 @@ int cmd_serve(int argc, char** argv) {
     cache = std::make_unique<SolveCache>(config);
   }
 
+  // Rolling latency window: --metrics-window spans the whole ring across
+  // a fixed 60 sub-windows (so a 300 s window rotates every 5 s).
+  RollingWindow::Config wcfg;
+  if (metrics_window_s < 1) metrics_window_s = 1;
+  wcfg.sub_windows = 60;
+  wcfg.sub_window_us = static_cast<std::uint64_t>(
+      std::max(1.0, metrics_window_s * 1e6 / 60));
+  RollingWindow window(wcfg);
+
+  std::unique_ptr<RequestLog> reqlog;
+  if (!reqlog_path.empty()) {
+    ReqLogConfig rcfg;
+    rcfg.path = reqlog_path;
+    rcfg.sample_every =
+        reqlog_sample < 0 ? 0 : static_cast<std::uint64_t>(reqlog_sample);
+    rcfg.slow_us = static_cast<std::uint64_t>(slow_ms * 1000);
+    reqlog = std::make_unique<RequestLog>(rcfg);
+    if (!reqlog->ok()) {
+      std::fprintf(stderr, "%s\n", reqlog->open_error().c_str());
+      return 2;
+    }
+  }
+
   ServerConfig scfg;
   scfg.broker.workers = workers;
   scfg.broker.max_queue = static_cast<std::size_t>(max_queue);
@@ -629,8 +674,11 @@ int cmd_serve(int argc, char** argv) {
   scfg.broker.cache = cache.get();
   scfg.broker.metrics = &metrics;
   scfg.broker.tracer = tracer.get();
+  scfg.broker.window = &window;
+  scfg.broker.reqlog = reqlog.get();
   scfg.metrics = &metrics;
   scfg.tracer = tracer.get();
+  scfg.window = &window;
 
   Server server(std::move(scfg));
   ScopedDrainSignals signals(&server);

@@ -1,0 +1,28 @@
+# Helper for the check_metrics test (see CMakeLists.txt here): runs a
+# pipe-mode serve session over a request stream that interleaves solves
+# with `metrics` and `health` scrape ops, then validates every returned
+# Prometheus exposition with tools/check_metrics.py (TYPE lines, le=
+# ordering, monotone cumulative buckets, +Inf == _count). The scrape
+# payloads carry wall-clock values, so this is a structural check, never
+# a byte comparison. Expects CLI, REQUESTS, PYTHON, CHECKER, OUT.
+execute_process(
+  COMMAND ${CLI} serve --workers 2 --metrics-window 60
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_FILE ${OUT}
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "encodesat_cli serve exited with ${serve_rc}: ${serve_err}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_metrics.py rejected the scrape (rc=${check_rc})")
+endif()
+# Health responses ride the same stream; pin their shape here since they
+# are excluded from the byte-golden service_smoke session.
+file(READ ${OUT} responses)
+if(NOT responses MATCHES "\"id\":\"h1\",\"status\":\"ok\",\"health\":{\"state\":\"serving\"")
+  message(FATAL_ERROR "health op response missing or malformed:\n${responses}")
+endif()

@@ -1,0 +1,32 @@
+# Helper for the reqlog_smoke test (see CMakeLists.txt here): replays the
+# golden pipe session with the request log on stderr (--reqlog -). The
+# NDJSON response stream must still match the golden byte for byte (the
+# log must never pollute stdout), and every stderr line tagged with the
+# encodesat-reqlog-v1 schema must pass tools/check_reqlog.py. A 1 ms slow
+# threshold plus per-request solves make slow lines (with attached spans)
+# likely but not guaranteed — the checker validates whatever appeared.
+# Expects CLI, REQUESTS, GOLDEN, PYTHON, CHECKER, OUT, ERRFILE.
+execute_process(
+  COMMAND ${CLI} serve --workers 2 --reqlog - --slow-ms 1
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_FILE ${OUT}
+  ERROR_FILE ${ERRFILE}
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  file(READ ${ERRFILE} serve_err)
+  message(FATAL_ERROR "encodesat_cli serve exited with ${serve_rc}: ${serve_err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  file(READ ${OUT} got)
+  message(FATAL_ERROR "responses diverged from the golden stream with "
+                      "--reqlog active:\n${got}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${ERRFILE} --min-lines 3
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_reqlog.py rejected the log (rc=${check_rc})")
+endif()

@@ -285,6 +285,16 @@ SolveResult run_solve(const ConstraintSet& cs, const SolveOptions& opts,
   out.stats.truncation = out.truncation;
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(Budget::Clock::now() - start).count();
+  // Distribution observations. Work units are deterministic (fingerprint
+  // histograms, checked threads-1-vs-N by the fuzzer's `histograms` rule);
+  // per-stage durations are wall clock and stay outside the fingerprint.
+  metric_observe(ctx, "solve.work", budget.work_used());
+  for (const StageStats& stage : out.stats.children) {
+    metric_observe(ctx, "solve.stage_work", stage.work);
+    metric_observe(ctx, "solve.stage_us",
+                   static_cast<std::uint64_t>(stage.elapsed_seconds * 1e6),
+                   /*in_fingerprint=*/false);
+  }
   return out;
 }
 

@@ -91,6 +91,7 @@ const char* fuzz_rule_name(FuzzRule rule) {
     case FuzzRule::kBoundedCodes: return "bounded_codes";
     case FuzzRule::kCost: return "cost";
     case FuzzRule::kCounters: return "counters";
+    case FuzzRule::kHistograms: return "histograms";
     case FuzzRule::kCache: return "cache";
     case FuzzRule::kBinateTruncation: return "binate_truncation";
   }
@@ -105,7 +106,8 @@ bool fuzz_rule_from_name(const std::string& name, FuzzRule* rule) {
       FuzzRule::kBaselineFeasible, FuzzRule::kBaselineCodes,
       FuzzRule::kMinimality,   FuzzRule::kBoundedCodes,
       FuzzRule::kCost,         FuzzRule::kCounters,
-      FuzzRule::kCache,        FuzzRule::kBinateTruncation,
+      FuzzRule::kHistograms,   FuzzRule::kCache,
+      FuzzRule::kBinateTruncation,
   };
   for (FuzzRule r : kAll)
     if (name == fuzz_rule_name(r)) {
@@ -178,6 +180,18 @@ FuzzCaseResult run_differential_case(const ConstraintSet& cs,
                   std::to_string(ma.fingerprint_hash()) + ", threads=" +
                   std::to_string(opts.alt_threads) + " -> " +
                   std::to_string(mb.fingerprint_hash()));
+    // Fifteenth rule: bucket counts of the fingerprint histograms
+    // (solve.work, solve.stage_work) must match across thread counts —
+    // the histogram layer's own determinism check, same truncation gate
+    // as the counters rule. Duration histograms (in_fingerprint=false)
+    // are excluded by construction.
+    if (ma.histogram_fingerprint() != mb.histogram_fingerprint())
+      diverge(FuzzRule::kHistograms,
+              "histogram bucket fingerprints differ between thread counts: "
+              "threads=1 -> " +
+                  ma.histogram_fingerprint() + ", threads=" +
+                  std::to_string(opts.alt_threads) + " -> " +
+                  mb.histogram_fingerprint());
   }
   if (opts.metrics) opts.metrics->merge_from(ma);
 

@@ -35,6 +35,11 @@
 //                     counter names + values; obs/counters.h) differs
 //                     between the threads=1 and threads=N runs — the
 //                     observability subsystem's own determinism check
+//   histograms        the histogram bucket-count fingerprint (sorted
+//                     histogram names + nonzero bucket indices and counts;
+//                     value sums excluded — obs/histogram.h) differs
+//                     between the threads=1 and threads=N runs; covers the
+//                     solve.work / solve.stage_work distributions
 //   cache             solving a symbol-permuted copy of the case against a
 //                     warm solve cache (normally a hit) and against a fresh
 //                     cache at threads=N (a miss) disagree on status, bits,
@@ -78,6 +83,7 @@ enum class FuzzRule {
   kBoundedCodes,
   kCost,
   kCounters,
+  kHistograms,
   kCache,
   kBinateTruncation,
 };

@@ -19,6 +19,12 @@ MetricsRegistry::Metric* MetricsRegistry::counter(const std::string& name,
   return &metrics_.try_emplace(name, in_fingerprint).first->second;
 }
 
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      bool in_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_.try_emplace(name, in_fingerprint).first->second;
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Sample> out;
@@ -28,11 +34,33 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::vector<MetricsRegistry::HistogramSample>
+MetricsRegistry::histogram_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.push_back(
+        {name, h.count(), h.sum(), h.in_fingerprint(), h.nonzero_buckets()});
+  return out;
+}
+
 std::string MetricsRegistry::fingerprint() const {
   std::ostringstream out;
   for (const Sample& s : snapshot()) {
     if (!s.in_fingerprint) continue;
     out << s.name << '=' << s.value << ';';
+  }
+  out << histogram_fingerprint();
+  return out.str();
+}
+
+std::string MetricsRegistry::histogram_fingerprint() const {
+  std::ostringstream out;
+  for (const HistogramSample& h : histogram_snapshot()) {
+    if (!h.in_fingerprint) continue;
+    for (const auto& [bucket, count] : h.buckets)
+      out << h.name << '#' << bucket << '=' << count << ';';
   }
   return out.str();
 }
@@ -44,6 +72,18 @@ std::uint64_t MetricsRegistry::fingerprint_hash() const {
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const Sample& s : other.snapshot())
     counter(s.name, s.in_fingerprint)->add(s.value);
+  // Histograms merge object-to-object (bucket adds in one pass). Collect
+  // stable pointers under other's lock, then merge lock-free: never hold
+  // both registries' mutexes at once.
+  std::vector<std::pair<std::string, const Histogram*>> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    theirs.reserve(other.histograms_.size());
+    for (const auto& [name, h] : other.histograms_)
+      theirs.emplace_back(name, &h);
+  }
+  for (const auto& [name, h] : theirs)
+    histogram(name, h->in_fingerprint())->merge_from(*h);
 }
 
 }  // namespace encodesat

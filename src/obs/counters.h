@@ -22,12 +22,15 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/exec.h"
 
 namespace encodesat {
@@ -72,6 +75,13 @@ class MetricsRegistry {
   /// use. The fingerprint flag is fixed by the first registration.
   Metric* counter(const std::string& name, bool in_fingerprint = true);
 
+  /// Returns the histogram named `name`, registering it (empty) on first
+  /// use. Same pointer-stability and fingerprint-flag rules as counter().
+  /// Histograms observing deterministic values (work units, item counts)
+  /// keep the default; duration-valued histograms must pass
+  /// `in_fingerprint = false` — their bucket counts depend on wall time.
+  Histogram* histogram(const std::string& name, bool in_fingerprint = true);
+
   struct Sample {
     std::string name;
     std::uint64_t value = 0;
@@ -80,10 +90,27 @@ class MetricsRegistry {
   /// All metrics, sorted by name — the deterministic serialization order.
   std::vector<Sample> snapshot() const;
 
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    bool in_fingerprint = true;
+    /// Sparse (bucket index, count), ascending by index.
+    std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+  };
+  /// All histograms, sorted by name.
+  std::vector<HistogramSample> histogram_snapshot() const;
+
   /// Structural fingerprint: "name=value;..." over the fingerprint metrics
-  /// in name order. Bit-identical across thread counts by the determinism
-  /// contract above; no timestamps, no ordering dependence.
+  /// in name order, followed by histogram_fingerprint() when any
+  /// fingerprint histogram exists. Bit-identical across thread counts by
+  /// the determinism contract above; no timestamps, no ordering dependence.
   std::string fingerprint() const;
+  /// The histogram section alone: "name#bucket=count;..." over the
+  /// nonzero buckets of fingerprint histograms in name order. Value sums
+  /// are excluded by construction (they are wall-clock noise for duration
+  /// histograms; counts are the deterministic part).
+  std::string histogram_fingerprint() const;
   /// FNV-1a 64-bit hash of fingerprint(), for compact report embedding.
   std::uint64_t fingerprint_hash() const;
 
@@ -95,6 +122,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, Metric> metrics_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// Call-site helpers: no-ops when the context carries no registry. The
@@ -107,6 +135,12 @@ inline void metric_add(const ExecContext& ctx, const char* name,
 inline void metric_max(const ExecContext& ctx, const char* name,
                        std::uint64_t v) {
   if (ctx.metrics) ctx.metrics->counter(name)->record_max(v);
+}
+/// Histogram observation. `in_fingerprint` follows the counter rules: keep
+/// the default only for deterministically-valued observations.
+inline void metric_observe(const ExecContext& ctx, const char* name,
+                           std::uint64_t v, bool in_fingerprint = true) {
+  if (ctx.metrics) ctx.metrics->histogram(name, in_fingerprint)->observe(v);
 }
 
 /// 64-bit FNV-1a over a byte string (the fingerprint hash primitive).

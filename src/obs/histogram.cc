@@ -1,0 +1,114 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace encodesat {
+
+namespace histogram_buckets {
+
+namespace {
+
+std::vector<std::uint64_t> build_boundaries() {
+  constexpr std::uint64_t kMax = 1'000'000'000'000'000'000ull;  // 1e18
+  std::vector<std::uint64_t> b;
+  b.reserve(180);
+  std::uint64_t v = 1;
+  for (;;) {
+    b.push_back(v);
+    if (v >= kMax) break;
+    v += std::max<std::uint64_t>(1, v / 4);
+  }
+  return b;
+}
+
+}  // namespace
+
+const std::vector<std::uint64_t>& boundaries() {
+  // Function-local static: built once, thread-safe, fixed for the process
+  // lifetime (and, because the recurrence is integer-exact, fixed across
+  // platforms and builds — the determinism contract).
+  static const std::vector<std::uint64_t> kBoundaries = build_boundaries();
+  return kBoundaries;
+}
+
+std::size_t bucket_count() { return boundaries().size() + 1; }
+
+std::size_t bucket_index(std::uint64_t v) {
+  const std::vector<std::uint64_t>& b = boundaries();
+  // First boundary >= v; values past the last boundary overflow.
+  return static_cast<std::size_t>(
+      std::lower_bound(b.begin(), b.end(), v) - b.begin());
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& counts, double p) {
+  const std::vector<std::uint64_t>& b = boundaries();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the target observation, 1-based; p = 0 maps to the first.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(total) + 0.9999999999);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= rank) return i < b.size() ? b[i] : b.back();
+  }
+  return b.back();
+}
+
+}  // namespace histogram_buckets
+
+Histogram::Histogram(bool in_fingerprint)
+    : buckets_(histogram_buckets::bucket_count()),
+      in_fingerprint_(in_fingerprint) {}
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[histogram_buckets::bucket_index(v)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>>
+Histogram::nonzero_buckets() const {
+  std::vector<std::pair<std::size_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(i, c);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  return histogram_buckets::percentile(bucket_counts(), p);
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+}  // namespace encodesat

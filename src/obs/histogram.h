@@ -1,0 +1,94 @@
+// Deterministic log-bucketed histograms for the observability subsystem.
+//
+// A Histogram counts observations into a fixed, process-wide table of
+// bucket boundaries growing by a factor of ~1.25 (b[0] = 1, b[i+1] =
+// b[i] + max(1, b[i]/4), pure integer arithmetic — no floating point, no
+// platform dependence). Because the boundaries are fixed and counting is
+// commutative, the bucket-count vector of a histogram observing
+// deterministic values (work units, item counts) is bit-identical across
+// `--threads` values and scheduling — so bucket counts can join the
+// MetricsRegistry structural fingerprint. Value *sums* are reported but
+// excluded from the fingerprint, like wall times: a histogram observing
+// durations keeps exact counts but nondeterministic values, and belongs
+// outside the fingerprint (`in_fingerprint = false`), same as the
+// `cache.` / `service.` counter families.
+//
+// Observation is a relaxed atomic add on the target bucket plus count/sum
+// totals — safe from any thread, cheap enough for per-request paths.
+// Percentile queries are bucket-resolution upper bounds (the bucket's
+// boundary), which the ~1.25 growth factor keeps within ~25% of the true
+// value — the standard latency-histogram trade.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace encodesat {
+
+namespace histogram_buckets {
+
+/// The shared boundary table: strictly increasing, b[0] = 1, growth
+/// b[i+1] = b[i] + max(1, b[i]/4), extended until the last boundary
+/// reaches 1e18 (covers work units and microsecond latencies alike).
+/// Values above the last boundary land in the overflow ("+Inf") bucket.
+const std::vector<std::uint64_t>& boundaries();
+
+/// Number of buckets including the overflow bucket:
+/// boundaries().size() + 1.
+std::size_t bucket_count();
+
+/// Index of the bucket counting `v`: the smallest i with
+/// v <= boundaries()[i], or boundaries().size() (overflow) when v exceeds
+/// every boundary. bucket_index(0) == bucket_index(1) == 0.
+std::size_t bucket_index(std::uint64_t v);
+
+/// Upper-bound percentile over a dense bucket-count vector (size
+/// bucket_count()): the boundary of the bucket holding the ceil(p * n)-th
+/// observation. Returns 0 for an empty vector/zero counts; the overflow
+/// bucket reports the last finite boundary. `p` is clamped to [0, 1].
+std::uint64_t percentile(const std::vector<std::uint64_t>& counts, double p);
+
+}  // namespace histogram_buckets
+
+/// One named distribution. Like MetricsRegistry::Metric, histograms are
+/// constructed in place by the registry map (atomics are immovable) and
+/// their pointers stay valid for the registry's lifetime.
+class Histogram {
+ public:
+  explicit Histogram(bool in_fingerprint);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const;
+  /// Sum of observed values. Reported, never fingerprinted (value sums of
+  /// duration-valued histograms are wall-clock noise).
+  std::uint64_t sum() const;
+  bool in_fingerprint() const { return in_fingerprint_; }
+
+  /// Sparse non-zero buckets as (bucket index, count), ascending by index.
+  /// Deterministic serialization order for fingerprints and reports.
+  std::vector<std::pair<std::size_t, std::uint64_t>> nonzero_buckets() const;
+  /// Dense per-bucket counts (size histogram_buckets::bucket_count()).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Upper-bound percentile of the recorded distribution (see
+  /// histogram_buckets::percentile). 0 when empty.
+  std::uint64_t percentile(double p) const;
+
+  /// Adds every bucket (and count/sum) of `other` into this histogram.
+  /// Merging is associative and commutative — bucket counts add.
+  void merge_from(const Histogram& other);
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  bool in_fingerprint_;
+};
+
+}  // namespace encodesat

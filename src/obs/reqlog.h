@@ -1,0 +1,89 @@
+// Structured per-request NDJSON log for the solve service.
+//
+// Each logged request is one line of JSON tagged
+// `"schema":"encodesat-reqlog-v1"`: request id, status, cache/coalesce
+// disposition, the three latencies (queue wait, solve, end-to-end),
+// truncation reason, work units and any request-scoped counter deltas the
+// caller attaches. Lines are self-describing so a stream multiplexed onto
+// stderr ("-") can be filtered back out by the schema tag.
+//
+// Volume control is sampling plus overrides: every `sample_every`-th
+// request is logged, and error or slow requests (end-to-end latency at or
+// past `slow_us`) are always logged regardless of the sampling phase. A
+// slow request additionally attaches its per-stage span tree (the
+// request's own StageStats, serialized with StageStats::to_json) so the
+// operator sees *where* the time went without re-running under a tracer.
+//
+// Thread safety: one mutex serializes line assembly and the write+flush,
+// so concurrent workers never interleave partial lines.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/exec.h"
+
+namespace encodesat {
+
+struct ReqLogConfig {
+  /// Output path; "-" writes to stderr.
+  std::string path;
+  /// Log every Nth non-error, non-slow request; 0 disables sampled
+  /// logging entirely (errors and slow requests still log).
+  std::uint64_t sample_every = 1;
+  /// End-to-end latency at or above this is "slow": always logged, with
+  /// the request's span tree attached. 0 disables the threshold.
+  std::uint64_t slow_us = 0;
+};
+
+/// One request's worth of log fields, filled by the service layer.
+struct ReqLogRecord {
+  std::string id;
+  std::string status;       ///< wire status ("ok", "infeasible", ...)
+  std::string disposition;  ///< "solve", "hit", "coalesced", "rejected", ...
+  std::uint64_t queue_us = 0;
+  std::uint64_t solve_us = 0;
+  std::uint64_t total_us = 0;
+  const char* truncation = "none";
+  std::uint64_t work = 0;
+  /// True for any non-success outcome; forces the line past sampling.
+  bool error = false;
+  /// Request-scoped counter deltas (emitted in the given order).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// The request's stage tree; attached as "spans" when the request is
+  /// slow. Borrowed for the duration of the log() call only.
+  const StageStats* stats = nullptr;
+};
+
+class RequestLog {
+ public:
+  explicit RequestLog(ReqLogConfig cfg);
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  /// False when the configured file could not be opened (see open_error).
+  bool ok() const { return error_.empty(); }
+  const std::string& open_error() const { return error_; }
+
+  /// Applies the sampling/override policy and writes one NDJSON line if
+  /// the request qualifies. Returns true when a line was written.
+  bool log(const ReqLogRecord& rec);
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  ReqLogConfig cfg_;
+  std::string error_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;  // file_ or std::cerr
+  std::mutex mu_;
+  std::uint64_t seq_ = 0;    // sampled (non-forced) requests seen
+  std::uint64_t lines_ = 0;  // lines written
+};
+
+}  // namespace encodesat

@@ -4,10 +4,34 @@
 #include <sstream>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace encodesat {
+
+namespace {
+
+/// Metric name in exposition form: "encodesat_" prefix, dots mapped to
+/// underscores (registry names only use [a-z0-9._]).
+std::string prometheus_name(const std::string& name) {
+  std::string out = "encodesat_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void write_gauge_value(std::ostream& out, double v) {
+  // Integral gauges (queue depth, percentile boundaries) render exactly;
+  // rates keep their fraction. ostream default formatting is JSON-valid
+  // for finite doubles, which gauges are by construction.
+  if (v == static_cast<double>(static_cast<long long>(v)))
+    out << static_cast<long long>(v);
+  else
+    out << v;
+}
+
+}  // namespace
 
 std::string fingerprint_hex(std::uint64_t hash) {
   char buf[17];
@@ -40,6 +64,44 @@ std::string telemetry_to_json(const TelemetryOptions& opts) {
   }
   out << "},\"counter_fingerprint\":\"" << fingerprint_hex(fp_hash) << '"';
 
+  out << ",\"gauges\":{";
+  {
+    bool first = true;
+    for (const TelemetryGauge& g : opts.gauges) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << g.name << "\":";
+      write_gauge_value(out, g.value);
+    }
+  }
+  out << '}';
+
+  out << ",\"histograms\":{";
+  if (opts.metrics) {
+    const std::vector<std::uint64_t>& bounds = histogram_buckets::boundaries();
+    bool first = true;
+    for (const MetricsRegistry::HistogramSample& h :
+         opts.metrics->histogram_snapshot()) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << h.name << "\":{\"count\":" << h.count
+          << ",\"sum\":" << h.sum << ",\"buckets\":{";
+      bool first_bucket = true;
+      for (const auto& [bucket, count] : h.buckets) {
+        if (!first_bucket) out << ',';
+        first_bucket = false;
+        out << '"';
+        if (bucket < bounds.size())
+          out << bounds[bucket];
+        else
+          out << "+inf";
+        out << "\":" << count;
+      }
+      out << "}}";
+    }
+  }
+  out << '}';
+
   const PoolCounters pool = pool_counters();
   out << ",\"process\":{\"parallel_calls\":" << pool.parallel_calls
       << ",\"tasks\":" << pool.tasks
@@ -48,10 +110,48 @@ std::string telemetry_to_json(const TelemetryOptions& opts) {
   out << ",\"trace\":";
   if (opts.tracer)
     out << "{\"events\":" << opts.tracer->event_count()
-        << ",\"dropped\":" << opts.tracer->dropped_events() << '}';
+        << ",\"dropped\":" << opts.tracer->dropped_events()
+        << ",\"dropped_spans\":" << opts.tracer->dropped_spans() << '}';
   else
     out << "null";
   out << '}';
+  return out.str();
+}
+
+std::string render_prometheus_text(const TelemetryOptions& opts) {
+  std::ostringstream out;
+  if (opts.metrics) {
+    for (const MetricsRegistry::Sample& s : opts.metrics->snapshot()) {
+      const std::string name = prometheus_name(s.name);
+      out << "# TYPE " << name << " counter\n"
+          << name << ' ' << s.value << '\n';
+    }
+  }
+  for (const TelemetryGauge& g : opts.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << ' ';
+    write_gauge_value(out, g.value);
+    out << '\n';
+  }
+  if (opts.metrics) {
+    const std::vector<std::uint64_t>& bounds = histogram_buckets::boundaries();
+    for (const MetricsRegistry::HistogramSample& h :
+         opts.metrics->histogram_snapshot()) {
+      const std::string name = prometheus_name(h.name);
+      out << "# TYPE " << name << " histogram\n";
+      std::uint64_t cum = 0;
+      for (const auto& [bucket, count] : h.buckets) {
+        cum += count;
+        // The overflow bucket folds into the mandatory +Inf series below.
+        if (bucket >= bounds.size()) break;
+        out << name << "_bucket{le=\"" << bounds[bucket] << "\"} " << cum
+            << '\n';
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+          << name << "_sum " << h.sum << '\n'
+          << name << "_count " << h.count << '\n';
+    }
+  }
   return out.str();
 }
 

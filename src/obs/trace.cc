@@ -52,6 +52,7 @@ void Tracer::begin_span(const char* name) {
     // the open_dropped depth pairs ends with the right (dropped) begins.
     ++log->open_dropped;
     ++log->dropped;
+    ++log->dropped_spans;
     return;
   }
   log->events.push_back({name, now_us(), 'B'});
@@ -96,14 +97,17 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     }
   }
   std::uint64_t dropped = 0;
+  std::uint64_t dropped_spans = 0;
   std::size_t events = 0;
   for (const ThreadLog& log : logs_) {
     dropped += log.dropped;
+    dropped_spans += log.dropped_spans;
     events += log.events.size();
   }
   out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
       << "\"schema\":\"encodesat-trace-v1\",\"events\":" << events
-      << ",\"dropped_events\":" << dropped << "}}";
+      << ",\"dropped_events\":" << dropped
+      << ",\"dropped_spans\":" << dropped_spans << "}}";
 }
 
 std::size_t Tracer::event_count() const {
@@ -117,6 +121,13 @@ std::uint64_t Tracer::dropped_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t n = 0;
   for (const ThreadLog& log : logs_) n += log.dropped;
+  return n;
+}
+
+std::uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const ThreadLog& log : logs_) n += log.dropped_spans;
   return n;
 }
 

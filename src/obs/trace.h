@@ -59,6 +59,10 @@ class Tracer : public TraceSink {
   std::size_t event_count() const;
   /// Events dropped to the capacity bound (begin/end both counted).
   std::uint64_t dropped_events() const;
+  /// Whole spans dropped (each dropped begin counts one span; its paired
+  /// end is implied). The lossiness signal for check_trace.py and the
+  /// `obs.trace.dropped` gauge — dropped_events() double-counts pairs.
+  std::uint64_t dropped_spans() const;
   /// Recorded begin-event count per span name — the structural multiset
   /// that is identical across `threads` values for budget-free runs.
   std::map<std::string, std::size_t> span_counts() const;
@@ -77,7 +81,8 @@ class Tracer : public TraceSink {
   struct ThreadLog {
     std::vector<Event> events;
     std::size_t open_dropped = 0;  // open spans whose begin was dropped
-    std::uint64_t dropped = 0;
+    std::uint64_t dropped = 0;        // dropped events (begin + end)
+    std::uint64_t dropped_spans = 0;  // dropped begins = whole spans lost
     int tid = 0;
   };
 

@@ -1,0 +1,60 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+#include "obs/histogram.h"
+
+namespace encodesat {
+
+RollingWindow::RollingWindow(Config cfg) : cfg_(cfg) {
+  if (cfg_.sub_window_us == 0) cfg_.sub_window_us = 1;
+  if (cfg_.sub_windows == 0) cfg_.sub_windows = 1;
+  ring_.resize(cfg_.sub_windows);
+}
+
+void RollingWindow::record(std::uint64_t now_us, std::uint64_t value) {
+  const std::uint64_t epoch = now_us / cfg_.sub_window_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = ring_[static_cast<std::size_t>(epoch % cfg_.sub_windows)];
+  const std::uint64_t start = epoch * cfg_.sub_window_us;
+  if (!slot.used || slot.start_us != start) {
+    // Lazy recycle: this slot last held a sub-window a full ring ago.
+    slot.used = true;
+    slot.start_us = start;
+    slot.count = 0;
+    slot.buckets.assign(histogram_buckets::bucket_count(), 0);
+  }
+  ++slot.count;
+  ++slot.buckets[histogram_buckets::bucket_index(value)];
+}
+
+RollingWindow::Stats RollingWindow::stats(std::uint64_t now_us,
+                                          std::uint64_t horizon_us) const {
+  Stats out;
+  const std::uint64_t horizon = std::min(
+      horizon_us == 0 ? span_us() : horizon_us, span_us());
+  const std::uint64_t oldest =
+      now_us >= horizon ? now_us - horizon : 0;
+  std::vector<std::uint64_t> merged(histogram_buckets::bucket_count(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Slot& slot : ring_) {
+      // Within the horizon and not a stale future-looking slot (a caller
+      // whose clock moved backwards simply sees an empty window).
+      if (!slot.used || slot.start_us < oldest || slot.start_us > now_us)
+        continue;
+      out.count += slot.count;
+      for (std::size_t i = 0; i < merged.size(); ++i)
+        merged[i] += slot.buckets[i];
+    }
+  }
+  if (horizon > 0)
+    out.rate_per_s = static_cast<double>(out.count) /
+                     (static_cast<double>(horizon) / 1e6);
+  out.p50 = histogram_buckets::percentile(merged, 0.50);
+  out.p95 = histogram_buckets::percentile(merged, 0.95);
+  out.p99 = histogram_buckets::percentile(merged, 0.99);
+  return out;
+}
+
+}  // namespace encodesat

@@ -1,0 +1,78 @@
+// Rolling time-window aggregation over the shared histogram buckets.
+//
+// A RollingWindow is a ring of N sub-window snapshots (default 60 slots of
+// 5 s = 5 min of history). record(now_us, value) drops the observation
+// into the sub-window owning `now_us`, lazily recycling slots whose epoch
+// has passed — there is no background thread and no timer. stats(now_us,
+// horizon_us) merges the sub-windows younger than the horizon into one
+// bucket vector and reports count, rate and p50/p95/p99 upper bounds over
+// exactly that span — the "what is p99 over the last minute" question the
+// cumulative process-lifetime histograms cannot answer.
+//
+// The clock is injected: callers pass a monotonic microsecond timestamp
+// (the service layer uses microseconds since broker start), so tests drive
+// rotation and expiry with a synthetic clock and zero sleeps. Resolution
+// is one sub-window: an observation counts toward a horizon while its
+// sub-window's *start* is within the horizon.
+//
+// Thread safety: a single mutex guards the ring. Recording happens once
+// per service request (not per pipeline operation), so contention is not
+// a concern at this layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace encodesat {
+
+class RollingWindow {
+ public:
+  struct Config {
+    /// Width of one sub-window slot.
+    std::uint64_t sub_window_us = 5'000'000;
+    /// Ring size; total history = sub_windows * sub_window_us.
+    std::size_t sub_windows = 60;
+  };
+
+  RollingWindow() : RollingWindow(Config()) {}
+  explicit RollingWindow(Config cfg);
+  RollingWindow(const RollingWindow&) = delete;
+  RollingWindow& operator=(const RollingWindow&) = delete;
+
+  /// Records one observation (e.g. a request latency in microseconds) at
+  /// monotonic time `now_us`.
+  void record(std::uint64_t now_us, std::uint64_t value);
+
+  struct Stats {
+    std::uint64_t count = 0;      ///< observations within the horizon
+    double rate_per_s = 0;        ///< count / horizon seconds
+    std::uint64_t p50 = 0;        ///< bucket-resolution upper bounds
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+  };
+
+  /// Aggregates the sub-windows whose start lies within `horizon_us`
+  /// before `now_us`. The horizon is clamped to the ring's total span.
+  Stats stats(std::uint64_t now_us, std::uint64_t horizon_us) const;
+
+  /// Total history the ring can hold, in microseconds.
+  std::uint64_t span_us() const {
+    return cfg_.sub_window_us * cfg_.sub_windows;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t start_us = 0;
+    bool used = false;
+    std::uint64_t count = 0;
+    std::vector<std::uint64_t> buckets;  // dense, bucket_count() wide
+  };
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::vector<Slot> ring_;
+};
+
+}  // namespace encodesat

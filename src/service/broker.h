@@ -34,10 +34,19 @@
 // Counters (registered non-fingerprint — they depend on scheduling):
 //   service.accepted, service.rejected_overload, service.completed,
 //   service.coalesced, service.deadline_expired, service.drained.
+// Latency histograms (also non-fingerprint — they observe wall time):
+//   service.latency.total, service.latency.queue, service.latency.solve,
+// each in microseconds, observed for every request that reached a worker
+// (inline rejections never queue and are excluded). The optional
+// RollingWindow receives end-to-end latencies on the broker's own
+// monotonic clock (now_us()); the optional RequestLog gets one record per
+// completed submit() callback, rejections included.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -49,6 +58,9 @@
 #include "core/solver.h"
 
 namespace encodesat {
+
+class RequestLog;   // obs/reqlog.h
+class RollingWindow;  // obs/window.h
 
 enum class DrainMode {
   kFinishQueued,  ///< stop admission, run everything already queued (EOF)
@@ -70,6 +82,11 @@ struct BrokerConfig {
   SolveCache* cache = nullptr;
   MetricsRegistry* metrics = nullptr;
   TraceSink* tracer = nullptr;
+  /// Rolling end-to-end latency window (microseconds, broker clock);
+  /// null disables. Borrowed, must outlive the broker.
+  RollingWindow* window = nullptr;
+  /// Structured per-request NDJSON log; null disables. Borrowed.
+  RequestLog* reqlog = nullptr;
   /// Test seam: replaces the core solve() call when set. Admission,
   /// deadline and drain handling still apply; the injected function sees
   /// the fully-prepared request (infra wired, deadline_seconds = remaining
@@ -99,6 +116,22 @@ class Broker {
   InFlightTable& single_flight() { return inflight_; }
   /// Requests currently queued (diagnostics; racy by nature).
   std::size_t queue_depth() const;
+  /// Requests currently on a worker, between dequeue and callback
+  /// (diagnostics; racy by nature).
+  int in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Worker threads that have not yet exited their loop; equals
+  /// config().workers until a drain, 0 after. The `health` op's liveness
+  /// signal.
+  int workers_alive() const {
+    return workers_alive_.load(std::memory_order_relaxed);
+  }
+  /// True once a drain has begun (admission closed).
+  bool draining() const;
+  /// Monotonic microseconds since broker construction — the service clock
+  /// fed to the rolling window.
+  std::uint64_t now_us() const;
 
  private:
   struct Item {
@@ -106,15 +139,22 @@ class Broker {
     Callback cb;
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point submitted{};
   };
 
   void worker_loop();
   void run_item(Item item);
   void count(const char* name, std::uint64_t v = 1);
+  void log_request(const SolveResponse& resp, const char* disposition,
+                   std::uint64_t queue_us, std::uint64_t solve_us,
+                   std::uint64_t total_us, const StageStats* stats);
   static SolveResponse rejected(const std::string& id, const char* why);
 
   BrokerConfig cfg_;
   InFlightTable inflight_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> workers_alive_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

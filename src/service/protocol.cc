@@ -68,12 +68,16 @@ bool parse_request(const std::string& line, WireRequest* out,
     }
     if (op->str == "stats") {
       out->op = WireRequest::Op::kStats;
+    } else if (op->str == "metrics") {
+      out->op = WireRequest::Op::kMetrics;
+    } else if (op->str == "health") {
+      out->op = WireRequest::Op::kHealth;
     } else if (op->str != "solve") {
       *error = "unknown op '" + op->str + "'";
       return false;
     }
   }
-  if (out->op == WireRequest::Op::kStats) return true;
+  if (out->op != WireRequest::Op::kSolve) return true;
 
   const JsonValue* cs = root.find("constraints");
   if (!cs || !cs->is_string()) {
@@ -196,6 +200,26 @@ std::string render_stats_response(const std::string& id,
                                   const std::string& telemetry_json) {
   return "{\"id\":" + quoted(id) + ",\"status\":\"ok\",\"stats\":" +
          telemetry_json + "}";
+}
+
+std::string render_metrics_response(const std::string& id,
+                                    const std::string& exposition_text) {
+  return "{\"id\":" + quoted(id) + ",\"status\":\"ok\",\"metrics\":" +
+         quoted(exposition_text) + "}";
+}
+
+std::string render_health_response(const std::string& id,
+                                   const HealthStatus& health) {
+  std::string out = "{\"id\":" + quoted(id) + ",\"status\":\"ok\",\"health\":{";
+  out += "\"state\":\"";
+  out += health.draining ? "draining" : "serving";
+  out += "\",\"queue_depth\":" + std::to_string(health.queue_depth);
+  out += ",\"in_flight\":" + std::to_string(health.in_flight);
+  out += ",\"workers\":" + std::to_string(health.workers);
+  out += ",\"workers_alive\":" + std::to_string(health.workers_alive);
+  out += ",\"uptime_us\":" + std::to_string(health.uptime_us);
+  out += "}}";
+  return out;
 }
 
 }  // namespace encodesat

@@ -6,8 +6,13 @@
 //    "deadline_s":2.5,
 //    "options":{"pipeline":"exact","max_work":100000,"threads":2}}
 //   {"id":"s1","op":"stats"}
+//   {"id":"m1","op":"metrics"}
+//   {"id":"h1","op":"health"}
 //
-// `op` defaults to "solve". The `options` object exposes only the
+// `op` defaults to "solve". `metrics` answers with the Prometheus-style
+// text exposition embedded as a JSON string; `health` with the broker's
+// drain state, queue depth, in-flight count and worker liveness
+// (docs/SERVICE.md). The `options` object exposes only the
 // per-request-safe knobs (pipeline / max_work / threads); budget knobs
 // beyond those, the cache configuration and the worker pool belong to the
 // server. Responses (always exactly one per accepted request line, `id`
@@ -40,7 +45,7 @@ inline constexpr const char* kServiceSchema = "encodesat-service-v1";
 
 /// One parsed request line.
 struct WireRequest {
-  enum class Op { kSolve, kStats };
+  enum class Op { kSolve, kStats, kMetrics, kHealth };
   Op op = Op::kSolve;
   std::string id;
   /// Constraint text (core/constraints.h grammar), `op == kSolve` only.
@@ -81,5 +86,27 @@ std::string render_error_response(const std::string& id, StatusCode status,
 /// The `stats` op reply: embeds a pre-rendered telemetry JSON object.
 std::string render_stats_response(const std::string& id,
                                   const std::string& telemetry_json);
+
+/// The `metrics` op reply: the Prometheus-style exposition text
+/// (obs/telemetry.h render_prometheus_text) as an escaped JSON string.
+std::string render_metrics_response(const std::string& id,
+                                    const std::string& exposition_text);
+
+/// Point-in-time server health, filled by the transport from the broker.
+struct HealthStatus {
+  bool draining = false;
+  std::size_t queue_depth = 0;
+  int in_flight = 0;
+  int workers = 0;
+  int workers_alive = 0;
+  std::uint64_t uptime_us = 0;
+};
+
+/// The `health` op reply:
+/// {"id":...,"status":"ok","health":{"state":"serving"|"draining",
+///  "queue_depth":n,"in_flight":n,"workers":n,"workers_alive":n,
+///  "uptime_us":n}}
+std::string render_health_response(const std::string& id,
+                                   const HealthStatus& health);
 
 }  // namespace encodesat

@@ -16,7 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "service/protocol.h"
 
 namespace encodesat {
@@ -166,13 +169,57 @@ void Server::handle_line(Session* session, std::uint64_t seq,
                                    perr_msg));
     return;
   }
-  if (wire.op == WireRequest::Op::kStats) {
+  if (wire.op == WireRequest::Op::kStats ||
+      wire.op == WireRequest::Op::kMetrics) {
+    // Both scrape ops share one view: the registry, the live broker gauges
+    // (so `stats` and `metrics` agree), and a freshened obs.trace.dropped
+    // high-water mark.
+    if (cfg_.metrics && cfg_.tracer)
+      cfg_.metrics->counter("obs.trace.dropped", /*in_fingerprint=*/false)
+          ->record_max(cfg_.tracer->dropped_spans());
     TelemetryOptions topts;
     topts.tool = "serve";
     topts.metrics = cfg_.metrics;
     topts.tracer = cfg_.tracer;
-    session->deliver(seq,
-                     render_stats_response(wire.id, telemetry_to_json(topts)));
+    topts.gauges.push_back(
+        {"service.queue_depth", static_cast<double>(broker_.queue_depth())});
+    topts.gauges.push_back(
+        {"service.in_flight", static_cast<double>(broker_.in_flight())});
+    topts.gauges.push_back({"service.workers_alive",
+                            static_cast<double>(broker_.workers_alive())});
+    if (cfg_.window) {
+      const std::uint64_t now = broker_.now_us();
+      const struct {
+        const char* prefix;
+        std::uint64_t horizon_us;
+      } spans[] = {{"service.window.1m", 60'000'000ull},
+                   {"service.window.5m", 300'000'000ull}};
+      for (const auto& span : spans) {
+        const RollingWindow::Stats s =
+            cfg_.window->stats(now, span.horizon_us);
+        const std::string p = span.prefix;
+        topts.gauges.push_back({p + ".rate", s.rate_per_s});
+        topts.gauges.push_back({p + ".p50", static_cast<double>(s.p50)});
+        topts.gauges.push_back({p + ".p95", static_cast<double>(s.p95)});
+        topts.gauges.push_back({p + ".p99", static_cast<double>(s.p99)});
+      }
+    }
+    session->deliver(
+        seq, wire.op == WireRequest::Op::kStats
+                 ? render_stats_response(wire.id, telemetry_to_json(topts))
+                 : render_metrics_response(wire.id,
+                                           render_prometheus_text(topts)));
+    return;
+  }
+  if (wire.op == WireRequest::Op::kHealth) {
+    HealthStatus health;
+    health.draining = broker_.draining();
+    health.queue_depth = broker_.queue_depth();
+    health.in_flight = broker_.in_flight();
+    health.workers = broker_.config().workers;
+    health.workers_alive = broker_.workers_alive();
+    health.uptime_us = broker_.now_us();
+    session->deliver(seq, render_health_response(wire.id, health));
     return;
   }
   ParseError perr;

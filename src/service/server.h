@@ -38,10 +38,14 @@ class Tracer;
 
 struct ServerConfig {
   BrokerConfig broker;
-  /// Used by the `stats` op to render a telemetry report (typically the
-  /// same registry/tracer installed on `broker`). Both optional.
+  /// Used by the `stats` and `metrics` ops to render telemetry (typically
+  /// the same registry/tracer installed on `broker`). Both optional.
   MetricsRegistry* metrics = nullptr;
   const Tracer* tracer = nullptr;
+  /// Rolling latency window scraped by the `stats`/`metrics` ops for the
+  /// 1m/5m rate and percentile gauges (typically the same window installed
+  /// on `broker`); null omits those gauges. Borrowed.
+  const RollingWindow* window = nullptr;
   /// Stall budget per response write: a client whose output fd makes no
   /// progress for this long is treated as gone — the session goes dead
   /// and its remaining output is discarded, instead of a stuck write

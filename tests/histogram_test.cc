@@ -1,0 +1,310 @@
+// Histogram and rolling-window layer (src/obs/histogram.h, window.h).
+// The surfaces under test are the deterministic ones the fuzzer's
+// `histograms` rule and the bench bucket guard lean on: the fixed bucket
+// boundary table (golden prefix, integer recurrence), bucket indexing at
+// the edges, merge associativity, percentile edge cases, and the injected-
+// clock rotation/expiry of RollingWindow.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
+#include "obs/window.h"
+
+namespace encodesat {
+namespace {
+
+TEST(HistogramBuckets, GoldenBoundaryPrefix) {
+  // b[0] = 1, b[i+1] = b[i] + max(1, b[i]/4): the first boundaries step by
+  // one until the /4 term kicks in. This prefix is load-bearing — bucket
+  // counts join the structural fingerprint, so the table may never change
+  // silently.
+  const std::vector<std::uint64_t> want = {1,  2,  3,  4,  5,  6,  7,
+                                           8,  10, 12, 15, 18, 22, 27,
+                                           33, 41, 51, 63, 78, 97, 121};
+  const std::vector<std::uint64_t>& b = histogram_buckets::boundaries();
+  ASSERT_GE(b.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(b[i], want[i]) << "boundary " << i;
+}
+
+TEST(HistogramBuckets, TableIsStrictlyIncreasingAndCoversE18) {
+  const std::vector<std::uint64_t>& b = histogram_buckets::boundaries();
+  for (std::size_t i = 1; i < b.size(); ++i)
+    ASSERT_LT(b[i - 1], b[i]) << "at " << i;
+  EXPECT_GE(b.back(), 1'000'000'000'000'000'000ull);
+  // ~1.25 growth from 1 to 1e18 lands near 180 boundaries; pin a sane
+  // range so a recurrence change cannot hide behind the prefix check.
+  EXPECT_GT(b.size(), 150u);
+  EXPECT_LT(b.size(), 220u);
+  EXPECT_EQ(histogram_buckets::bucket_count(), b.size() + 1);
+}
+
+TEST(HistogramBuckets, BucketIndexEdges) {
+  const std::vector<std::uint64_t>& b = histogram_buckets::boundaries();
+  EXPECT_EQ(histogram_buckets::bucket_index(0), 0u);
+  EXPECT_EQ(histogram_buckets::bucket_index(1), 0u);
+  EXPECT_EQ(histogram_buckets::bucket_index(2), 1u);
+  EXPECT_EQ(histogram_buckets::bucket_index(8), 7u);
+  EXPECT_EQ(histogram_buckets::bucket_index(9), 8u);   // first boundary >= 9 is 10
+  EXPECT_EQ(histogram_buckets::bucket_index(10), 8u);
+  // Exactly on the last boundary: last finite bucket; past it: overflow.
+  EXPECT_EQ(histogram_buckets::bucket_index(b.back()), b.size() - 1);
+  EXPECT_EQ(histogram_buckets::bucket_index(b.back() + 1), b.size());
+  EXPECT_EQ(histogram_buckets::bucket_index(~0ull), b.size());
+}
+
+TEST(Histogram, ObserveCountSumAndBuckets) {
+  Histogram h(/*in_fingerprint=*/true);
+  h.observe(1);
+  h.observe(1);
+  h.observe(9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 11u);
+  const auto nz = h.nonzero_buckets();
+  ASSERT_EQ(nz.size(), 2u);
+  EXPECT_EQ(nz[0].first, 0u);
+  EXPECT_EQ(nz[0].second, 2u);
+  EXPECT_EQ(nz[1].first, 8u);
+  EXPECT_EQ(nz[1].second, 1u);
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  auto fill = [](Histogram& h, std::uint64_t seed) {
+    // Deterministic spread across small, medium and overflow buckets.
+    for (std::uint64_t i = 0; i < 50; ++i)
+      h.observe((seed + i * 7) % 1000);
+    h.observe(~0ull);
+  };
+  Histogram a1(true), b1(true), c1(true);
+  Histogram a2(true), b2(true), c2(true);
+  fill(a1, 3); fill(b1, 11); fill(c1, 29);
+  fill(a2, 3); fill(b2, 11); fill(c2, 29);
+  // (a + b) + c
+  a1.merge_from(b1);
+  a1.merge_from(c1);
+  // a + (b + c)
+  b2.merge_from(c2);
+  a2.merge_from(b2);
+  EXPECT_EQ(a1.bucket_counts(), a2.bucket_counts());
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_EQ(a1.sum(), a2.sum());
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty(true);
+  EXPECT_EQ(empty.percentile(0.5), 0u);  // no observations
+
+  Histogram single(true);
+  single.observe(5);
+  EXPECT_EQ(single.percentile(0.0), 5u);
+  EXPECT_EQ(single.percentile(0.5), 5u);
+  EXPECT_EQ(single.percentile(1.0), 5u);
+
+  Histogram one_bucket(true);
+  for (int i = 0; i < 100; ++i) one_bucket.observe(7);
+  EXPECT_EQ(one_bucket.percentile(0.5), 7u);
+  EXPECT_EQ(one_bucket.percentile(0.99), 7u);
+
+  // Out-of-range p clamps instead of misbehaving.
+  EXPECT_EQ(one_bucket.percentile(-1.0), 7u);
+  EXPECT_EQ(one_bucket.percentile(2.0), 7u);
+
+  // Overflow-only distribution reports the last finite boundary (the
+  // histogram cannot see past its table).
+  Histogram overflow(true);
+  overflow.observe(~0ull);
+  EXPECT_EQ(overflow.percentile(0.5),
+            histogram_buckets::boundaries().back());
+}
+
+TEST(Histogram, PercentileRankIsUpperBound) {
+  Histogram h(true);
+  h.observe(1);   // bucket 0 (boundary 1)
+  h.observe(3);   // bucket 2 (boundary 3)
+  h.observe(100); // boundary 121
+  h.observe(100);
+  // Ranks: p<=0.25 -> first obs; 0.5 -> second; >0.5 -> the 100s.
+  EXPECT_EQ(h.percentile(0.25), 1u);
+  EXPECT_EQ(h.percentile(0.5), 3u);
+  EXPECT_EQ(h.percentile(0.75), 121u);
+  EXPECT_EQ(h.percentile(1.0), 121u);
+}
+
+TEST(Metrics, HistogramFingerprintExcludesNonFingerprintAndSums) {
+  MetricsRegistry m;
+  m.histogram("det.work")->observe(5);
+  m.histogram("wall.us", /*in_fingerprint=*/false)->observe(123);
+  const std::string fp = m.histogram_fingerprint();
+  EXPECT_NE(fp.find("det.work#4=1;"), std::string::npos);  // 5 -> bucket 4
+  EXPECT_EQ(fp.find("wall.us"), std::string::npos);
+  // Same buckets, different sums: identical fingerprint (sums are
+  // wall-clock noise and must not participate).
+  MetricsRegistry m2;
+  m2.histogram("det.work")->observe(5);
+  EXPECT_EQ(m2.histogram_fingerprint(), fp);
+  // The combined registry fingerprint carries the histogram section.
+  EXPECT_NE(m.fingerprint().find("det.work#4=1;"), std::string::npos);
+}
+
+TEST(Metrics, MergeFromAccumulatesHistograms) {
+  MetricsRegistry a, b;
+  metric_observe(ExecContext{nullptr, nullptr, 1, nullptr, &a}, "h", 2);
+  metric_observe(ExecContext{nullptr, nullptr, 1, nullptr, &b}, "h", 2);
+  metric_observe(ExecContext{nullptr, nullptr, 1, nullptr, &b}, "h", 50);
+  a.merge_from(b);
+  EXPECT_EQ(a.histogram("h")->count(), 3u);
+  EXPECT_EQ(a.histogram("h")->sum(), 54u);
+  const auto samples = a.histogram_snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "h");
+  ASSERT_EQ(samples[0].buckets.size(), 2u);
+  EXPECT_EQ(samples[0].buckets[0].second, 2u);  // two 2s
+  EXPECT_EQ(samples[0].buckets[1].second, 1u);  // one 50
+}
+
+// --- RollingWindow ---------------------------------------------------------
+
+RollingWindow::Config small_window() {
+  RollingWindow::Config cfg;
+  cfg.sub_window_us = 1'000'000;  // 1 s slots
+  cfg.sub_windows = 5;            // 5 s of history
+  return cfg;
+}
+
+TEST(RollingWindow, CountsWithinHorizonOnly) {
+  RollingWindow w(small_window());
+  w.record(500'000, 10);       // slot [0, 1s)
+  w.record(2'500'000, 20);     // slot [2s, 3s)
+  // Horizon 1s at t=2.6s: only the slot starting at 2s is within it.
+  RollingWindow::Stats s = w.stats(2'600'000, 1'000'000);
+  EXPECT_EQ(s.count, 1u);
+  // Full span: both.
+  s = w.stats(2'600'000, 0);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(RollingWindow, SlotsExpireAfterOneRingLap) {
+  RollingWindow w(small_window());
+  w.record(0, 10);
+  EXPECT_EQ(w.stats(0, 0).count, 1u);
+  // 5 s later the ring has lapped: the same slot index now owns a new
+  // epoch, and recording there recycles it.
+  w.record(5'000'000, 20);
+  const RollingWindow::Stats s = w.stats(5'000'000, 0);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.p50, 22u);  // 20 -> boundary 22, not 10's bucket
+}
+
+TEST(RollingWindow, StaleSlotsDropOutWithoutNewRecords) {
+  RollingWindow w(small_window());
+  w.record(0, 10);
+  // Query far in the future without recording: the old slot's start is
+  // outside every horizon the ring can express.
+  EXPECT_EQ(w.stats(60'000'000, 0).count, 0u);
+  EXPECT_EQ(w.stats(60'000'000, 0).p99, 0u);
+}
+
+TEST(RollingWindow, RatesAndPercentiles) {
+  RollingWindow w(small_window());
+  for (std::uint64_t i = 0; i < 100; ++i) w.record(1'500'000, 7);
+  const RollingWindow::Stats s = w.stats(2'000'000, 2'000'000);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.rate_per_s, 50.0);  // 100 obs / 2 s horizon
+  EXPECT_EQ(s.p50, 7u);
+  EXPECT_EQ(s.p95, 7u);
+  EXPECT_EQ(s.p99, 7u);
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(PrometheusText, RendersCountersGaugesAndCumulativeHistograms) {
+  MetricsRegistry m;
+  m.counter("solve.requests")->add(3);
+  Histogram* h = m.histogram("service.latency.total", false);
+  h->observe(1);
+  h->observe(1);
+  h->observe(9);   // bucket boundary 10
+  h->observe(~0ull);  // overflow -> folds into +Inf
+  TelemetryOptions opts;
+  opts.metrics = &m;
+  opts.gauges.push_back({"service.queue_depth", 4.0});
+  opts.gauges.push_back({"service.window.1m.rate", 2.5});
+  const std::string text = render_prometheus_text(opts);
+
+  EXPECT_NE(text.find("# TYPE encodesat_solve_requests counter\n"
+                      "encodesat_solve_requests 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE encodesat_service_queue_depth gauge\n"
+                      "encodesat_service_queue_depth 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("encodesat_service_window_1m_rate 2.5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE encodesat_service_latency_total histogram\n"),
+            std::string::npos)
+      << text;
+  // Cumulative series: bucket 1 holds two obs, boundary 10 adds one, +Inf
+  // absorbs the overflow observation and equals _count.
+  EXPECT_NE(text.find("encodesat_service_latency_total_bucket{le=\"1\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("encodesat_service_latency_total_bucket{le=\"10\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("encodesat_service_latency_total_bucket{le=\"+Inf\"} 4\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("encodesat_service_latency_total_count 4\n"),
+            std::string::npos)
+      << text;
+
+  // Structural scan: every _bucket series must be monotone in value with
+  // strictly increasing finite le= labels, ending at le="+Inf" == _count.
+  std::istringstream in(text);
+  std::string line;
+  std::uint64_t prev_cum = 0, prev_le = 0;
+  bool saw_inf = false;
+  int bucket_lines = 0;
+  while (std::getline(in, line)) {
+    const std::size_t at = line.find("_bucket{le=\"");
+    if (at == std::string::npos) continue;
+    ++bucket_lines;
+    const std::size_t vstart = at + 12;
+    const std::size_t vend = line.find('"', vstart);
+    const std::string le = line.substr(vstart, vend - vstart);
+    const std::uint64_t cum =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(cum, prev_cum) << line;
+    prev_cum = cum;
+    if (le == "+Inf") {
+      saw_inf = true;
+      EXPECT_EQ(cum, 4u);
+    } else {
+      const std::uint64_t b = std::stoull(le);
+      EXPECT_GT(b, prev_le) << line;
+      prev_le = b;
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(bucket_lines, 3);
+}
+
+TEST(RollingWindow, ClockMovingBackwardsIsHarmless) {
+  RollingWindow w(small_window());
+  w.record(4'000'000, 10);
+  // A query at an earlier time sees no future-started slots (and must not
+  // underflow the horizon math).
+  EXPECT_EQ(w.stats(1'000'000, 0).count, 0u);
+}
+
+}  // namespace
+}  // namespace encodesat

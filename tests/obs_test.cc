@@ -2,7 +2,7 @@
 // telemetry report. The deterministic surfaces under test are the ones the
 // differential fuzzer and CI lean on: balanced spans under any drop
 // pattern, span-name multisets and counter fingerprints identical across
-// thread counts, and the telemetry-v1 schema pinned by a golden file
+// thread counts, and the telemetry-v2 schema pinned by a golden file
 // (numbers normalized — shape is the contract). Regenerate the golden with:
 //
 //   ./build/tests/encodesat_tests --gtest_also_run_disabled_tests
@@ -11,6 +11,7 @@
 // and paste the output into tests/data/solve_telemetry.golden.json.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <regex>
 #include <sstream>
@@ -20,6 +21,7 @@
 
 #include "core/solver.h"
 #include "obs/counters.h"
+#include "obs/reqlog.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -79,9 +81,25 @@ TEST(Tracer, DropPolicyKeepsEveryThreadBalanced) {
   EXPECT_TRUE(t.spans_balanced());
   EXPECT_GT(t.dropped_events(), 0u);
   EXPECT_GE(t.event_count(), 4u);
+  // Each dropped span lost a begin and an end; the span total is the
+  // lossiness signal the footer and obs.trace.dropped report.
+  EXPECT_GT(t.dropped_spans(), 0u);
+  EXPECT_EQ(t.dropped_events(), 2 * t.dropped_spans());
   std::ostringstream json;
   t.write_chrome_trace(json);
   EXPECT_NE(json.str().find("\"dropped_events\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"dropped_spans\":" +
+                            std::to_string(t.dropped_spans())),
+            std::string::npos);
+}
+
+TEST(Tracer, LosslessTraceReportsZeroDroppedSpans) {
+  Tracer t;
+  { TraceScope s(&t, "solve"); }
+  EXPECT_EQ(t.dropped_spans(), 0u);
+  std::ostringstream json;
+  t.write_chrome_trace(json);
+  EXPECT_NE(json.str().find("\"dropped_spans\":0"), std::string::npos);
 }
 
 TEST(Tracer, ChromeTraceJsonShape) {
@@ -213,17 +231,114 @@ TEST(Metrics, SolveFingerprintIdenticalAcrossThreads) {
   EXPECT_EQ(m1.counter("solve.runs")->value(), 1u);
   EXPECT_GT(m1.counter("primes.folds")->value(), 0u);
   EXPECT_GT(m1.counter("cover.nodes")->value(), 0u);
+  // The fuzzer's `histograms` rule, same shape: work-valued histogram
+  // bucket counts are bit-identical across thread counts, and duration
+  // histograms (solve.stage_us) stay out of the fingerprint.
+  EXPECT_FALSE(m1.histogram_fingerprint().empty());
+  EXPECT_EQ(m1.histogram_fingerprint(), m4.histogram_fingerprint());
+  EXPECT_EQ(m1.histogram("solve.work")->count(), 1u);
+  EXPECT_GT(m1.histogram("solve.stage_us")->count(), 0u);
+  EXPECT_EQ(m1.histogram_fingerprint().find("solve.stage_us"),
+            std::string::npos);
+}
+
+// --- RequestLog ------------------------------------------------------------
+
+ReqLogRecord ok_record(const std::string& id, std::uint64_t total_us) {
+  ReqLogRecord rec;
+  rec.id = id;
+  rec.status = "ok";
+  rec.disposition = "solve";
+  rec.queue_us = 1;
+  rec.solve_us = total_us > 1 ? total_us - 1 : 0;
+  rec.total_us = total_us;
+  rec.work = 10;
+  rec.counters.emplace_back("bits", 2);
+  return rec;
+}
+
+TEST(RequestLog, SamplesEveryNthAndAlwaysLogsErrors) {
+  const std::string path = testing::TempDir() + "/reqlog_sampling.ndjson";
+  std::remove(path.c_str());
+  ReqLogConfig cfg;
+  cfg.path = path;
+  cfg.sample_every = 2;
+  RequestLog log(cfg);
+  ASSERT_TRUE(log.ok()) << log.open_error();
+  // 4 ok requests at 1-in-2 sampling: the 1st and 3rd land.
+  EXPECT_TRUE(log.log(ok_record("r1", 10)));
+  EXPECT_FALSE(log.log(ok_record("r2", 10)));
+  EXPECT_TRUE(log.log(ok_record("r3", 10)));
+  EXPECT_FALSE(log.log(ok_record("r4", 10)));
+  // Errors bypass sampling (and do not advance its phase).
+  ReqLogRecord err = ok_record("r5", 10);
+  err.status = "overloaded";
+  err.disposition = "rejected";
+  err.error = true;
+  EXPECT_TRUE(log.log(err));
+  EXPECT_EQ(log.lines_written(), 3u);
+
+  std::istringstream lines(read_file(path));
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_NE(line.find("\"schema\":\"encodesat-reqlog-v1\""),
+              std::string::npos);
+  }
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(RequestLog, SlowRequestBypassesSamplingAndAttachesSpans) {
+  const std::string path = testing::TempDir() + "/reqlog_slow.ndjson";
+  std::remove(path.c_str());
+  ReqLogConfig cfg;
+  cfg.path = path;
+  cfg.sample_every = 0;  // sampled logging off: only errors/slow land
+  cfg.slow_us = 1000;
+  RequestLog log(cfg);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE(log.log(ok_record("fast", 999)));
+
+  StageStats stats("solve");
+  stats.work = 7;
+  stats.add_child("prime_generation")->items = 3;
+  ReqLogRecord slow = ok_record("slow1", 5000);
+  slow.stats = &stats;
+  EXPECT_TRUE(log.log(slow));
+
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"id\":\"slow1\""), std::string::npos);
+  EXPECT_NE(text.find("\"slow\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"spans\":{"), std::string::npos);
+  EXPECT_NE(text.find("prime_generation"), std::string::npos);
+  EXPECT_NE(text.find("\"counters\":{\"bits\":2}"), std::string::npos);
+  EXPECT_EQ(text.find("\"id\":\"fast\""), std::string::npos);
+}
+
+TEST(RequestLog, UnopenableFileReportsError) {
+  ReqLogConfig cfg;
+  cfg.path = "/nonexistent-dir-zzz/reqlog.ndjson";
+  RequestLog log(cfg);
+  EXPECT_FALSE(log.ok());
+  EXPECT_FALSE(log.open_error().empty());
+  EXPECT_FALSE(log.log(ok_record("r1", 10)));
 }
 
 // --- Telemetry -------------------------------------------------------------
 
-// Zeroes every numeric value and blanks the fingerprint hex: the schema
-// (key set, order, counter *names*) is the contract, values are not.
+// Zeroes every numeric value, blanks the fingerprint hex and empties the
+// histogram bucket maps: the schema (key set, order, counter and histogram
+// *names*) is the contract, values are not. Buckets must go entirely —
+// duration histograms (solve.stage_us) land in different buckets from run
+// to run, so even the *keys* are not stable.
 std::string normalize_telemetry(std::string json) {
   static const std::regex kFingerprint(
       "\"counter_fingerprint\":\"[0-9a-f]{16}\"");
   json = std::regex_replace(json, kFingerprint,
                             "\"counter_fingerprint\":\"0\"");
+  static const std::regex kBuckets("\"buckets\":\\{[^}]*\\}");
+  json = std::regex_replace(json, kBuckets, "\"buckets\":{}");
   static const std::regex kNumber(":[0-9.eE+-]+");
   return std::regex_replace(json, kNumber, ":0");
 }
@@ -261,12 +376,14 @@ TEST(TelemetryGolden, NullSectionsSerializeAsNull) {
   TelemetryOptions topts;
   topts.tool = "bench";
   const std::string json = telemetry_to_json(topts);
-  EXPECT_NE(json.find("\"schema\":\"encodesat-telemetry-v1\""),
+  EXPECT_NE(json.find("\"schema\":\"encodesat-telemetry-v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"bench\""), std::string::npos);
   EXPECT_NE(json.find("\"stats\":null"), std::string::npos);
   EXPECT_NE(json.find("\"trace\":null"), std::string::npos);
   EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{}"), std::string::npos);
   // Empty registry fingerprint = FNV-1a offset basis.
   EXPECT_NE(json.find(fingerprint_hex(fnv1a64(std::string()))),
             std::string::npos);

@@ -17,6 +17,7 @@
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,6 +28,8 @@
 #include "cache/solve_cache.h"
 #include "core/solver.h"
 #include "obs/counters.h"
+#include "obs/reqlog.h"
+#include "obs/window.h"
 #include "service/broker.h"
 #include "service/json.h"
 #include "service/protocol.h"
@@ -794,6 +797,169 @@ TEST(ServiceServer, StalledClientDoesNotWedgeWorkersOrDrain) {
   // The only assertion that matters: the server comes back at all (the
   // test would time out if a worker wedged on the stalled write).
   serving.join();
+}
+
+// ----------------------------------------------------- telemetry ops ----
+
+// Reads one newline-terminated response from the pipe (the server flushes
+// per line, so byte-at-a-time is fine for a test).
+std::string read_line(int fd) {
+  std::string out;
+  char c;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(ServiceServer, MetricsHealthAndStatsOpsExposeLiveTelemetry) {
+  PipePair req_pipe, resp_pipe;
+  MetricsRegistry metrics;
+  SolveCache cache;
+  RollingWindow window;
+  ServerConfig cfg;
+  cfg.broker.workers = 2;
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.broker.window = &window;
+  cfg.metrics = &metrics;
+  cfg.window = &window;
+  Server server(cfg);
+
+  std::thread serving([&] {
+    EXPECT_EQ(server.run_pipe(req_pipe.read_end(), resp_pipe.write_end()), 0);
+    ::close(resp_pipe.fds[1]);
+    resp_pipe.fds[1] = -1;
+  });
+  // Complete one solve before scraping: the broker observes its latency
+  // histograms before delivering the response, so reading the response
+  // guarantees the scrape sees count >= 1.
+  write_str(req_pipe.write_end(),
+            "{\"id\":\"r1\",\"constraints\":\"face a b c\\ndominance a b\"}\n");
+  const std::string solve_line = read_line(resp_pipe.read_end());
+  ASSERT_NE(solve_line.find("\"id\":\"r1\",\"status\":\"ok\""),
+            std::string::npos)
+      << solve_line;
+  write_str(req_pipe.write_end(),
+            "{\"id\":\"m1\",\"op\":\"metrics\"}\n"
+            "{\"id\":\"s1\",\"op\":\"stats\"}\n"
+            "{\"id\":\"h1\",\"op\":\"health\"}\n");
+  req_pipe.close_write();
+  const std::string rest = read_all(resp_pipe.read_end());
+  serving.join();
+
+  std::vector<std::string> lines;
+  for (std::size_t start = 0; start < rest.size();) {
+    const std::size_t nl = rest.find('\n', start);
+    lines.push_back(rest.substr(start, nl - start));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  ASSERT_EQ(lines.size(), 3u) << rest;
+
+  // metrics: Prometheus exposition embedded as a JSON string. The solve's
+  // latency histogram has exactly one observation, and the +Inf bucket of
+  // a cumulative series always equals _count.
+  const std::string& m = lines[0];
+  EXPECT_NE(m.find("\"id\":\"m1\",\"status\":\"ok\",\"metrics\":\""),
+            std::string::npos)
+      << m;
+  EXPECT_NE(m.find("# TYPE encodesat_service_latency_total histogram"),
+            std::string::npos)
+      << m;
+  EXPECT_NE(m.find("encodesat_service_latency_total_count 1"),
+            std::string::npos)
+      << m;
+  EXPECT_NE(m.find("encodesat_service_latency_total_bucket{le="),
+            std::string::npos)
+      << m;
+  EXPECT_NE(m.find("encodesat_service_queue_depth 0"), std::string::npos)
+      << m;
+  EXPECT_NE(m.find("encodesat_service_window_1m_rate"), std::string::npos)
+      << m;
+
+  // stats: the v2 telemetry JSON with the same live gauges (the staleness
+  // fix — both scrape ops are built from one view).
+  const std::string& s = lines[1];
+  EXPECT_NE(s.find("\"id\":\"s1\",\"status\":\"ok\""), std::string::npos) << s;
+  EXPECT_NE(s.find("encodesat-telemetry-v2"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"service.queue_depth\":0"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"service.in_flight\":0"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"service.window.1m.rate\":"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"service.latency.total\":{\"count\":1"),
+            std::string::npos)
+      << s;
+
+  // health: serving state with live worker counts.
+  const std::string& h = lines[2];
+  EXPECT_NE(h.find("\"id\":\"h1\",\"status\":\"ok\",\"health\":{"
+                   "\"state\":\"serving\""),
+            std::string::npos)
+      << h;
+  EXPECT_NE(h.find("\"queue_depth\":0"), std::string::npos) << h;
+  EXPECT_NE(h.find("\"workers\":2"), std::string::npos) << h;
+  EXPECT_NE(h.find("\"workers_alive\":2"), std::string::npos) << h;
+  EXPECT_NE(h.find("\"uptime_us\":"), std::string::npos) << h;
+
+  // The window recorded the solve.
+  EXPECT_EQ(window.stats(server.broker().now_us(), 0).count, 1u);
+}
+
+TEST(ServiceProtocol, ParsesMetricsAndHealthOps) {
+  WireRequest wire;
+  std::string err;
+  ASSERT_TRUE(parse_request("{\"id\":\"m\",\"op\":\"metrics\"}", &wire, &err))
+      << err;
+  EXPECT_EQ(wire.op, WireRequest::Op::kMetrics);
+  ASSERT_TRUE(parse_request("{\"id\":\"h\",\"op\":\"health\"}", &wire, &err))
+      << err;
+  EXPECT_EQ(wire.op, WireRequest::Op::kHealth);
+}
+
+TEST(ServiceBroker, RequestLogRecordsDispositionsAndLatencies) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "broker_reqlog_test.ndjson")
+          .string();
+  std::remove(path.c_str());
+  {
+    ReqLogConfig lcfg;
+    lcfg.path = path;
+    RequestLog reqlog(lcfg);
+    ASSERT_TRUE(reqlog.ok()) << reqlog.open_error();
+    MetricsRegistry metrics;
+    BrokerConfig cfg;
+    cfg.workers = 1;
+    cfg.metrics = &metrics;
+    cfg.reqlog = &reqlog;
+    cfg.solve_fn = [](const SolveRequest& req) {
+      SolveResponse resp;
+      resp.id = req.id;
+      resp.status = StatusCode::kOk;
+      return resp;
+    };
+    Broker broker(cfg);
+    Collected out;
+    EXPECT_TRUE(broker.submit(named_request("a"), out.collector()));
+    EXPECT_TRUE(broker.submit(named_request("b"), out.collector()));
+    broker.drain(DrainMode::kFinishQueued);
+    EXPECT_EQ(reqlog.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int solve_lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"schema\":\"encodesat-reqlog-v1\""),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"disposition\":\"solve\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"total_us\":"), std::string::npos) << line;
+    ++solve_lines;
+  }
+  EXPECT_EQ(solve_lines, 2);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate Prometheus-style expositions returned by the `metrics` op.
+
+Usage:
+    check_metrics.py RESPONSES.ndjson
+
+Scans an NDJSON response stream from a pipe-mode serve session, extracts
+every response carrying a "metrics" string field, and validates each
+exposition:
+
+  * every sample line belongs to a family announced by a preceding
+    `# TYPE <family> <counter|gauge|histogram>` line (histogram samples
+    match their family through the _bucket/_sum/_count suffixes);
+  * sample values parse as numbers; counter/gauge families have exactly
+    one sample line each;
+  * histogram `le=` labels are strictly increasing finite integers
+    followed by a mandatory `le="+Inf"` line;
+  * histogram bucket values are cumulative (monotone non-decreasing) and
+    the `+Inf` bucket equals the family's `_count` sample;
+  * at least one histogram family is present in every exposition, and at
+    least one exposition is present in the stream.
+
+Exit status 0 = valid, 1 = validation failure, 2 = usage / I/O error.
+Used by the `check_metrics` ctest (ctest -L ci).
+"""
+
+import json
+import sys
+
+TYPES = ("counter", "gauge", "histogram")
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}")
+    return 1
+
+
+def validate_exposition(text, which):
+    families = {}  # name -> type
+    histograms = {}  # family -> {"buckets": [(le, cum)], "count": int|None,
+    #                             "sum": float|None, "inf": int|None}
+    samples = {}  # family -> sample line count (counter/gauge)
+
+    def err(msg):
+        return fail(f"response {which}: {msg}")
+
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in TYPES:
+                return err(f"line {ln}: malformed TYPE line {line!r}")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            return err(f"line {ln}: malformed sample {line!r}")
+        label = None
+        if "{" in name_part:
+            name, rest = name_part.split("{", 1)
+            if not rest.endswith("}"):
+                return err(f"line {ln}: unbalanced labels in {line!r}")
+            label = rest[:-1]
+        else:
+            name = name_part
+        family, series = name, None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families \
+                    and families[name[: -len(suffix)]] == "histogram":
+                family, series = name[: -len(suffix)], suffix
+                break
+        if family not in families:
+            return err(f"line {ln}: sample {name!r} has no TYPE line")
+        ftype = families[family]
+        if ftype == "histogram":
+            h = histograms.setdefault(
+                family, {"buckets": [], "count": None, "sum": None})
+            if series == "_bucket":
+                if not label or not label.startswith('le="') \
+                        or not label.endswith('"'):
+                    return err(f"line {ln}: bucket without le= label")
+                h["buckets"].append((label[4:-1], int(value)))
+            elif series == "_sum":
+                h["sum"] = value
+            elif series == "_count":
+                h["count"] = int(value)
+            else:
+                return err(f"line {ln}: bare sample {name!r} for a "
+                           f"histogram family")
+        else:
+            samples[family] = samples.get(family, 0) + 1
+
+    for family, ftype in families.items():
+        if ftype == "histogram":
+            h = histograms.get(family)
+            if h is None:
+                return err(f"histogram {family!r} announced but has no "
+                           f"samples")
+            if h["count"] is None or h["sum"] is None:
+                return err(f"histogram {family!r} missing _count or _sum")
+            if not h["buckets"] or h["buckets"][-1][0] != "+Inf":
+                return err(f"histogram {family!r} does not end at "
+                           f'le="+Inf"')
+            prev_le, prev_cum = None, 0
+            for le, cum in h["buckets"]:
+                if cum < prev_cum:
+                    return err(f"histogram {family!r}: cumulative count "
+                               f"drops at le={le} ({cum} < {prev_cum})")
+                prev_cum = cum
+                if le == "+Inf":
+                    continue
+                try:
+                    le_val = int(le)
+                except ValueError:
+                    return err(f"histogram {family!r}: non-integer "
+                               f"boundary {le!r}")
+                if prev_le is not None and le_val <= prev_le:
+                    return err(f"histogram {family!r}: le labels not "
+                               f"strictly increasing at {le}")
+                prev_le = le_val
+            if h["buckets"][-1][1] != h["count"]:
+                return err(f"histogram {family!r}: +Inf bucket "
+                           f"{h['buckets'][-1][1]} != _count {h['count']}")
+        else:
+            if samples.get(family, 0) != 1:
+                return err(f"{ftype} {family!r} has "
+                           f"{samples.get(family, 0)} sample lines, "
+                           f"expected 1")
+
+    if not histograms:
+        return err("no histogram family in the exposition")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_metrics: cannot read {argv[1]}: {e}", file=sys.stderr)
+        return 2
+
+    expositions = 0
+    for line in lines:
+        if '"metrics"' not in line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            return fail(f"response line is not valid JSON: {e}")
+        text = obj.get("metrics")
+        if not isinstance(text, str):
+            continue
+        if obj.get("status") != "ok":
+            return fail(f"metrics response status {obj.get('status')!r}")
+        expositions += 1
+        rc = validate_exposition(text, obj.get("id", f"#{expositions}"))
+        if rc:
+            return rc
+
+    if expositions == 0:
+        return fail("no metrics responses in the stream")
+    print(f"check_metrics: OK: {expositions} exposition(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate an encodesat-reqlog-v1 request-log stream.
+
+Usage:
+    check_reqlog.py REQLOG [--min-lines N]
+
+REQLOG may be a captured stderr stream: only lines carrying the
+`"schema":"encodesat-reqlog-v1"` tag are validated (the serve session
+summary and other diagnostics are ignored). Each log line must:
+
+  * parse as one JSON object with schema == "encodesat-reqlog-v1";
+  * carry string fields id, status, disposition, truncation — with
+    status a wire StatusCode name and disposition one of solve, hit,
+    coalesced, rejected, expired, drained;
+  * carry non-negative integer fields queue_us, solve_us, total_us,
+    work, with total_us >= solve_us;
+  * carry a boolean `slow` and an object `counters` mapping names to
+    non-negative integers;
+  * slow lines (and only lines) may carry a `spans` object — the
+    request's stage tree.
+
+At least --min-lines valid lines are required (default 1).
+
+Exit status 0 = valid, 1 = validation failure, 2 = usage / I/O error.
+Used by the `reqlog_smoke` ctest (ctest -L ci).
+"""
+
+import json
+import sys
+
+SCHEMA = "encodesat-reqlog-v1"
+STATUSES = {"ok", "parse_error", "infeasible", "timeout", "canceled",
+            "overloaded", "internal"}
+DISPOSITIONS = {"solve", "hit", "coalesced", "rejected", "expired",
+                "drained"}
+
+
+def fail(msg):
+    print(f"check_reqlog: FAIL: {msg}")
+    return 1
+
+
+def uint(obj, key):
+    v = obj.get(key)
+    return v if isinstance(v, int) and not isinstance(v, bool) and v >= 0 \
+        else None
+
+
+def main(argv):
+    args = []
+    min_lines = 1
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--min-lines":
+            try:
+                min_lines = int(next(it))
+            except (StopIteration, ValueError):
+                print("check_reqlog: --min-lines needs an integer",
+                      file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_reqlog: cannot read {args[0]}: {e}", file=sys.stderr)
+        return 2
+
+    valid = 0
+    dispositions = {}
+    for ln, line in enumerate(lines, 1):
+        if f'"schema":"{SCHEMA}"' not in line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError as e:
+            return fail(f"line {ln}: tagged line is not valid JSON: {e}")
+        if rec.get("schema") != SCHEMA:
+            return fail(f"line {ln}: schema {rec.get('schema')!r}")
+        if not isinstance(rec.get("id"), str):
+            return fail(f"line {ln}: missing id")
+        if rec.get("status") not in STATUSES:
+            return fail(f"line {ln}: status {rec.get('status')!r}")
+        disp = rec.get("disposition")
+        if disp not in DISPOSITIONS:
+            return fail(f"line {ln}: disposition {disp!r}")
+        for key in ("queue_us", "solve_us", "total_us", "work"):
+            if uint(rec, key) is None:
+                return fail(f"line {ln}: {key} missing or not a "
+                            f"non-negative integer")
+        if rec["total_us"] < rec["solve_us"]:
+            return fail(f"line {ln}: total_us {rec['total_us']} < "
+                        f"solve_us {rec['solve_us']}")
+        if not isinstance(rec.get("truncation"), str):
+            return fail(f"line {ln}: missing truncation")
+        if not isinstance(rec.get("slow"), bool):
+            return fail(f"line {ln}: missing boolean slow")
+        counters = rec.get("counters")
+        if not isinstance(counters, dict):
+            return fail(f"line {ln}: counters is not an object")
+        for name, v in counters.items():
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                return fail(f"line {ln}: counter {name!r} value {v!r}")
+        if "spans" in rec:
+            if not rec["slow"]:
+                return fail(f"line {ln}: spans attached to a non-slow "
+                            f"request")
+            if not isinstance(rec["spans"], dict):
+                return fail(f"line {ln}: spans is not an object")
+        valid += 1
+        dispositions[disp] = dispositions.get(disp, 0) + 1
+
+    if valid < min_lines:
+        return fail(f"only {valid} valid log line(s), expected >= "
+                    f"{min_lines}")
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(dispositions.items()))
+    print(f"check_reqlog: OK: {valid} line(s): {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,8 +13,10 @@ Checks:
   * per (pid, tid) the B/E events form a balanced, properly nested
     sequence with matching names — the tracer's drop policy guarantees
     this even when per-thread logs overflow;
-  * otherData.events equals the actual event count (dropped_events is
-    reported, not checked — it depends on capacity);
+  * otherData.events equals the actual event count (dropped_events and
+    dropped_spans are reported, not checked — they depend on capacity;
+    a non-zero dropped_spans prints a warning so truncated traces are
+    visible in CI logs);
   * at least --min-events events are present (default 2: a solve run
     always emits at least the outer "solve" span).
 
@@ -103,6 +105,12 @@ def main(argv):
         return fail(f"otherData.events {declared!r} != actual {len(events)}")
     if len(events) < min_events:
         return fail(f"only {len(events)} event(s), expected >= {min_events}")
+
+    dropped_spans = other.get("dropped_spans", 0)
+    if isinstance(dropped_spans, int) and dropped_spans > 0:
+        print(f"check_trace: WARNING: {dropped_spans} span(s) dropped "
+              f"(per-thread log capacity) — the trace is valid but "
+              f"incomplete")
 
     names = sorted({ev["name"] for ev in events})
     print(f"check_trace: OK: {len(events)} events, "
