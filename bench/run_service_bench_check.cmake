@@ -1,10 +1,13 @@
 # Helper for the service_bench_check test/target (see CMakeLists.txt
 # here): runs bench_service — which itself fails below the 2x warm/cold
-# speedup floor — then compare_bench.py against the committed baseline
-# (wall-time budget + the deterministic cache_misses / cache_reuse
-# counters). Expects BENCH_SERVICE, PYTHON, COMPARE, BASELINE, OUT_JSON.
+# speedup floor and when the TCP churn workload falls below half the
+# unix-socket throughput — then compare_bench.py against the committed
+# baseline (wall-time budget + the deterministic cache_misses /
+# cache_reuse / conns_accepted / conns_reaped counters). Expects
+# BENCH_SERVICE, PYTHON, COMPARE, BASELINE, OUT_JSON.
 execute_process(
-  COMMAND ${BENCH_SERVICE} --reps 2 --check-speedup 2 --out ${OUT_JSON}
+  COMMAND ${BENCH_SERVICE} --reps 2 --check-speedup 2
+          --check-tcp-parity 0.5 --out ${OUT_JSON}
   RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "bench_service exited with ${bench_rc}")

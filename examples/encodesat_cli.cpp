@@ -19,14 +19,19 @@
 //       oracle, cross-checked by the agreement rules of
 //       src/fuzz/differential.h; exits 0 iff zero divergences. --minimize
 //       delta-debugs each divergent case; --out writes reproducer files
-//   encodesat_cli serve       [--socket PATH] [--workers N] [--max-queue N]
-//                             [--default-deadline SECS]
+//   encodesat_cli serve       [--socket PATH | --tcp HOST:PORT]
+//                             [--workers N] [--max-queue N]
+//                             [--default-deadline SECS] [--max-conns N]
+//                             [--idle-timeout SECS] [--max-line-bytes N]
+//                             [--backlog N]
 //       long-running solve service speaking the NDJSON protocol
-//       "encodesat-service-v1" (docs/SERVICE.md) on stdin/stdout, or on a
-//       Unix-domain socket with --socket. All clients share one solve
-//       cache with single-flight coalescing; SIGTERM drains gracefully
-//       (in-flight finishes, queued rejected as overloaded, --cache-save
-//       flushed). --timeout sets the default per-request deadline
+//       "encodesat-service-v1" (docs/SERVICE.md) on stdin/stdout, on a
+//       Unix-domain socket with --socket, or on TCP with --tcp. All
+//       clients share one solve cache with single-flight coalescing;
+//       connections are reaped eagerly as clients disconnect; SIGTERM
+//       drains gracefully (in-flight finishes, queued rejected as
+//       overloaded, --cache-save flushed). --timeout sets the default
+//       per-request deadline
 //
 // Flag parsing: every subcommand consumes the shared table below through
 // parse_common_flag(); only the subcommand-specific flags are parsed in
@@ -159,8 +164,10 @@ int usage(const char* argv0) {
                "       %s fuzz [--seed S] [--cases N] "
                "[--mix default|input|output|extensions|infeasible] "
                "[--minimize] [--out DIR]\n"
-               "       %s serve [--socket PATH] [--workers N] "
-               "[--max-queue N] [--default-deadline SECS]\n"
+               "       %s serve [--socket PATH | --tcp HOST:PORT] "
+               "[--workers N] [--max-queue N] [--default-deadline SECS]\n"
+               "                [--max-conns N] [--idle-timeout SECS] "
+               "[--max-line-bytes N] [--backlog N]\n"
                "                [--reqlog FILE] [--reqlog-sample N] "
                "[--slow-ms N] [--metrics-window SECS]\n"
                "  common flags: [--timeout SECS] [--threads N] "
@@ -589,6 +596,7 @@ int cmd_fuzz(int argc, char** argv) {
 int cmd_serve(int argc, char** argv) {
   CliOptions cli;
   std::string socket_path;
+  std::string tcp_host_port;
   int workers = 2;
   int max_queue = 64;
   double default_deadline = 0;
@@ -596,6 +604,10 @@ int cmd_serve(int argc, char** argv) {
   int reqlog_sample = 1;
   double slow_ms = 0;
   double metrics_window_s = 300;
+  int max_conns = 0;
+  double idle_timeout_s = 0;
+  int max_line_bytes = 1 << 20;
+  int backlog = 128;
   for (int i = 2; i < argc; ++i) {
     const int used = parse_common_flag(argc, argv, i, &cli);
     if (used < 0) return 2;
@@ -605,7 +617,19 @@ int cmd_serve(int argc, char** argv) {
     }
     if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
       socket_path = argv[++i];
-    else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+    else if (!std::strcmp(argv[i], "--tcp") && i + 1 < argc)
+      tcp_host_port = argv[++i];
+    else if (!std::strcmp(argv[i], "--max-conns") && i + 1 < argc) {
+      if (!parse_int("--max-conns", argv[++i], &max_conns)) return 2;
+    } else if (!std::strcmp(argv[i], "--idle-timeout") && i + 1 < argc) {
+      if (!parse_number("--idle-timeout", argv[++i], &idle_timeout_s))
+        return 2;
+    } else if (!std::strcmp(argv[i], "--max-line-bytes") && i + 1 < argc) {
+      if (!parse_int("--max-line-bytes", argv[++i], &max_line_bytes))
+        return 2;
+    } else if (!std::strcmp(argv[i], "--backlog") && i + 1 < argc) {
+      if (!parse_int("--backlog", argv[++i], &backlog)) return 2;
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
       if (!parse_int("--workers", argv[++i], &workers)) return 2;
     } else if (!std::strcmp(argv[i], "--max-queue") && i + 1 < argc) {
       if (!parse_int("--max-queue", argv[++i], &max_queue)) return 2;
@@ -679,11 +703,27 @@ int cmd_serve(int argc, char** argv) {
   scfg.metrics = &metrics;
   scfg.tracer = tracer.get();
   scfg.window = &window;
+  scfg.max_conns = max_conns;
+  scfg.idle_timeout_ms = static_cast<int>(idle_timeout_s * 1000);
+  scfg.max_line_bytes =
+      max_line_bytes < 1 ? 1 : static_cast<std::size_t>(max_line_bytes);
+  scfg.backlog = backlog;
 
+  if (!socket_path.empty() && !tcp_host_port.empty()) {
+    std::fprintf(stderr, "--socket and --tcp are mutually exclusive\n");
+    return 2;
+  }
   Server server(std::move(scfg));
   ScopedDrainSignals signals(&server);
-  const int rc = socket_path.empty() ? server.run_pipe(0, 1)
-                                     : server.run_unix_socket(socket_path);
+  int rc;
+  if (!tcp_host_port.empty())
+    rc = server.run_tcp(tcp_host_port);
+  else if (!socket_path.empty())
+    rc = server.run_unix_socket(socket_path);
+  else
+    rc = server.run_pipe(0, 1);
+  if (rc != 0 && !server.last_error().empty())
+    std::fprintf(stderr, "%s\n", server.last_error().c_str());
   // run_* returns only after the drain: every in-flight solve finished, so
   // the cache is quiescent for --cache-save and the counters are final.
   emit_observability(cli, "serve", nullptr, &metrics, tracer.get());

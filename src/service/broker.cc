@@ -96,6 +96,16 @@ void Broker::log_request(const SolveResponse& resp, const char* disposition,
   cfg_.reqlog->log(rec);
 }
 
+void Broker::log_transport_event(const char* disposition,
+                                 const char* status) {
+  if (!cfg_.reqlog) return;
+  ReqLogRecord rec;
+  rec.status = status;
+  rec.disposition = disposition;
+  rec.error = true;  // always logged, never sampled away
+  cfg_.reqlog->log(rec);
+}
+
 SolveResponse Broker::rejected(const std::string& id, const char* why) {
   SolveResponse resp;
   resp.id = id;

@@ -112,6 +112,14 @@ class Broker {
   /// concurrent callers block until the first drain completes.
   void drain(DrainMode mode);
 
+  /// Transport disposition hook: appends one request-log line for a
+  /// connection-lifecycle event that never produced a SolveRequest — an
+  /// admission rejection at accept time ("conn_busy"), an oversized line
+  /// ("conn_oversized") or an idle close ("conn_idle"). Lifecycle events
+  /// bypass sampling (they are operational errors); no-op without a
+  /// configured request log. Thread-safe.
+  void log_transport_event(const char* disposition, const char* status);
+
   const BrokerConfig& config() const { return cfg_; }
   InFlightTable& single_flight() { return inflight_; }
   /// Requests currently queued (diagnostics; racy by nature).

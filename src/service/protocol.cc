@@ -196,6 +196,16 @@ std::string render_error_response(const std::string& id, StatusCode status,
   return render_response(resp, nullptr);
 }
 
+std::string render_busy_response() {
+  return render_error_response("", StatusCode::kOverloaded, "server busy");
+}
+
+std::string render_oversized_line_response(std::size_t limit_bytes) {
+  return render_error_response(
+      "", StatusCode::kParseError,
+      "request line exceeds " + std::to_string(limit_bytes) + " bytes");
+}
+
 std::string render_stats_response(const std::string& id,
                                   const std::string& telemetry_json) {
   return "{\"id\":" + quoted(id) + ",\"status\":\"ok\",\"stats\":" +
@@ -217,6 +227,7 @@ std::string render_health_response(const std::string& id,
   out += ",\"in_flight\":" + std::to_string(health.in_flight);
   out += ",\"workers\":" + std::to_string(health.workers);
   out += ",\"workers_alive\":" + std::to_string(health.workers_alive);
+  out += ",\"connections\":" + std::to_string(health.connections);
   out += ",\"uptime_us\":" + std::to_string(health.uptime_us);
   out += "}}";
   return out;

@@ -83,6 +83,19 @@ std::string render_response(const SolveResponse& resp,
 std::string render_error_response(const std::string& id, StatusCode status,
                                   const std::string& message);
 
+/// The connection-admission rejection written to a client turned away at
+/// accept time (`--max-conns` reached). No request was read, so the id is
+/// empty:
+///   {"id":"","status":"overloaded","error":{"message":"server busy"}}
+std::string render_busy_response();
+
+/// The response for a connection whose line buffer exceeded
+/// `--max-line-bytes` without a newline. The connection is closed after
+/// this line is flushed; the id is empty (the request never parsed):
+///   {"id":"","status":"parse_error",
+///    "error":{"message":"request line exceeds <limit> bytes"}}
+std::string render_oversized_line_response(std::size_t limit_bytes);
+
 /// The `stats` op reply: embeds a pre-rendered telemetry JSON object.
 std::string render_stats_response(const std::string& id,
                                   const std::string& telemetry_json);
@@ -99,13 +112,16 @@ struct HealthStatus {
   int in_flight = 0;
   int workers = 0;
   int workers_alive = 0;
+  /// Live (accepted, not yet reaped) transport connections; 1 in pipe
+  /// mode while the session is open.
+  int connections = 0;
   std::uint64_t uptime_us = 0;
 };
 
 /// The `health` op reply:
 /// {"id":...,"status":"ok","health":{"state":"serving"|"draining",
 ///  "queue_depth":n,"in_flight":n,"workers":n,"workers_alive":n,
-///  "uptime_us":n}}
+///  "connections":n,"uptime_us":n}}
 std::string render_health_response(const std::string& id,
                                    const HealthStatus& health);
 

@@ -1,18 +1,25 @@
 #include "service/server.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <condition_variable>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,37 +33,50 @@ namespace encodesat {
 
 namespace {
 
+/// Every connection-lifecycle counter the transports can emit, registered
+/// up front (non-fingerprint: they depend on client arrival and timing)
+/// so the telemetry name set does not depend on which paths ran.
+constexpr const char* kConnCounters[] = {
+    "service.conn.accepted",       "service.conn.reaped",
+    "service.conn.rejected_overload", "service.conn.oversized_line",
+    "service.conn.idle_closed",
+};
+
 void set_cloexec(int fd) {
   const int flags = ::fcntl(fd, F_GETFD);
   if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
-/// Full write with EINTR retry; MSG_NOSIGNAL on sockets so a vanished
-/// client is an EPIPE error, not a signal. With `timeout_ms > 0` each
-/// chunk first waits for writability up to that long, so a client that
-/// stops reading (full socket/pipe buffer) bounds the stall instead of
-/// blocking the calling thread forever. False on any write error or
-/// stall past the budget.
+void set_nonblock(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Full write with EINTR/EAGAIN retry; MSG_NOSIGNAL on sockets so a
+/// vanished client is an EPIPE error, not a signal. Each chunk first
+/// waits for writability (up to `timeout_ms` when > 0, else forever), so
+/// connection fds may be non-blocking and a client that stops reading
+/// (full socket/pipe buffer) bounds the stall instead of blocking the
+/// calling thread forever. False on any write error or stall past the
+/// budget.
 bool write_all(int fd, bool is_socket, const std::string& data,
                int timeout_ms) {
   std::size_t off = 0;
   while (off < data.size()) {
-    if (timeout_ms > 0) {
-      struct pollfd pfd = {fd, POLLOUT, 0};
-      const int pr = ::poll(&pfd, 1, timeout_ms);
-      if (pr < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      if (pr == 0) return false;  // stalled client
-      if (pfd.revents & (POLLERR | POLLNVAL)) return false;
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
     }
+    if (pr == 0) return false;  // stalled client
+    if (pfd.revents & (POLLERR | POLLNVAL)) return false;
     const ssize_t n =
         is_socket ? ::send(fd, data.data() + off, data.size() - off,
                            MSG_NOSIGNAL)
                   : ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return false;
     }
     off += static_cast<std::size_t>(n);
@@ -67,14 +87,26 @@ bool write_all(int fd, bool is_socket, const std::string& data,
 }  // namespace
 
 /// One client conversation: allocates a sequence number per request line
-/// (reader thread only) and writes responses back in that order, buffering
-/// out-of-order completions from the broker's workers.
+/// (transport thread only) and writes responses back in that order,
+/// buffering out-of-order completions from the broker's workers.
+///
+/// Lifetime: held by shared_ptr — the transport's connection entry plus
+/// every broker callback still pending for it — so a response delivery
+/// can never race the transport reaping the connection. The drain
+/// handoff: once the transport marks EOF (no more slots will be
+/// allocated), the deliver() that completes the last outstanding slot
+/// fires `on_drained`, and the event loop closes the fd and drops its
+/// reference. The fd is borrowed, never closed here.
 class Server::Session {
  public:
-  Session(int out_fd, bool is_socket, int write_timeout_ms)
-      : fd_(out_fd), socket_(is_socket), write_timeout_ms_(write_timeout_ms) {}
+  Session(int out_fd, bool is_socket, int write_timeout_ms,
+          std::function<void()> on_drained = {})
+      : fd_(out_fd),
+        socket_(is_socket),
+        write_timeout_ms_(write_timeout_ms),
+        on_drained_(std::move(on_drained)) {}
 
-  /// Reader-thread only: the order slot for the next request line.
+  /// Transport thread only: the order slot for the next request line.
   std::uint64_t alloc_seq() { return allocated_++; }
 
   /// Any thread: queues `line` for slot `seq`, then flushes every ready
@@ -85,35 +117,61 @@ class Server::Session {
   /// past write_timeout_ms the session goes dead and output is discarded
   /// (slots still advance so wait_flushed() terminates).
   void deliver(std::uint64_t seq, std::string line) {
-    std::unique_lock<std::mutex> lock(mu_);
-    pending_.emplace(seq, std::move(line));
-    if (writing_) return;  // the active writer will flush this slot
-    writing_ = true;
-    std::string batch;
-    for (;;) {
-      batch.clear();
-      for (auto it = pending_.find(next_to_write_); it != pending_.end();
-           it = pending_.find(next_to_write_)) {
-        if (!dead_) {
-          batch += it->second;
-          batch += '\n';
+    bool drained_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      pending_.emplace(seq, std::move(line));
+      if (writing_) return;  // the active writer will flush this slot
+      writing_ = true;
+      std::string batch;
+      for (;;) {
+        batch.clear();
+        for (auto it = pending_.find(next_to_write_); it != pending_.end();
+             it = pending_.find(next_to_write_)) {
+          if (!dead_) {
+            batch += it->second;
+            batch += '\n';
+          }
+          pending_.erase(it);
+          ++next_to_write_;
         }
-        pending_.erase(it);
-        ++next_to_write_;
+        if (batch.empty()) break;
+        lock.unlock();
+        const bool ok = write_all(fd_, socket_, batch, write_timeout_ms_);
+        lock.lock();
+        if (!ok) dead_ = true;
       }
-      if (batch.empty()) break;
-      lock.unlock();
-      const bool ok = write_all(fd_, socket_, batch, write_timeout_ms_);
-      lock.lock();
-      if (!ok) dead_ = true;
+      writing_ = false;
+      drained_now = eof_ && next_to_write_ == allocated_;
+      cv_.notify_all();
     }
-    writing_ = false;
-    cv_.notify_all();
+    // Fired outside the lock; the hook only pokes the event loop's wake
+    // pipe, and the loop re-checks drained() before reaping.
+    if (drained_now && on_drained_) on_drained_();
+  }
+
+  /// Transport thread only: no further alloc_seq() calls will happen.
+  /// Returns true when the session is already drained (every slot
+  /// written or discarded, no write in flight) — the caller may reap
+  /// immediately; otherwise the finishing deliver() fires `on_drained`.
+  bool mark_eof() {
+    std::lock_guard<std::mutex> lock(mu_);
+    eof_ = true;
+    return !writing_ && next_to_write_ == allocated_;
+  }
+
+  /// True once EOF was marked and every allocated slot has been written
+  /// (or discarded) with no write in flight — safe to close the fd and
+  /// drop the session.
+  bool drained() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return eof_ && !writing_ && next_to_write_ == allocated_;
   }
 
   /// Blocks until every allocated slot has been written (or discarded)
-  /// and no write is in flight. Call after the reader stopped allocating
-  /// and the broker guaranteed a response per slot (i.e. after drain()).
+  /// and no write is in flight. Call after the transport stopped
+  /// allocating and the broker guaranteed a response per slot (i.e.
+  /// after drain()).
   void wait_flushed() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock,
@@ -124,6 +182,7 @@ class Server::Session {
   const int fd_;
   const bool socket_;
   const int write_timeout_ms_;
+  const std::function<void()> on_drained_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::uint64_t allocated_ = 0;
@@ -131,18 +190,23 @@ class Server::Session {
   std::map<std::uint64_t, std::string> pending_;
   bool writing_ = false;  ///< a deliver() call is mid-write, lock dropped
   bool dead_ = false;
+  bool eof_ = false;  ///< no more slots will be allocated
 };
 
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)), broker_(cfg_.broker) {
+  if (cfg_.max_line_bytes < 1) cfg_.max_line_bytes = 1;
+  if (cfg_.backlog < 1) cfg_.backlog = 1;
+  if (cfg_.metrics)
+    for (const char* name : kConnCounters)
+      cfg_.metrics->counter(name, /*in_fingerprint=*/false);
   if (::pipe(signal_pipe_) != 0) {
     signal_pipe_[0] = signal_pipe_[1] = -1;
     return;
   }
   for (const int fd : signal_pipe_) {
     set_cloexec(fd);
-    const int fl = ::fcntl(fd, F_GETFL);
-    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    set_nonblock(fd);
   }
 }
 
@@ -159,8 +223,12 @@ void Server::request_drain() {
   [[maybe_unused]] const ssize_t n = ::write(signal_pipe_[1], &byte, 1);
 }
 
-void Server::handle_line(Session* session, std::uint64_t seq,
-                         const std::string& line) {
+void Server::count_conn(const char* name) {
+  if (cfg_.metrics) cfg_.metrics->counter(name, false)->add(1);
+}
+
+void Server::handle_line(const std::shared_ptr<Session>& session,
+                         std::uint64_t seq, const std::string& line) {
   WireRequest wire;
   std::string perr_msg;
   if (!parse_request(line, &wire, &perr_msg)) {
@@ -187,6 +255,8 @@ void Server::handle_line(Session* session, std::uint64_t seq,
         {"service.in_flight", static_cast<double>(broker_.in_flight())});
     topts.gauges.push_back({"service.workers_alive",
                             static_cast<double>(broker_.workers_alive())});
+    topts.gauges.push_back(
+        {"service.connections", static_cast<double>(live_connections())});
     if (cfg_.window) {
       const std::uint64_t now = broker_.now_us();
       const struct {
@@ -218,6 +288,7 @@ void Server::handle_line(Session* session, std::uint64_t seq,
     health.in_flight = broker_.in_flight();
     health.workers = broker_.config().workers;
     health.workers_alive = broker_.workers_alive();
+    health.connections = live_connections();
     health.uptime_us = broker_.now_us();
     session->deliver(seq, render_health_response(wire.id, health));
     return;
@@ -255,11 +326,43 @@ void Server::handle_line(Session* session, std::uint64_t seq,
                  });
 }
 
+bool Server::consume_lines(const std::shared_ptr<Session>& session,
+                           std::string* buffer) {
+  std::size_t start = 0;
+  for (std::size_t nl; (nl = buffer->find('\n', start)) != std::string::npos;
+       start = nl + 1) {
+    if (nl - start > cfg_.max_line_bytes) {
+      buffer->clear();
+      return false;
+    }
+    std::string line = buffer->substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    handle_line(session, session->alloc_seq(), line);
+  }
+  buffer->erase(0, start);
+  if (buffer->size() > cfg_.max_line_bytes) {
+    buffer->clear();
+    return false;
+  }
+  return true;
+}
+
+void Server::reject_oversized(const std::shared_ptr<Session>& session) {
+  count_conn("service.conn.oversized_line");
+  broker_.log_transport_event("conn_oversized", "parse_error");
+  session->deliver(session->alloc_seq(),
+                   render_oversized_line_response(cfg_.max_line_bytes));
+}
+
 int Server::run_pipe(int in_fd, int out_fd) {
   if (signal_pipe_[0] < 0) return -1;
-  Session session(out_fd, /*is_socket=*/false, cfg_.write_timeout_ms);
+  auto session = std::make_shared<Session>(out_fd, /*is_socket=*/false,
+                                           cfg_.write_timeout_ms);
+  live_conns_.store(1, std::memory_order_relaxed);
   std::string buffer;
   bool signaled = false;
+  bool oversized = false;
   char chunk[65536];
   for (;;) {
     struct pollfd fds[2] = {{in_fd, POLLIN, 0}, {signal_pipe_[0], POLLIN, 0}};
@@ -279,110 +382,325 @@ int Server::run_pipe(int in_fd, int out_fd) {
     }
     if (n == 0) break;  // EOF: finish everything queued
     buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
-         start = nl + 1) {
-      std::string line = buffer.substr(start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      handle_line(&session, session.alloc_seq(), line);
+    if (!consume_lines(session, &buffer)) {
+      // A newline-less flood past the cap ends the session like EOF:
+      // answer with the oversized shape, stop reading, finish queued.
+      reject_oversized(session);
+      oversized = true;
+      break;
     }
-    buffer.erase(0, start);
   }
-  if (!signaled && !buffer.empty()) {
+  if (!signaled && !oversized && !buffer.empty()) {
     // Final line without a trailing newline still counts.
     if (buffer.back() == '\r') buffer.pop_back();
     if (!buffer.empty())
-      handle_line(&session, session.alloc_seq(), buffer);
+      handle_line(session, session->alloc_seq(), buffer);
   }
   broker_.drain(signaled ? DrainMode::kRejectQueued
                          : DrainMode::kFinishQueued);
-  session.wait_flushed();
+  session->wait_flushed();
+  live_conns_.store(0, std::memory_order_relaxed);
   return 0;
 }
 
-int Server::run_unix_socket(const std::string& path) {
-  if (signal_pipe_[0] < 0) return -1;
-  sockaddr_un addr{};
-  if (path.size() >= sizeof addr.sun_path) return -1;
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) return -1;
+int Server::run_listener(int listen_fd, const std::string& unlink_path) {
   set_cloexec(listen_fd);
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd, 16) != 0) {
+  set_nonblock(listen_fd);
+  int wake[2];
+  if (::pipe(wake) != 0) {
     ::close(listen_fd);
+    last_error_ = "cannot create wake pipe";
     return -1;
   }
+  for (const int fd : wake) {
+    set_cloexec(fd);
+    set_nonblock(fd);
+  }
 
+  using Clock = std::chrono::steady_clock;
   struct Conn {
-    int fd;
-    std::unique_ptr<Session> session;
-    std::thread reader;
+    std::shared_ptr<Session> session;
+    std::string buffer;
+    bool eof = false;  ///< stop reading; reap once the session drained
+    Clock::time_point last_activity;
   };
-  std::mutex conns_mu;
-  std::vector<Conn> conns;
+  // Keyed by fd; an fd is erased (and only then closed) before it could
+  // ever be reused by a new accept, so keys never alias.
+  std::map<int, Conn> conns;
 
+  const auto reap = [&](int fd) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    ::close(fd);
+    conns.erase(it);
+    live_conns_.fetch_sub(1, std::memory_order_relaxed);
+    count_conn("service.conn.reaped");
+  };
+  // Transition a connection into the no-more-reads state; reaps right
+  // away when nothing is pending (the common churn case), otherwise the
+  // final deliver() pokes the wake pipe.
+  const auto end_reads = [&](int fd, Conn& conn) {
+    conn.eof = true;
+    if (conn.session->mark_eof()) reap(fd);
+  };
+
+  char chunk[65536];
+  std::vector<struct pollfd> fds;
   for (;;) {
-    struct pollfd fds[2] = {{listen_fd, POLLIN, 0},
-                            {signal_pipe_[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
+    fds.clear();
+    fds.push_back({listen_fd, POLLIN, 0});
+    fds.push_back({signal_pipe_[0], POLLIN, 0});
+    fds.push_back({wake[0], POLLIN, 0});
+    for (const auto& [fd, conn] : conns)
+      if (!conn.eof) fds.push_back({fd, POLLIN, 0});
+
+    int timeout_ms = -1;
+    if (cfg_.idle_timeout_ms > 0) {
+      const auto now = Clock::now();
+      for (const auto& [fd, conn] : conns) {
+        if (conn.eof) continue;
+        const auto deadline =
+            conn.last_activity + std::chrono::milliseconds(cfg_.idle_timeout_ms);
+        const long long left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count();
+        const int left_ms =
+            left < 1 ? 1 : static_cast<int>(std::min<long long>(left, INT_MAX));
+        if (timeout_ms < 0 || left_ms < timeout_ms) timeout_ms = left_ms;
+      }
+    }
+
+    const int pr = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (pr < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (fds[1].revents & POLLIN) break;  // drain requested
-    if (!(fds[0].revents & POLLIN)) continue;
-    const int cfd = ::accept(listen_fd, nullptr, nullptr);
-    if (cfd < 0) continue;
-    set_cloexec(cfd);
-    std::lock_guard<std::mutex> lock(conns_mu);
-    conns.push_back(Conn{cfd,
-                         std::make_unique<Session>(cfd, /*is_socket=*/true,
-                                                   cfg_.write_timeout_ms),
-                         {}});
-    Conn& conn = conns.back();
-    Session* session = conn.session.get();
-    conn.reader = std::thread([this, cfd, session] {
-      std::string buffer;
-      char chunk[65536];
-      for (;;) {
-        const ssize_t n = ::read(cfd, chunk, sizeof chunk);
-        if (n < 0 && errno == EINTR) continue;
-        if (n <= 0) break;
-        buffer.append(chunk, static_cast<std::size_t>(n));
-        std::size_t start = 0;
-        for (std::size_t nl;
-             (nl = buffer.find('\n', start)) != std::string::npos;
-             start = nl + 1) {
-          std::string line = buffer.substr(start, nl - start);
-          if (!line.empty() && line.back() == '\r') line.pop_back();
-          if (line.empty()) continue;
-          handle_line(session, session->alloc_seq(), line);
-        }
-        buffer.erase(0, start);
+
+    if (fds[2].revents & POLLIN) {
+      // Deliver-then-reap handoff: a worker finished the last response of
+      // an EOF'd connection. Drain the wake bytes, then reap everything
+      // drained (the check is authoritative, the byte just a doorbell).
+      char drainbuf[256];
+      while (::read(wake[0], drainbuf, sizeof drainbuf) > 0) {
       }
-      // Client stopped sending; responses for what it did send still
-      // flow. The fd is closed at server teardown (never here — the fd
-      // number must stay reserved so it cannot alias a newer connection).
-    });
+      std::vector<int> done;
+      for (const auto& [fd, conn] : conns)
+        if (conn.eof && conn.session->drained()) done.push_back(fd);
+      for (const int fd : done) reap(fd);
+    }
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int cfd = ::accept(listen_fd, nullptr, nullptr);
+        if (cfd < 0) break;  // EAGAIN, or a transient accept error
+        set_cloexec(cfd);
+        set_nonblock(cfd);
+        if (cfg_.max_conns > 0 &&
+            static_cast<int>(conns.size()) >= cfg_.max_conns) {
+          // Admission: deterministic busy line, then close. Never gets a
+          // Session, so it costs nothing beyond this write.
+          count_conn("service.conn.rejected_overload");
+          broker_.log_transport_event("conn_busy", "overloaded");
+          write_all(cfd, /*is_socket=*/true, render_busy_response() + "\n",
+                    /*timeout_ms=*/50);
+          ::close(cfd);
+          continue;
+        }
+        count_conn("service.conn.accepted");
+        live_conns_.fetch_add(1, std::memory_order_relaxed);
+        Conn conn;
+        conn.last_activity = Clock::now();
+        const int wake_fd = wake[1];
+        conn.session = std::make_shared<Session>(
+            cfd, /*is_socket=*/true, cfg_.write_timeout_ms, [wake_fd] {
+              const char byte = 'r';
+              [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+            });
+        conns.emplace(cfd, std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 3; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const int fd = fds[i].fd;
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;  // reaped this round
+      Conn& conn = it->second;
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK))
+        continue;
+      if (n <= 0) {
+        // Client stopped sending (EOF or error); responses for what it
+        // did send still flow, then the connection is reaped.
+        end_reads(fd, conn);
+        continue;
+      }
+      conn.buffer.append(chunk, static_cast<std::size_t>(n));
+      conn.last_activity = Clock::now();
+      if (!consume_lines(conn.session, &conn.buffer)) {
+        reject_oversized(conn.session);
+        ::shutdown(fd, SHUT_RD);
+        end_reads(fd, conn);
+      }
+    }
+
+    if (cfg_.idle_timeout_ms > 0) {
+      const auto now = Clock::now();
+      std::vector<int> idle;
+      for (const auto& [fd, conn] : conns)
+        if (!conn.eof &&
+            now - conn.last_activity >=
+                std::chrono::milliseconds(cfg_.idle_timeout_ms))
+          idle.push_back(fd);
+      for (const int fd : idle) {
+        Conn& conn = conns.at(fd);
+        count_conn("service.conn.idle_closed");
+        broker_.log_transport_event("conn_idle", "ok");
+        ::shutdown(fd, SHUT_RD);
+        end_reads(fd, conn);
+      }
+    }
   }
 
   ::close(listen_fd);
-  ::unlink(path.c_str());
-  // Answer or reject everything accepted, then unblock any readers still
-  // waiting on quiet clients and flush per-connection output.
+  if (!unlink_path.empty()) ::unlink(unlink_path.c_str());
+  // Answer or reject everything accepted, then flush each remaining
+  // connection's output and reap it. After drain() every submitted
+  // request's callback has fired, so wait_flushed() terminates.
   broker_.drain(DrainMode::kRejectQueued);
-  std::lock_guard<std::mutex> lock(conns_mu);
-  for (Conn& conn : conns) ::shutdown(conn.fd, SHUT_RD);
-  for (Conn& conn : conns) {
-    if (conn.reader.joinable()) conn.reader.join();
-    conn.session->wait_flushed();
-    ::close(conn.fd);
+  for (auto& [fd, conn] : conns) {
+    ::shutdown(fd, SHUT_RD);
+    conn.session->mark_eof();
   }
+  for (auto& [fd, conn] : conns) {
+    conn.session->wait_flushed();
+    ::close(fd);
+    live_conns_.fetch_sub(1, std::memory_order_relaxed);
+    count_conn("service.conn.reaped");
+  }
+  conns.clear();
+  for (const int fd : wake) ::close(fd);
   return 0;
+}
+
+int Server::run_unix_socket(const std::string& path) {
+  last_error_.clear();
+  if (signal_pipe_[0] < 0) {
+    last_error_ = "signal pipe unavailable";
+    return -1;
+  }
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    last_error_ = "socket path too long: " + path;
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  // Never silently delete a live server's socket: probe-connect first.
+  // Only a stale path (nothing accepting behind it) is unlinked.
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      last_error_ = "refusing to replace non-socket path " + path;
+      return -1;
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const int rc = ::connect(
+          probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+      ::close(probe);
+      if (rc == 0) {
+        last_error_ = "socket path " + path + " is in use by a live server";
+        return -1;
+      }
+    }
+    ::unlink(path.c_str());
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    last_error_ = std::string("cannot create socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, cfg_.backlog) != 0) {
+    last_error_ = "cannot bind " + path + ": " + std::strerror(errno);
+    ::close(listen_fd);
+    return -1;
+  }
+  return run_listener(listen_fd, path);
+}
+
+int Server::run_tcp(const std::string& host_port) {
+  last_error_.clear();
+  if (signal_pipe_[0] < 0) {
+    last_error_ = "signal pipe unavailable";
+    return -1;
+  }
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= host_port.size()) {
+    last_error_ = "--tcp expects HOST:PORT, got '" + host_port + "'";
+    return -1;
+  }
+  std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+    host = host.substr(1, host.size() - 2);  // "[::1]:80" -> "::1"
+
+  struct addrinfo hints {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                port.c_str(), &hints, &res);
+  if (gai != 0) {
+    last_error_ =
+        "cannot resolve " + host_port + ": " + ::gai_strerror(gai);
+    return -1;
+  }
+  int listen_fd = -1;
+  std::string bind_err = "no usable address";
+  for (const addrinfo* ai = res; ai; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      bind_err = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, cfg_.backlog) == 0) {
+      listen_fd = fd;
+      break;
+    }
+    bind_err = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (listen_fd < 0) {
+    last_error_ = "cannot bind " + host_port + ": " + bind_err;
+    return -1;
+  }
+  sockaddr_storage bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+      0) {
+    if (bound.ss_family == AF_INET)
+      bound_port_.store(
+          ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port),
+          std::memory_order_release);
+    else if (bound.ss_family == AF_INET6)
+      bound_port_.store(
+          ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port),
+          std::memory_order_release);
+  }
+  return run_listener(listen_fd, /*unlink_path=*/"");
 }
 
 namespace {

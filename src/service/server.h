@@ -1,14 +1,48 @@
 // Transports for the solve service (`encodesat serve`).
 //
-// Two NDJSON transports over one Broker:
+// Three NDJSON transports over one Broker:
 //
 //  * run_pipe(in_fd, out_fd) — one session over a pair of byte streams
 //    (stdin/stdout in the CLI; pipe pairs in tests). Ends on EOF, which
 //    drains kFinishQueued: everything already read is answered.
-//  * run_unix_socket(path) — a listening Unix-domain socket, one reader
-//    thread and one Session per connection.
+//  * run_unix_socket(path) — a listening Unix-domain socket.
+//  * run_tcp(host_port) — a listening TCP socket ("HOST:PORT", IPv4 or
+//    IPv6, SO_REUSEADDR; port 0 picks an ephemeral port, readable via
+//    bound_port()).
 //
-// Both loops poll a self-pipe alongside their input fd. request_drain()
+// Both listeners share one connection-lifecycle event loop: a single
+// thread poll()s {listen fd, signal pipe, wake pipe, every live
+// connection fd}, reads non-blocking, parses NDJSON lines in place and
+// dispatches them into the broker. There are no per-connection reader
+// threads; a connection is three fields of state (fd, Session, read
+// buffer) and is **reaped eagerly** — the moment its client is gone and
+// its last response was written, the fd is closed and the Session freed,
+// so a long-running server under client churn holds resources
+// proportional to *live* connections, never to connections ever accepted.
+//
+// Lifecycle edges, all observable as `service.conn.*` counters and as
+// the `connections` gauge in the `health`/`metrics` ops:
+//
+//  * Admission (`max_conns`): a connection accepted past the cap is
+//    answered with one "server busy" overloaded line and closed
+//    immediately — it never gets a Session.
+//  * Line cap (`max_line_bytes`): a client that streams bytes without a
+//    newline past the cap gets one parse_error line, then its
+//    connection is closed (after every pending response flushed).
+//  * Idle timeout (`idle_timeout_ms`): a connection with no client bytes
+//    for that long is closed once its pending responses flushed.
+//  * EOF / client error: the connection stops reading; responses for
+//    requests already read still flow, then the connection is reaped.
+//
+// Reaping preserves the in-order response guarantee via a
+// deliver-then-reap handoff: broker workers deliver responses through
+// the connection's Session (in request order, as before); the delivery
+// that completes the last outstanding slot of an EOF'd connection
+// notifies the event loop over the wake pipe, and the *loop* — never a
+// worker — closes the fd and drops the Session. Workers hold the Session
+// by shared_ptr, so a response in flight can never race the reap.
+//
+// Both loops poll a self-pipe alongside their input fds. request_drain()
 // (async-signal-safe; ScopedDrainSignals routes SIGTERM/SIGINT to it)
 // makes the loop stop reading and drain kRejectQueued: in-flight solves
 // finish and are answered, queued requests complete as `overloaded`,
@@ -26,7 +60,9 @@
 // other requests beyond the ordering it asked for.
 #pragma once
 
+#include <atomic>
 #include <csignal>
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -52,6 +88,20 @@ struct ServerConfig {
   /// wedging a broker worker (and with it the SIGTERM drain, which joins
   /// the workers). <= 0 waits forever.
   int write_timeout_ms = 10000;
+  /// listen(2) backlog for the socket transports (`--backlog`).
+  int backlog = 128;
+  /// Admission cap on live connections (`--max-conns`); a connection
+  /// accepted past the cap is answered "server busy" and closed.
+  /// 0 = unlimited.
+  int max_conns = 0;
+  /// Per-connection line-buffer cap (`--max-line-bytes`): a client that
+  /// sends this many bytes without a newline gets a parse_error and its
+  /// connection closed. Applies to pipe mode too (the session ends as if
+  /// on EOF). Must be >= 1.
+  std::size_t max_line_bytes = 1u << 20;
+  /// Close connections with no client bytes for this long
+  /// (`--idle-timeout`); 0 disables. Socket transports only.
+  int idle_timeout_ms = 0;
 };
 
 class Server {
@@ -67,9 +117,19 @@ class Server {
   /// when the server's own plumbing failed (never for client errors).
   int run_pipe(int in_fd, int out_fd);
 
-  /// Binds `path` (unlinking any stale socket first), accepts connections
-  /// until request_drain(). Returns 0, or -1 on bind/listen failure.
+  /// Binds `path` and serves connections until request_drain(). A stale
+  /// socket file (no listener behind it) is unlinked and replaced; a
+  /// *live* one — probed with a connect before any unlink — is refused,
+  /// so starting a second server cannot delete a running server's
+  /// socket. Returns 0, or -1 on failure (see last_error()).
   int run_unix_socket(const std::string& path);
+
+  /// Binds "HOST:PORT" (IPv4, IPv6 as "[::1]:PORT", empty host = all
+  /// interfaces, port 0 = ephemeral) with SO_REUSEADDR and serves
+  /// connections until request_drain() — the same event loop, reaping,
+  /// caps and drain semantics as the Unix-socket transport. Returns 0,
+  /// or -1 on failure (see last_error()).
+  int run_tcp(const std::string& host_port);
 
   /// Makes the running transport loop stop accepting input and drain
   /// kRejectQueued. Async-signal-safe (writes one byte to a self-pipe);
@@ -78,17 +138,51 @@ class Server {
 
   Broker& broker() { return broker_; }
 
+  /// The TCP listen port once run_tcp has bound (0 before); the way a
+  /// caller using port 0 learns the ephemeral port.
+  int bound_port() const { return bound_port_.load(std::memory_order_acquire); }
+
+  /// Live (accepted, not yet reaped) connections — the `connections`
+  /// gauge. 1 in pipe mode while the session is open.
+  int live_connections() const {
+    return live_conns_.load(std::memory_order_relaxed);
+  }
+
+  /// Diagnostic for the last run_* that returned -1 ("socket path X is in
+  /// use by a live server", "cannot bind HOST:PORT: ...", ...).
+  const std::string& last_error() const { return last_error_; }
+
  private:
   class Session;
 
   /// Dispatches one request line into the broker (or answers protocol
   /// errors / the stats op directly). `seq` orders the response.
-  void handle_line(Session* session, std::uint64_t seq,
+  void handle_line(const std::shared_ptr<Session>& session, std::uint64_t seq,
                    const std::string& line);
+
+  /// The shared listener event loop (see the file comment). Owns and
+  /// closes `listen_fd`; `path` is unlinked on exit when non-empty.
+  int run_listener(int listen_fd, const std::string& unlink_path);
+
+  /// Extracts complete lines from `*buffer` (stripping \r, skipping
+  /// blanks) and dispatches each through handle_line. Returns false when
+  /// a line — or the unterminated remainder — exceeds max_line_bytes;
+  /// the caller answers with the oversized shape and ends the session.
+  bool consume_lines(const std::shared_ptr<Session>& session,
+                     std::string* buffer);
+
+  /// Counts + logs the oversized-line event and delivers its parse_error
+  /// response through the session (in order, like any response).
+  void reject_oversized(const std::shared_ptr<Session>& session);
+
+  void count_conn(const char* name);
 
   ServerConfig cfg_;
   Broker broker_;
   int signal_pipe_[2] = {-1, -1};
+  std::atomic<int> bound_port_{0};
+  std::atomic<int> live_conns_{0};
+  std::string last_error_;
 };
 
 /// Routes SIGTERM and SIGINT to server->request_drain() for its lifetime

@@ -9,13 +9,18 @@
 // "coalesced > 0".
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -960,6 +965,450 @@ TEST(ServiceBroker, RequestLogRecordsDispositionsAndLatencies) {
   }
   EXPECT_EQ(solve_lines, 2);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------ socket transports ----
+
+std::string temp_socket_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// The server binds on another thread; retry until its listener is up.
+int connect_unix_retry(const std::string& path) {
+  for (int i = 0; i < 5000; ++i) {
+    const int fd = connect_unix(path);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return -1;
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Waits for run_tcp (on another thread) to publish its ephemeral port.
+int wait_bound_port(const Server& server) {
+  for (int i = 0; i < 5000 && server.bound_port() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return server.bound_port();
+}
+
+void wait_no_connections(const Server& server) {
+  for (int i = 0; i < 5000 && server.live_connections() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+int count_open_fds() {
+  int n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++n;
+  return n;
+}
+
+constexpr const char kSolveLine[] =
+    "{\"id\":\"r\",\"constraints\":\"face a b c\\ndominance a b\"}\n";
+
+TEST(ServiceServer, UnixChurnReapsEagerlyAndFdsReturnToBaseline) {
+  // The regression this PR fixes: the old transport kept every
+  // {fd, session, thread} triple until teardown, so connect/disconnect
+  // churn grew resources without bound. Now a reap follows each
+  // disconnect: after N churn cycles the process fd count is back at
+  // the post-first-cycle baseline and accepted == reaped.
+  const std::string path = temp_socket_path("encodesat_churn.sock");
+  std::remove(path.c_str());
+  MetricsRegistry metrics;
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 2;
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_unix_socket(path), 0); });
+
+  const auto cycle = [&] {
+    const int fd = connect_unix_retry(path);
+    ASSERT_GE(fd, 0);
+    write_str(fd, kSolveLine);
+    const std::string resp = read_line(fd);
+    EXPECT_NE(resp.find("\"status\":\"ok\""), std::string::npos) << resp;
+    ::close(fd);
+  };
+  // Baseline after one full cycle (listener up, cache warm, conn reaped).
+  cycle();
+  wait_no_connections(server);
+  ASSERT_EQ(server.live_connections(), 0);
+  const int fd_baseline = count_open_fds();
+
+  constexpr int kCycles = 200;
+  for (int i = 0; i < kCycles; ++i) cycle();
+  wait_no_connections(server);
+  EXPECT_EQ(server.live_connections(), 0);
+  EXPECT_EQ(count_open_fds(), fd_baseline)
+      << "connection churn leaked file descriptors";
+  EXPECT_EQ(metrics.counter("service.conn.accepted", false)->value(),
+            static_cast<std::uint64_t>(kCycles) + 1);
+  EXPECT_EQ(metrics.counter("service.conn.reaped", false)->value(),
+            static_cast<std::uint64_t>(kCycles) + 1);
+
+  server.request_drain();
+  serving.join();
+  EXPECT_EQ(metrics.counter("service.conn.reaped", false)->value(),
+            metrics.counter("service.conn.accepted", false)->value());
+}
+
+TEST(ServiceServer, OversizedSocketLineAnswersParseErrorAndCloses) {
+  const std::string path = temp_socket_path("encodesat_oversize.sock");
+  std::remove(path.c_str());
+  MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  cfg.max_line_bytes = 64;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_unix_socket(path), 0); });
+
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0);
+  // 200 bytes, no newline in sight: past the cap the server must not
+  // buffer on — one parse_error line, then the connection closes.
+  write_str(fd, std::string(200, 'x'));
+  const std::string resp = read_line(fd);
+  EXPECT_NE(resp.find("\"status\":\"parse_error\""), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("request line exceeds 64 bytes"), std::string::npos)
+      << resp;
+  EXPECT_EQ(read_all(fd), "") << "connection must close after the error";
+  ::close(fd);
+  wait_no_connections(server);
+  EXPECT_EQ(metrics.counter("service.conn.oversized_line", false)->value(),
+            1u);
+
+  server.request_drain();
+  serving.join();
+}
+
+TEST(ServiceServer, PipeModeOversizedLineEndsSessionWithParseError) {
+  PipePair req_pipe, resp_pipe;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.max_line_bytes = 64;
+  Server server(cfg);
+  std::thread serving([&] {
+    EXPECT_EQ(server.run_pipe(req_pipe.read_end(), resp_pipe.write_end()), 0);
+    ::close(resp_pipe.fds[1]);
+    resp_pipe.fds[1] = -1;
+  });
+  write_str(req_pipe.write_end(), std::string(200, 'x') + "\n");
+  const std::string out = read_all(resp_pipe.read_end());
+  serving.join();
+  EXPECT_NE(out.find("\"status\":\"parse_error\""), std::string::npos) << out;
+  EXPECT_NE(out.find("request line exceeds 64 bytes"), std::string::npos)
+      << out;
+  req_pipe.close_write();
+}
+
+TEST(ServiceServer, MaxConnsRejectsWithDeterministicBusyLine) {
+  const std::string path = temp_socket_path("encodesat_busy.sock");
+  std::remove(path.c_str());
+  MetricsRegistry metrics;
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  cfg.max_conns = 1;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_unix_socket(path), 0); });
+
+  const int first = connect_unix_retry(path);
+  ASSERT_GE(first, 0);
+  // A full round trip pins the first connection in the server's table
+  // before the second connect, making the rejection deterministic.
+  write_str(first, kSolveLine);
+  EXPECT_NE(read_line(first).find("\"status\":\"ok\""), std::string::npos);
+
+  const int second = connect_unix(path);
+  ASSERT_GE(second, 0);
+  const std::string busy = read_line(second);
+  EXPECT_EQ(busy,
+            "{\"id\":\"\",\"status\":\"overloaded\","
+            "\"error\":{\"message\":\"server busy\"}}");
+  EXPECT_EQ(read_all(second), "") << "rejected connection must close";
+  ::close(second);
+  EXPECT_EQ(
+      metrics.counter("service.conn.rejected_overload", false)->value(), 1u);
+
+  // The admitted connection still works after the rejection.
+  write_str(first, kSolveLine);
+  EXPECT_NE(read_line(first).find("\"status\":\"ok\""), std::string::npos);
+  ::close(first);
+  server.request_drain();
+  serving.join();
+}
+
+TEST(ServiceServer, IdleTimeoutClosesSilentConnections) {
+  const std::string path = temp_socket_path("encodesat_idle.sock");
+  std::remove(path.c_str());
+  MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  cfg.idle_timeout_ms = 50;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_unix_socket(path), 0); });
+
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0);
+  // Say nothing; the server hangs up (EOF below) once the timeout fires.
+  EXPECT_EQ(read_all(fd), "");
+  ::close(fd);
+  wait_no_connections(server);
+  EXPECT_EQ(metrics.counter("service.conn.idle_closed", false)->value(), 1u);
+  EXPECT_EQ(server.live_connections(), 0);
+
+  server.request_drain();
+  serving.join();
+}
+
+TEST(ServiceServer, RefusesLiveSocketReplacesStaleRejectsNonSocket) {
+  const std::string path = temp_socket_path("encodesat_probe.sock");
+  std::remove(path.c_str());
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+
+  // Live: a second server must not steal (unlink) the first one's socket.
+  Server first(cfg);
+  std::thread serving([&] { EXPECT_EQ(first.run_unix_socket(path), 0); });
+  const int probe = connect_unix_retry(path);
+  ASSERT_GE(probe, 0);
+  {
+    Server second(cfg);
+    EXPECT_EQ(second.run_unix_socket(path), -1);
+    EXPECT_NE(second.last_error().find("in use by a live server"),
+              std::string::npos)
+        << second.last_error();
+  }
+  ::close(probe);
+  first.request_drain();
+  serving.join();
+
+  // Stale: a socket file with no listener behind it is unlinked and
+  // replaced. (run_listener unlinks on exit, so fabricate one.)
+  {
+    const int dead = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(dead, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(dead, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    ::close(dead);  // bound but never listening: probe-connect refuses
+  }
+  Server replacing(cfg);
+  std::thread serving2([&] { EXPECT_EQ(replacing.run_unix_socket(path), 0); });
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0);
+  write_str(fd, kSolveLine);
+  EXPECT_NE(read_line(fd).find("\"status\":\"ok\""), std::string::npos);
+  ::close(fd);
+  replacing.request_drain();
+  serving2.join();
+
+  // Non-socket: never unlink a path that is not a socket at all.
+  const std::string file_path = temp_socket_path("encodesat_probe.txt");
+  { std::ofstream(file_path) << "precious\n"; }
+  Server refused(cfg);
+  EXPECT_EQ(refused.run_unix_socket(file_path), -1);
+  EXPECT_NE(refused.last_error().find("refusing to replace non-socket"),
+            std::string::npos)
+      << refused.last_error();
+  std::ifstream still_there(file_path);
+  EXPECT_TRUE(still_there.good());
+  std::remove(file_path.c_str());
+}
+
+// ------------------------------------------------------ TCP transport --
+
+TEST(ServiceTcp, MultiClientPipelinedSolvesAnswerInOrder) {
+  MetricsRegistry metrics;
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 4;
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_tcp("127.0.0.1:0"), 0); });
+  const int port = wait_bound_port(server);
+  ASSERT_GT(port, 0);
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      const int fd = connect_tcp(port);
+      if (fd < 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string tag = "c" + std::to_string(c);
+      // Two pipelined requests; responses must come back in send order
+      // even though the broker completes them on any worker.
+      std::string batch;
+      for (int r = 0; r < 2; ++r)
+        batch += "{\"id\":\"" + tag + "r" + std::to_string(r) +
+                 "\",\"constraints\":\"face a b c\\ndominance a b\"}\n";
+      ::write(fd, batch.data(), batch.size());
+      for (int r = 0; r < 2; ++r) {
+        const std::string line = read_line(fd);
+        if (line.find("\"id\":\"" + tag + "r" + std::to_string(r) +
+                      "\",\"status\":\"ok\"") == std::string::npos)
+          failures.fetch_add(1);
+      }
+      ::close(fd);
+    });
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  wait_no_connections(server);
+  server.request_drain();
+  serving.join();
+  EXPECT_EQ(metrics.counter("service.conn.accepted", false)->value(),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(metrics.counter("service.conn.reaped", false)->value(),
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(ServiceTcp, MaxConnsRejectionMatchesUnixShape) {
+  MetricsRegistry metrics;
+  SolveCache cache;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.cache = &cache;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  cfg.max_conns = 1;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_tcp("127.0.0.1:0"), 0); });
+  const int port = wait_bound_port(server);
+  ASSERT_GT(port, 0);
+
+  const int first = connect_tcp(port);
+  ASSERT_GE(first, 0);
+  write_str(first, kSolveLine);
+  EXPECT_NE(read_line(first).find("\"status\":\"ok\""), std::string::npos);
+  const int second = connect_tcp(port);
+  ASSERT_GE(second, 0);
+  EXPECT_EQ(read_line(second),
+            "{\"id\":\"\",\"status\":\"overloaded\","
+            "\"error\":{\"message\":\"server busy\"}}");
+  EXPECT_EQ(read_all(second), "");
+  ::close(second);
+  ::close(first);
+  server.request_drain();
+  serving.join();
+  EXPECT_EQ(
+      metrics.counter("service.conn.rejected_overload", false)->value(), 1u);
+}
+
+TEST(ServiceTcp, IdleTimeoutClosesSilentConnection) {
+  MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  cfg.idle_timeout_ms = 50;
+  Server server(cfg);
+  std::thread serving([&] { EXPECT_EQ(server.run_tcp("127.0.0.1:0"), 0); });
+  const int port = wait_bound_port(server);
+  ASSERT_GT(port, 0);
+
+  const int fd = connect_tcp(port);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(read_all(fd), "") << "idle connection must be hung up";
+  ::close(fd);
+  wait_no_connections(server);
+  EXPECT_EQ(metrics.counter("service.conn.idle_closed", false)->value(), 1u);
+  server.request_drain();
+  serving.join();
+}
+
+TEST(ServiceTcp, SigtermDrainFlushesAcceptedResponses) {
+  // The graceful-drain contract over TCP: a response in flight when
+  // SIGTERM lands is still written before the server exits.
+  Gate gate;
+  MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  cfg.broker.metrics = &metrics;
+  cfg.metrics = &metrics;
+  cfg.broker.solve_fn = [&](const SolveRequest& req) {
+    gate.entered.fetch_add(1);
+    gate.wait_open();
+    return solve(req);
+  };
+  Server server(cfg);
+  ScopedDrainSignals signals(&server);
+  std::thread serving([&] { EXPECT_EQ(server.run_tcp("127.0.0.1:0"), 0); });
+  const int port = wait_bound_port(server);
+  ASSERT_GT(port, 0);
+
+  const int fd = connect_tcp(port);
+  ASSERT_GE(fd, 0);
+  write_str(fd, kSolveLine);
+  gate.wait_entered(1);  // the request is on the worker
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+  gate.release();
+  const std::string resp = read_line(fd);
+  EXPECT_NE(resp.find("\"id\":\"r\",\"status\":\"ok\""), std::string::npos)
+      << resp;
+  EXPECT_EQ(read_all(fd), "") << "server closes the connection after drain";
+  ::close(fd);
+  serving.join();
+  EXPECT_EQ(metrics.counter("service.conn.reaped", false)->value(),
+            metrics.counter("service.conn.accepted", false)->value());
+}
+
+TEST(ServiceTcp, RejectsUnparseableHostPort) {
+  ServerConfig cfg;
+  cfg.broker.workers = 1;
+  Server server(cfg);
+  EXPECT_EQ(server.run_tcp("127.0.0.1"), -1);
+  EXPECT_NE(server.last_error().find("expects HOST:PORT"),
+            std::string::npos)
+      << server.last_error();
 }
 
 }  // namespace

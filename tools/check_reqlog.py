@@ -32,7 +32,11 @@ SCHEMA = "encodesat-reqlog-v1"
 STATUSES = {"ok", "parse_error", "infeasible", "timeout", "canceled",
             "overloaded", "internal"}
 DISPOSITIONS = {"solve", "hit", "coalesced", "rejected", "expired",
-                "drained"}
+                "drained",
+                # Connection-lifecycle events (no solve behind them):
+                # admission rejection at accept, oversized request line,
+                # idle-timeout close.
+                "conn_busy", "conn_oversized", "conn_idle"}
 
 
 def fail(msg):
